@@ -1,0 +1,173 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (printed as text tables/series), then runs a Bechamel micro-benchmark
+   suite over the simulator's core primitives.
+
+   Environment knobs:
+     BV_SCALE=<float>    scale workload repetitions (default 1.0)
+     BV_EXPERIMENTS=ids  comma-separated subset (default: all)
+     BV_MICRO=0          skip the Bechamel micro-suite *)
+
+let run_experiments () =
+  let ppf = Format.std_formatter in
+  let wanted =
+    match Sys.getenv_opt "BV_EXPERIMENTS" with
+    | Some ids -> String.split_on_char ',' ids
+    | None -> List.map (fun (id, _, _) -> id) Bv_harness.Experiments.all
+  in
+  Format.fprintf ppf
+    "Branch Vanguard reproduction — every table and figure (scale %.2f)@."
+    (Bv_harness.Runner.scale ());
+  List.iter
+    (fun id ->
+      match Bv_harness.Experiments.find id with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ppf;
+        Format.fprintf ppf "(%s took %.1fs)@." id (Unix.gettimeofday () -. t0)
+      | None -> Format.fprintf ppf "unknown experiment %s@." id)
+    wanted
+
+(* ---------------------------------------------------------------- micro *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let open Bv_isa in
+  let open Bv_ir in
+  let r = Reg.make in
+  (* predictor lookup/update micro *)
+  let pred_test name kind =
+    let p = Bv_bpred.Kind.create kind in
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           let taken = !i land 3 <> 0 in
+           let pc = 0x40 + (!i land 63) in
+           let _, meta = p.Bv_bpred.Predictor.predict ~pc ~outcome:taken in
+           p.Bv_bpred.Predictor.update meta ~pc ~taken))
+  in
+  (* cache access micro *)
+  let cache_test =
+    let h = Bv_cache.Hierarchy.create () in
+    let i = ref 0 in
+    Test.make ~name:"cache.data_access"
+      (Staged.stage (fun () ->
+           i := (!i + 4096) land 0xFFFFF;
+           ignore (Bv_cache.Hierarchy.data_access h ~addr:!i ~write:false)))
+  in
+  (* whole-pipeline micro: simulate a small benchmark end to end *)
+  let tiny =
+    Bv_workloads.Spec.make ~name:"micro" ~suite:Bv_workloads.Spec.Int_2006
+      ~seed:5
+      ~branch_classes:
+        [ Bv_workloads.Spec.cls ~count:4 ~taken_rate:0.6 ~predictability:0.95
+            ()
+        ]
+      ~inner_n:32 ~reps:2 ()
+  in
+  let tiny_image =
+    Layout.program (Bv_workloads.Gen.generate ~input:1 tiny)
+  in
+  let machine_test =
+    Test.make ~name:"machine.run (tiny benchmark)"
+      (Staged.stage (fun () ->
+           ignore
+             (Bv_pipeline.Machine.run ~config:Bv_pipeline.Config.four_wide
+                tiny_image)))
+  in
+  let interp_test =
+    Test.make ~name:"interp.run (tiny benchmark)"
+      (Staged.stage (fun () -> ignore (Bv_exec.Interp.run tiny_image)))
+  in
+  (* transformation micro *)
+  let transform_test =
+    let prog = Bv_workloads.Gen.generate ~input:0 tiny in
+    let image = Layout.program (Program.copy prog) in
+    let predictor = Bv_bpred.Kind.create Bv_bpred.Kind.Tournament in
+    let profile = Bv_profile.Profile.collect ~predictor image in
+    let sel = Vanguard.Select.select ~profile prog in
+    Test.make ~name:"transform.apply"
+      (Staged.stage (fun () ->
+           ignore
+             (Vanguard.Transform.apply
+                ~candidates:sel.Vanguard.Select.candidates prog)))
+  in
+  let sched_test =
+    let body =
+      List.concat
+        (List.init 8 (fun k ->
+             [ Instr.Load { dst = r (10 + (k mod 6)); base = r 2;
+                            offset = 8 * k; speculative = false };
+               Instr.Alu { op = Instr.Add; dst = r 6; src1 = r 6;
+                           src2 = Instr.Reg (r (10 + (k mod 6))) }
+             ]))
+    in
+    Test.make ~name:"sched.schedule_body (16 instrs)"
+      (Staged.stage (fun () ->
+           ignore (Bv_sched.Sched.schedule_body ~term:Term.Halt body)))
+  in
+  let encode_test =
+    let resolve _ = 0 in
+    let i =
+      Instr.Alu { op = Instr.Add; dst = r 1; src1 = r 2; src2 = Instr.Imm 5 }
+    in
+    Test.make ~name:"encoding.encode+decode"
+      (Staged.stage (fun () ->
+           ignore
+             (Encoding.decode
+                ~label_of:(fun _ -> "x")
+                (Encoding.encode ~resolve i))))
+  in
+  let liveness_test =
+    let proc =
+      Program.find_proc (Bv_workloads.Gen.generate ~input:0 tiny) "micro.w0"
+    in
+    Test.make ~name:"liveness.compute (worker proc)"
+      (Staged.stage (fun () -> ignore (Liveness.compute proc)))
+  in
+  let recover_test =
+    Test.make ~name:"recover.image (tiny benchmark)"
+      (Staged.stage (fun () -> ignore (Recover.image tiny_image)))
+  in
+  Test.make_grouped ~name:"vanguard-micro"
+    [ pred_test "bpred.tournament" Bv_bpred.Kind.Tournament;
+      pred_test "bpred.perceptron" Bv_bpred.Kind.Perceptron;
+      pred_test "bpred.tage" Bv_bpred.Kind.Tage;
+      pred_test "bpred.isl-tage" Bv_bpred.Kind.Isl_tage;
+      cache_test;
+      sched_test;
+      encode_test;
+      liveness_test;
+      recover_test;
+      transform_test;
+      interp_test;
+      machine_test
+    ]
+
+let run_micro () =
+  print_endline "\n=== Bechamel micro-benchmarks ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-34s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    results
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_experiments ();
+  (match Sys.getenv_opt "BV_MICRO" with
+  | Some "0" -> ()
+  | _ -> run_micro ());
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

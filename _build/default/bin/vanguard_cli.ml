@@ -1,0 +1,294 @@
+(* Command-line driver: run benchmarks, inspect profiles and
+   transformations, and regenerate the paper's experiments. *)
+
+open Bv_bpred
+open Bv_harness
+open Bv_ir
+open Bv_pipeline
+open Bv_workloads
+open Cmdliner
+
+let spec_of_name name =
+  match Suites.find name with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %s (try `vanguard_cli list`)" name)
+
+let bench_arg =
+  let doc = "Benchmark name (see `vanguard_cli list`)." in
+  Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+
+let width_arg =
+  let doc = "Machine width: 2, 4 or 8." in
+  Arg.(value & opt int 4 & info [ "w"; "width" ] ~doc)
+
+let input_arg =
+  let doc = "REF input index (1-based; 0 is the TRAIN input)." in
+  Arg.(value & opt int 1 & info [ "i"; "input" ] ~doc)
+
+let predictor_arg =
+  let doc = "Branch predictor (bimodal, gshare, tournament, tage, isl-tage, \
+             perfect)." in
+  let parse s =
+    match Kind.of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg ("unknown predictor " ^ s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Kind.name k) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Kind.Tournament
+    & info [ "p"; "predictor" ] ~doc)
+
+(* ----------------------------------------------------------------- list *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks:";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-12s %s\n" s.Spec.name (Spec.suite_name s.Spec.suite))
+      Suites.all;
+    print_endline "\nExperiments:";
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "  %-10s %s\n" id desc)
+      Experiments.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ run *)
+
+let run_cmd =
+  let run name width input predictor =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let b = Runner.prepare ~predictor spec in
+      let pair = Runner.simulate ~predictor b ~input ~width in
+      let show tag (r : Machine.result) =
+        Format.printf "--- %s ---@.%a@.L1-D miss rate %.3f@.@." tag Stats.pp
+          r.Machine.stats
+          (Bv_cache.Sa_cache.miss_rate (Bv_cache.Hierarchy.l1d r.Machine.hierarchy))
+      in
+      Format.printf "%s, %d-wide, %s, input %d@.@." name width
+        (Kind.name predictor) input;
+      show "baseline" pair.Runner.base;
+      show "decomposed-branch (vanguard)" pair.Runner.exp;
+      Format.printf "speedup: %+.2f%%@." pair.Runner.speedup_pct;
+      0
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate one benchmark, baseline vs transformed, and report.")
+    Term.(const run $ bench_arg $ width_arg $ input_arg $ predictor_arg)
+
+(* -------------------------------------------------------------- profile *)
+
+let profile_cmd =
+  let run name predictor =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let b = Runner.prepare ~predictor spec in
+      Format.printf "%a@." Bv_profile.Profile.pp (Runner.profile b);
+      0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a benchmark's TRAIN input: per-site bias and \
+             predictability.")
+    Term.(const run $ bench_arg $ predictor_arg)
+
+(* ------------------------------------------------------------ transform *)
+
+let transform_cmd =
+  let run name disasm =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let b = Runner.prepare spec in
+      let sel = Runner.selection b in
+      let tr = Runner.transform b in
+      Format.printf
+        "%s: %d/%d forward branches selected (PBC %.1f%%), %d skipped@."
+        name
+        (List.length sel.Vanguard.Select.candidates)
+        sel.Vanguard.Select.static_forward_branches
+        (Vanguard.Select.pbc sel)
+        (List.length tr.Vanguard.Transform.skipped);
+      List.iter
+        (fun (id, why) -> Format.printf "  skipped site %d: %s@." id why)
+        tr.Vanguard.Transform.skipped;
+      List.iter
+        (fun r ->
+          Format.printf
+            "  site %3d: slice %d, hoisted %d/%d (nt/t), PHI %.0f%%@."
+            r.Vanguard.Transform.site r.Vanguard.Transform.slice_size
+            r.Vanguard.Transform.hoisted_not_taken
+            r.Vanguard.Transform.hoisted_taken
+            (Vanguard.Transform.phi r))
+        tr.Vanguard.Transform.reports;
+      Format.printf "static instructions: %d -> %d (PISCS %.1f%%)@."
+        tr.Vanguard.Transform.static_instrs_before
+        tr.Vanguard.Transform.static_instrs_after (Runner.piscs b);
+      if disasm then
+        Format.printf "@.%a@." Layout.pp_disassembly
+          (Runner.experimental_program b ~input:1);
+      0
+  in
+  let disasm_arg =
+    Arg.(value & flag & info [ "disasm" ] ~doc:"Print the transformed code.")
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Show candidate selection and transformation details.")
+    Term.(const run $ bench_arg $ disasm_arg)
+
+(* ----------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let run ids =
+    let ppf = Format.std_formatter in
+    let ids = if ids = [ "all" ] then List.map (fun (i, _, _) -> i)
+                  Experiments.all
+              else ids in
+    let rec go = function
+      | [] -> 0
+      | id :: rest ->
+        (match Experiments.find id with
+        | Some f ->
+          f ppf;
+          go rest
+        | None ->
+          Printf.eprintf "unknown experiment %s\n" id;
+          1)
+    in
+    go ids
+  in
+  let ids_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures ('all' for every \
+             one).")
+    Term.(const run $ ids_arg)
+
+(* ------------------------------------------------------------------ dot *)
+
+let dot_cmd =
+  let run name transformed =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let program =
+        if transformed then
+          (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program
+        else Gen.generate ~input:1 spec
+      in
+      Format.printf "%a@." (Bv_ir.Dot.program ~bodies:false) program;
+      0
+  in
+  let transformed_arg =
+    Arg.(value & flag & info [ "transformed" ]
+           ~doc:"Export the decomposed-branch version.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export a benchmark's CFG as Graphviz (pipe into `dot -Tsvg`).")
+    Term.(const run $ bench_arg $ transformed_arg)
+
+(* ---------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let run name width rows transformed =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let b = Runner.prepare spec in
+      let image =
+        if transformed then Runner.experimental_program b ~input:1
+        else Runner.baseline_program b ~input:1
+      in
+      let config = Config.make ~width () in
+      let trace, result = Trace.collect ~max_rows:rows ~config image in
+      Format.printf "%a@." Trace.pp trace;
+      Format.printf "@.%a@." Stats.pp result.Machine.stats;
+      0
+  in
+  let rows_arg =
+    Arg.(value & opt int 60 & info [ "n"; "rows" ]
+           ~doc:"Instructions to trace.")
+  in
+  let transformed_arg =
+    Arg.(value & flag & info [ "transformed" ]
+           ~doc:"Trace the decomposed-branch version.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Per-instruction pipeline trace (fetch/issue/complete cycles).")
+    Term.(const run $ bench_arg $ width_arg $ rows_arg $ transformed_arg)
+
+(* ------------------------------------------------------------- assemble *)
+
+let assemble_cmd =
+  let run path simulate =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> prerr_endline e; 1
+    | text -> (
+      match Bv_ir.Asm.program text with
+      | exception Bv_ir.Asm.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        1
+      | prog ->
+        let image = Layout.program prog in
+        Format.printf "%a@." Layout.pp_disassembly image;
+        if simulate then begin
+          let st = Bv_exec.Interp.run image in
+          Format.printf "interpreter: %d instructions, halted=%b@."
+            st.Bv_exec.Interp.instr_count st.Bv_exec.Interp.halted;
+          let res = Machine.run ~config:Config.four_wide image in
+          Format.printf "%a@." Stats.pp res.Machine.stats
+        end;
+        0)
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let simulate_arg =
+    Arg.(value & flag & info [ "run" ] ~doc:"Also interpret and simulate.")
+  in
+  Cmd.v
+    (Cmd.info "assemble"
+       ~doc:"Assemble a hidden-ISA source file; print its layout.")
+    Term.(const run $ path_arg $ simulate_arg)
+
+(* --------------------------------------------------------------- disasm *)
+
+let disasm_cmd =
+  let run name =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let image = Layout.program (Gen.generate ~input:1 spec) in
+      Format.printf "%a@." Layout.pp_disassembly image;
+      0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a benchmark's baseline code.")
+    Term.(const run $ bench_arg)
+
+let main =
+  let doc =
+    "Branch Vanguard: decomposed branch prediction/resolution (ISCA 2015) \
+     reproduction."
+  in
+  Cmd.group (Cmd.info "vanguard_cli" ~doc)
+    [ list_cmd; run_cmd; profile_cmd; transform_cmd; experiment_cmd;
+      disasm_cmd; dot_cmd; assemble_cmd; trace_cmd
+    ]
+
+let () = exit (Cmd.eval' main)

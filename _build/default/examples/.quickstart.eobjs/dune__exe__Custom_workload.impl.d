@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Bv_harness Bv_workloads Printf Runner Spec Vanguard

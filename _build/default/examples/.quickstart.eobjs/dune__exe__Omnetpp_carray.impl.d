@@ -1,0 +1,1 @@
+examples/omnetpp_carray.ml: Block Bv_bpred Bv_exec Bv_ir Bv_isa Bv_pipeline Bv_profile Bv_sched Bv_workloads Float Format Instr Layout Machine Proc Program Reg Stats Term Vanguard

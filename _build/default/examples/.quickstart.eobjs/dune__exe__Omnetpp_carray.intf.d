@@ -1,0 +1,1 @@
+examples/omnetpp_carray.mli:

@@ -1,0 +1,1 @@
+examples/predictor_tour.ml: Array Bv_bpred Bv_workloads Float Kind List Predictor Printf Rng Stream

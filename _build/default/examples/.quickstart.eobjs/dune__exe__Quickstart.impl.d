@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Bv_bpred Bv_exec Bv_ir Bv_isa Bv_pipeline Bv_profile Bv_sched Bv_workloads Float Format Instr Layout List Machine Proc Program Reg Stats Term Vanguard

@@ -1,0 +1,1 @@
+examples/taxonomy.ml: Block Bv_ir Bv_isa Bv_pipeline Bv_sched Bv_workloads Float Instr Layout List Printf Proc Program Reg Term Vanguard

@@ -1,0 +1,101 @@
+(* A tour of the branch predictor ladder (paper §5.3).
+
+   Shows how each predictor copes with the three branch populations of the
+   paper's Figure 1 taxonomy — highly biased, predictable-but-unbiased, and
+   unpredictable — plus the dilution effect: random branches sharing the
+   global history destroy gshare-style predictors long before they hurt
+   TAGE, which is exactly why astar/sjeng/gobmk/mcf respond to better
+   predictors in the paper's sensitivity study.
+
+   Run with: dune exec examples/predictor_tour.exe *)
+
+open Bv_bpred
+open Bv_workloads
+
+let accuracy (p : Predictor.t) ~pc outcomes =
+  let correct = ref 0 in
+  Array.iter
+    (fun taken ->
+      let pred, meta = p.Predictor.predict ~pc ~outcome:taken in
+      if pred = taken then incr correct
+      else p.Predictor.recover meta ~taken;
+      p.Predictor.update meta ~pc ~taken)
+    outcomes;
+  Float.of_int !correct /. Float.of_int (Array.length outcomes)
+
+(* Interleave several sites through one predictor, program-order style, and
+   report the accuracy on site 0. *)
+let interleaved_accuracy kind streams =
+  let p = Kind.create kind in
+  let n = Array.length streams.(0) in
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun s stream ->
+        let taken = stream.(i) in
+        let pc = 0x1000 + (s * 64) in
+        let pred, meta = p.Predictor.predict ~pc ~outcome:taken in
+        if pred = taken then begin
+          if s = 0 then incr correct
+        end
+        else p.Predictor.recover meta ~taken;
+        p.Predictor.update meta ~pc ~taken)
+      streams
+  done;
+  Float.of_int !correct /. Float.of_int n
+
+let ladder = Kind.[ Bimodal; Gshare; Tournament; Tage; Isl_tage; Perfect ]
+
+let () =
+  let n = 30000 in
+  let rng = Rng.create ~seed:99 in
+  let biased =
+    Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.95 ~predictability:0.95
+      ~length:n ()
+  in
+  let patterned =
+    Stream.sequence ~rng ~taken_rate:0.6 ~predictability:0.97 ~length:n ()
+  in
+  let random =
+    Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.5 ~predictability:0.5
+      ~length:n ()
+  in
+  let loopish = Array.init n (fun i -> i mod 33 <> 32) in
+  Printf.printf "%-12s %8s %8s %8s %8s\n" "predictor" "biased" "pattern"
+    "random" "loop-32";
+  List.iter
+    (fun kind ->
+      let a s = accuracy (Kind.create kind) ~pc:0x40 s in
+      Printf.printf "%-12s %8.3f %8.3f %8.3f %8.3f\n" (Kind.name kind)
+        (a biased) (a patterned) (a random) (a loopish))
+    ladder;
+  Printf.printf
+    "\nDilution: accuracy on a patterned site when k random sites share \
+     the global history\n";
+  Printf.printf "%-12s" "predictor";
+  List.iter (fun k -> Printf.printf " %7s" (Printf.sprintf "k=%d" k)) [ 0; 2; 4; 6 ];
+  print_newline ();
+  List.iter
+    (fun kind ->
+      Printf.printf "%-12s" (Kind.name kind);
+      List.iter
+        (fun k ->
+          let rng = Rng.create ~seed:(100 + k) in
+          let streams =
+            Array.init (k + 1) (fun s ->
+                if s = 0 then
+                  Stream.sequence ~rng ~taken_rate:0.6 ~predictability:0.97
+                    ~length:12000 ()
+                else
+                  Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.5
+                    ~predictability:0.5 ~length:12000 ())
+          in
+          Printf.printf " %7.3f" (interleaved_accuracy kind streams))
+        [ 0; 2; 4; 6 ];
+      print_newline ())
+    ladder;
+  Printf.printf
+    "\nTakeaway: predictable-but-unbiased branches (the transformation's\n\
+     targets) stay predictable under TAGE-class predictors even in noisy\n\
+     company — so the decomposed-branch speedup grows with predictor\n\
+     quality, the paper's 5.3 result.\n"

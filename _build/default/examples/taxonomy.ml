@@ -1,0 +1,128 @@
+(* Figure 1 of the paper, live: one kernel, three branch behaviours, three
+   compiler strategies.
+
+   The paper's taxonomy assigns conditional forward branches to transforms
+   by (bias, predictability):
+
+                      highly biased     |  low biased
+     predictable      superblocks       |  THIS PAPER (decomposition)
+     unpredictable    (rarely occurs)   |  predication
+
+   This example builds the same hammock kernel three times — with a highly
+   biased stream, a predictable-but-unbiased stream, and an unpredictable
+   stream — and applies assert conversion (superblock straightening),
+   the Decomposed Branch Transformation, and if-conversion (predication)
+   to each, reporting 4-wide cycles.
+
+   Run with: dune exec examples/taxonomy.exe *)
+
+open Bv_isa
+open Bv_ir
+
+let r = Reg.make
+let movi d v = Instr.Mov { dst = r d; src = Instr.Imm v }
+let addi d a v = Instr.Alu { op = Instr.Add; dst = r d; src1 = r a; src2 = Instr.Imm v }
+let ld d b o = Instr.Load { dst = r d; base = r b; offset = o; speculative = false }
+let st s b o = Instr.Store { src = r s; base = r b; offset = o }
+let block ?(body = []) label term = Block.make ~label ~body ~term
+
+let kernel ~n stream =
+  Program.make ~main:"m" ~mem_words:2048
+    ~segments:[ { Program.base = 0; contents = stream } ]
+    [ Proc.make ~name:"m"
+        [ block ~body:[ movi 1 0; movi 6 0; movi 20 0 ] "e" (Term.Jump "rep");
+          block ~body:[ movi 1 0 ] "rep" (Term.Jump "head");
+          block
+            ~body:
+              [ Instr.Alu { op = Instr.Shl; dst = r 2; src1 = r 1; src2 = Instr.Imm 3 };
+                ld 4 2 0;
+                Instr.Cmp { op = Instr.Ne; dst = r 5; src1 = r 4; src2 = Instr.Imm 0 }
+              ]
+            "head"
+            (Term.Branch { on = true; src = r 5; taken = "c"; not_taken = "b"; id = 1 });
+          block
+            ~body:[ ld 10 2 8192; ld 11 2 8200; addi 6 6 1;
+                    Instr.Alu { op = Instr.Add; dst = r 6; src1 = r 6; src2 = Instr.Reg (r 10) } ]
+            "b" (Term.Jump "latch");
+          block
+            ~body:[ ld 12 2 8208;
+                    Instr.Alu { op = Instr.Add; dst = r 6; src1 = r 6; src2 = Instr.Reg (r 12) } ]
+            "c" (Term.Jump "latch");
+          block
+            ~body:
+              [ addi 1 1 1;
+                Instr.Cmp { op = Instr.Lt; dst = r 5; src1 = r 1; src2 = Instr.Imm n }
+              ]
+            "latch"
+            (Term.Branch { on = true; src = r 5; taken = "head"; not_taken = "outer"; id = 2 });
+          block
+            ~body:
+              [ addi 20 20 1;
+                Instr.Cmp { op = Instr.Lt; dst = r 5; src1 = r 20; src2 = Instr.Imm 8 }
+              ]
+            "outer"
+            (Term.Branch { on = true; src = r 5; taken = "rep"; not_taken = "out"; id = 3 });
+          block ~body:[ st 6 0 16000 ] "out" Term.Halt
+        ]
+    ]
+
+let candidate =
+  { Vanguard.Select.proc = "m"; block = "head"; site = 1; bias = 0.5;
+    predictability = 0.5; executed = 0 }
+
+let cycles img =
+  (Bv_pipeline.Machine.run ~config:Bv_pipeline.Config.four_wide img)
+    .Bv_pipeline.Machine.stats.Bv_pipeline.Stats.cycles
+
+let spd base img = 100.0 *. ((Float.of_int base /. Float.of_int (cycles img)) -. 1.0)
+
+let () =
+  let n = 512 in
+  let rng = Bv_workloads.Rng.create ~seed:5 in
+  let streams =
+    [ ( "highly biased   (0.96 / pred 0.96)",
+        Bv_workloads.Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.04
+          ~predictability:0.96 ~length:n (),
+        false (* likely direction: not taken *) );
+      ( "predictable     (0.60 / pred 0.96)",
+        Bv_workloads.Stream.sequence ~rng ~taken_rate:0.6 ~predictability:0.96
+          ~length:n (),
+        true );
+      ( "unpredictable   (0.55 / pred 0.55)",
+        Bv_workloads.Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.55
+          ~predictability:0.55 ~length:n (),
+        true )
+    ]
+  in
+  Printf.printf "%-38s %10s %12s %12s %12s\n" "branch behaviour" "baseline"
+    "superblock%" "decompose%" "predicate%";
+  List.iter
+    (fun (name, stream, likely) ->
+      let prog = kernel ~n (Bv_workloads.Stream.to_words stream) in
+      Bv_sched.Sched.schedule_program prog;
+      let base = cycles (Layout.program prog) in
+      let asserted =
+        (Vanguard.Assertconv.apply ~candidates:[ (candidate, likely) ] prog)
+          .Vanguard.Assertconv.program
+      in
+      let decomposed =
+        (Vanguard.Transform.apply ~candidates:[ candidate ] prog)
+          .Vanguard.Transform.program
+      in
+      let predicated =
+        (Vanguard.Predicate.apply ~null_sink:16376 ~candidates:[ candidate ]
+           prog)
+          .Vanguard.Predicate.program
+      in
+      Printf.printf "%-38s %10d %12.1f %12.1f %12.1f\n" name base
+        (spd base (Layout.program asserted))
+        (spd base (Layout.program decomposed))
+        (spd base (Layout.program predicated)))
+    streams;
+  print_endline
+    "\nRead along Figure 1: superblock straightening only works when the\n\
+     branch is near-unidirectional; decomposition keeps winning as long as\n\
+     the branch is predictable (its whole point is that bias is not\n\
+     required); predication is the only transform whose value survives\n\
+     total unpredictability (and on this in-order it must also beat the\n\
+     fetch-and-issue cost of both arms)."

@@ -1,0 +1,1 @@
+lib/bpred/btb.ml: Array Predictor

@@ -1,0 +1,1 @@
+lib/bpred/gshare.ml: Array Bool Predictor Printf

@@ -1,0 +1,1 @@
+lib/bpred/isl_tage.ml: Array Bool Predictor Printf Tage

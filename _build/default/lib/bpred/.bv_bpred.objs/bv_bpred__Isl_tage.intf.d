@@ -1,0 +1,1 @@
+lib/bpred/isl_tage.mli: Predictor

@@ -1,0 +1,1 @@
+lib/bpred/kind.ml: Bimodal Gshare Isl_tage List Perceptron Predictor String Tage Tournament

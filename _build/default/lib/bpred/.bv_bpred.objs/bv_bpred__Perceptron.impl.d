@@ -1,0 +1,1 @@
+lib/bpred/perceptron.ml: Array Bool Float Predictor Printf

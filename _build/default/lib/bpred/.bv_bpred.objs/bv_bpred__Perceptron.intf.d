@@ -1,0 +1,1 @@
+lib/bpred/perceptron.mli: Predictor

@@ -1,0 +1,1 @@
+lib/bpred/predictor.ml: Stdlib

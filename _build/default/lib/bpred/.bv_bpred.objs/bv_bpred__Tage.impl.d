@@ -1,0 +1,1 @@
+lib/bpred/tage.ml: Array Bool Float Predictor Printf

@@ -1,0 +1,1 @@
+lib/bpred/tournament.ml: Array Bool Option Predictor Printf

@@ -1,0 +1,16 @@
+let create ?(table_bits = 14) () =
+  let size = 1 lsl table_bits in
+  let mask = size - 1 in
+  let table = Array.make size 1 in
+  let index pc = Predictor.hash_pc pc land mask in
+  { Predictor.name = Printf.sprintf "bimodal-%db" table_bits;
+    storage_bits = 2 * size;
+    predict =
+      (fun ~pc ~outcome:_ ->
+        (Predictor.counter_taken table.(index pc) ~max:3, [||]));
+    update =
+      (fun _ ~pc ~taken ->
+        let i = index pc in
+        table.(i) <- Predictor.counter_update table.(i) ~taken ~max:3);
+    recover = (fun _ ~taken:_ -> ())
+  }

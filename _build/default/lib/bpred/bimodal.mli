@@ -1,0 +1,5 @@
+(** Per-PC table of 2-bit saturating counters. *)
+
+val create : ?table_bits:int -> unit -> Predictor.t
+(** [create ~table_bits ()] uses a [2^table_bits]-entry counter table
+    (default 14, i.e. 4 KB of 2-bit counters). *)

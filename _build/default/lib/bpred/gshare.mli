@@ -1,0 +1,4 @@
+(** GShare: 2-bit counters indexed by [pc xor global_history]. *)
+
+val create : ?table_bits:int -> ?history_bits:int -> unit -> Predictor.t
+(** Defaults: 15-bit table (8 KB), 15 bits of global history. *)

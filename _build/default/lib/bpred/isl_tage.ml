@@ -1,0 +1,106 @@
+type loop_entry =
+  { mutable tag : int;
+    mutable past_count : int;  (* trip count of the last completed run *)
+    mutable current : int;  (* takens seen in the current run *)
+    mutable confidence : int  (* consecutive confirmations, 0..7 *)
+  }
+
+let confidence_threshold = 3
+
+(* meta layout: TAGE meta (5 slots) ++ [| final_pred; loop_hit; loop_pred;
+   sc_index |] appended at offsets 5..8. *)
+
+let create ?(num_tables = 8) ?(table_bits = 12) ?(loop_entries = 64) () =
+  let tage = Tage.create ~num_tables ~table_bits ~tag_bits:10 () in
+  let loop_mask = loop_entries - 1 in
+  let loops =
+    Array.init loop_entries (fun _ ->
+        { tag = -1; past_count = 0; current = 0; confidence = 0 })
+  in
+  let sc_bits = 10 in
+  let sc_mask = (1 lsl sc_bits) - 1 in
+  let sc = Array.make (1 lsl sc_bits) 16 in
+  (* 5-bit counters centred at 16 *)
+  let loop_index pc = Predictor.hash_pc pc land loop_mask in
+  let loop_tag pc = (Predictor.hash_pc (pc * 17) lsr 8) land 0x3fff in
+  (* The loop predictor models "taken past_count times, then one not-taken
+     exit" loops (backward loop branches). *)
+  let loop_lookup pc =
+    let e = loops.(loop_index pc) in
+    if e.tag = loop_tag pc && e.confidence >= confidence_threshold
+       && e.past_count > 0
+    then Some (e.current < e.past_count)
+    else None
+  in
+  let loop_update pc ~taken =
+    let i = loop_index pc in
+    let e = loops.(i) in
+    if e.tag <> loop_tag pc then begin
+      (* Re-allocate only for taken branches (loop-shaped candidates). *)
+      if taken then begin
+        e.tag <- loop_tag pc;
+        e.past_count <- 0;
+        e.current <- 1;
+        e.confidence <- 0
+      end
+    end
+    else if taken then e.current <- e.current + 1
+    else begin
+      (* Run ended: confirm or learn the trip count. *)
+      if e.past_count = e.current && e.past_count > 0 then
+        e.confidence <- min 7 (e.confidence + 1)
+      else begin
+        e.past_count <- e.current;
+        e.confidence <- 0
+      end;
+      e.current <- 0
+    end
+  in
+  let sc_index pc pred =
+    (Predictor.hash_pc (pc * 7) lxor Bool.to_int pred) land sc_mask
+  in
+  let predict ~pc ~outcome =
+    let tage_pred, tmeta = tage.Predictor.predict ~pc ~outcome in
+    let loop_hit, pred =
+      match loop_lookup pc with
+      | Some p -> (true, p)
+      | None ->
+        (* Statistical corrector: revert TAGE when strongly contradicted. *)
+        let s = sc.(sc_index pc tage_pred) in
+        if s <= 2 then (false, not tage_pred)
+        else if s >= 30 then (false, tage_pred)
+        else (false, tage_pred)
+    in
+    if pred <> tage_pred then
+      (* Keep the speculative history consistent with the final direction. *)
+      tage.Predictor.recover tmeta ~taken:pred;
+    let meta =
+      Array.append tmeta
+        [| Bool.to_int pred;
+           Bool.to_int loop_hit;
+           Bool.to_int tage_pred;
+           sc_index pc tage_pred
+        |]
+    in
+    (pred, meta)
+  in
+  let update meta ~pc ~taken =
+    let tmeta = Array.sub meta 0 5 in
+    tage.Predictor.update tmeta ~pc ~taken;
+    loop_update pc ~taken;
+    let tage_pred = meta.(7) = 1 in
+    let si = meta.(8) in
+    sc.(si) <- Predictor.counter_update sc.(si) ~taken:(tage_pred = taken) ~max:31
+  in
+  let recover meta ~taken =
+    tage.Predictor.recover (Array.sub meta 0 5) ~taken
+  in
+  { Predictor.name = Printf.sprintf "isl-tage-%dx%db" num_tables table_bits;
+    storage_bits =
+      tage.Predictor.storage_bits
+      + (loop_entries * (14 + 16 + 16 + 3))
+      + (5 * (sc_mask + 1));
+    predict;
+    update;
+    recover
+  }

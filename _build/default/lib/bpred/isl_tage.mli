@@ -1,0 +1,20 @@
+(** ISL-TAGE: TAGE augmented with a loop predictor and a statistical
+    corrector, after Seznec's "A new case for the TAGE branch predictor"
+    (MICRO 2011), which the paper uses as the top of its sensitivity ladder
+    (§5.3). Both side predictors are functional simplifications:
+
+    - the loop predictor captures branches with a constant trip count and
+      overrides TAGE once the same count has been observed
+      [confidence_threshold] times in a row;
+    - the statistical corrector is a per-(pc, prediction) table of wide
+      counters that reverts TAGE on branches where it is statistically
+      mis-matched. *)
+
+val create :
+  ?num_tables:int ->
+  ?table_bits:int ->
+  ?loop_entries:int ->
+  unit ->
+  Predictor.t
+(** Defaults approximate a 64 KB budget: 8 tagged tables of [2^12] entries
+    plus a 64-entry loop table and a 1K-entry corrector. *)

@@ -1,0 +1,57 @@
+type t =
+  | Always_taken
+  | Always_not_taken
+  | Bimodal_small
+  | Bimodal
+  | Gshare_small
+  | Gshare
+  | Tournament
+  | Perceptron
+  | Tage
+  | Isl_tage
+  | Perfect
+
+let all =
+  [ Always_not_taken;
+    Always_taken;
+    Bimodal_small;
+    Bimodal;
+    Gshare_small;
+    Gshare;
+    Tournament;
+    Perceptron;
+    Tage;
+    Isl_tage;
+    Perfect
+  ]
+
+let sensitivity_ladder =
+  [ Bimodal; Gshare; Tournament; Perceptron; Tage; Isl_tage; Perfect ]
+
+let name = function
+  | Always_taken -> "always-taken"
+  | Always_not_taken -> "always-not-taken"
+  | Bimodal_small -> "bimodal-small"
+  | Bimodal -> "bimodal"
+  | Gshare_small -> "gshare-small"
+  | Gshare -> "gshare"
+  | Tournament -> "tournament"
+  | Perceptron -> "perceptron"
+  | Tage -> "tage"
+  | Isl_tage -> "isl-tage"
+  | Perfect -> "perfect"
+
+let of_name s = List.find_opt (fun k -> String.equal (name k) s) all
+
+let create = function
+  | Always_taken -> Predictor.always true
+  | Always_not_taken -> Predictor.always false
+  | Bimodal_small -> Bimodal.create ~table_bits:10 ()
+  | Bimodal -> Bimodal.create ~table_bits:14 ()
+  | Gshare_small -> Gshare.create ~table_bits:13 ~history_bits:8 ()
+  | Gshare -> Gshare.create ~table_bits:15 ~history_bits:15 ()
+  | Tournament -> Tournament.create ~table_bits:15 ()
+  | Perceptron -> Perceptron.create ()
+  | Tage -> Tage.create ()
+  | Isl_tage -> Isl_tage.create ()
+  | Perfect -> Predictor.perfect

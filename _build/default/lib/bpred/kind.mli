@@ -1,0 +1,26 @@
+(** Named predictor configurations, used by the CLI and the sensitivity
+    study (§5.3). The ladder goes from static prediction up through the
+    paper's baseline (24 KB tournament) to ISL-TAGE and a perfect oracle. *)
+
+type t =
+  | Always_taken
+  | Always_not_taken
+  | Bimodal_small  (** 1 K-entry bimodal *)
+  | Bimodal  (** 16 K-entry bimodal *)
+  | Gshare_small  (** 8 KB gshare *)
+  | Gshare  (** 8 KB gshare, full history *)
+  | Tournament  (** the paper's baseline: 24 KB 3-table *)
+  | Perceptron  (** Jiménez & Lin perceptron, ~16 KB *)
+  | Tage  (** 6-component TAGE *)
+  | Isl_tage  (** 64 KB-class ISL-TAGE *)
+  | Perfect
+
+val all : t list
+(** In increasing-accuracy ladder order. *)
+
+val sensitivity_ladder : t list
+(** The subset swept by the §5.3 experiment. *)
+
+val name : t -> string
+val of_name : string -> t option
+val create : t -> Predictor.t

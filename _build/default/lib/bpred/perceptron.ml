@@ -1,0 +1,46 @@
+let create ?(table_bits = 9) ?(history_bits = 28) ?(weight_bits = 8) () =
+  let size = 1 lsl table_bits in
+  let mask = size - 1 in
+  let hmask = (1 lsl history_bits) - 1 in
+  let wmax = (1 lsl (weight_bits - 1)) - 1 in
+  let wmin = -wmax - 1 in
+  (* weights.(p) = bias weight :: one weight per history bit *)
+  let weights = Array.make_matrix size (history_bits + 1) 0 in
+  let history = ref 0 in
+  let threshold =
+    Float.to_int (Float.round ((1.93 *. Float.of_int history_bits) +. 14.0))
+  in
+  let index pc = Predictor.hash_pc pc land mask in
+  let dot w h =
+    let sum = ref w.(0) in
+    for b = 0 to history_bits - 1 do
+      let x = if (h lsr b) land 1 = 1 then 1 else -1 in
+      sum := !sum + (x * w.(b + 1))
+    done;
+    !sum
+  in
+  let shift h taken = ((h lsl 1) lor Bool.to_int taken) land hmask in
+  { Predictor.name = Printf.sprintf "perceptron-%dx%dh" size history_bits;
+    storage_bits = size * (history_bits + 1) * weight_bits;
+    predict =
+      (fun ~pc ~outcome:_ ->
+        let h = !history in
+        let sum = dot weights.(index pc) h in
+        let pred = sum >= 0 in
+        history := shift h pred;
+        (pred, [| h; sum |]));
+    update =
+      (fun meta ~pc ~taken ->
+        let h = meta.(0) and sum = meta.(1) in
+        let pred = sum >= 0 in
+        if pred <> taken || abs sum <= threshold then begin
+          let w = weights.(index pc) in
+          let t = if taken then 1 else -1 in
+          w.(0) <- max wmin (min wmax (w.(0) + t));
+          for b = 0 to history_bits - 1 do
+            let x = if (h lsr b) land 1 = 1 then 1 else -1 in
+            w.(b + 1) <- max wmin (min wmax (w.(b + 1) + (t * x)))
+          done
+        end);
+    recover = (fun meta ~taken -> history := shift meta.(0) taken)
+  }

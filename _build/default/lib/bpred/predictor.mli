@@ -1,0 +1,49 @@
+(** Common conditional-branch direction predictor interface.
+
+    The interface mirrors what the paper's Decomposed Branch Buffer stores:
+    a prediction made at fetch produces a {!meta} payload (history snapshot
+    plus the table indices/metadata needed for a later update), the payload
+    travels with the branch (in the DBB for decomposed branches, with the
+    instruction otherwise), and at resolution the payload is passed back to
+    train the tables ({!val-update}) or to repair the speculative global
+    history after a misprediction ({!val-recover}).
+
+    [predict] receives the architecturally correct outcome as [~outcome]
+    because the simulator is functional-first (it knows outcomes at fetch
+    time). Every predictor except the perfect oracle must ignore it. *)
+
+type meta = int array
+(** Opaque per-prediction payload. Index 0 is conventionally the global
+    history snapshot taken just before this branch shifted in; remaining
+    slots are predictor-specific. *)
+
+type t =
+  { name : string;
+    storage_bits : int;  (** approximate hardware budget of all tables *)
+    predict : pc:int -> outcome:bool -> bool * meta;
+        (** Returns the predicted direction, and speculatively shifts the
+            prediction into the global history. *)
+    update : meta -> pc:int -> taken:bool -> unit;
+        (** Train the tables with the actual outcome, using predict-time
+            metadata. Does not touch the speculative history. *)
+    recover : meta -> taken:bool -> unit
+        (** Misprediction repair: reset the speculative global history to
+            the snapshot in [meta] with the corrected outcome shifted in. *)
+  }
+
+val counter_update : int -> taken:bool -> max:int -> int
+(** Saturating counter step: increment towards [max] on taken, decrement
+    towards 0 otherwise. *)
+
+val counter_taken : int -> max:int -> bool
+(** Does a saturating counter currently predict taken (counter in the upper
+    half of its range)? *)
+
+val hash_pc : int -> int
+(** Cheap PC mixing used by all table indexing. *)
+
+val always : bool -> t
+(** Static predictor: always taken / always not-taken. Zero storage. *)
+
+val perfect : t
+(** Oracle: echoes [~outcome]. Upper bound for the sensitivity study. *)

@@ -1,0 +1,210 @@
+type entry =
+  { mutable tag : int;
+    mutable ctr : int;  (* 0..7, taken if >= 4 *)
+    mutable useful : int  (* 0..3 *)
+  }
+
+type state =
+  { base : int array;  (* bimodal, 2-bit *)
+    base_mask : int;
+    tables : entry array array;
+    hist_lens : int array;
+    table_mask : int;
+    tag_mask : int;
+    mutable history : int;
+    hmask : int;
+    mutable use_alt_on_na : int;  (* 0..15 *)
+    mutable update_count : int;
+    mutable lfsr : int
+  }
+
+let geometric ~first ~last ~n =
+  if n = 1 then [| last |]
+  else begin
+    let r = Float.of_int last /. Float.of_int first in
+    let ratio = r ** (1.0 /. Float.of_int (n - 1)) in
+    Array.init n (fun i ->
+        let l =
+          Float.to_int
+            (Float.round (Float.of_int first *. (ratio ** Float.of_int i)))
+        in
+        max 1 (min last l))
+  end
+
+(* XOR-fold the low [len] bits of [h] down to [bits] bits. *)
+let fold h len bits =
+  let mask = (1 lsl bits) - 1 in
+  let rec go acc h remaining =
+    if remaining <= 0 then acc
+    else go (acc lxor (h land mask)) (h lsr bits) (remaining - bits)
+  in
+  go 0 (h land ((1 lsl len) - 1)) len
+
+let index st t pc =
+  let len = st.hist_lens.(t) in
+  let bits =
+    (* table_mask = 2^b - 1 *)
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 (st.table_mask + 1) 0
+  in
+  (Predictor.hash_pc pc lxor fold st.history len bits
+  lxor (fold st.history len (bits - 1) lsl 1))
+  land st.table_mask
+
+let tag_of st t pc =
+  let len = st.hist_lens.(t) in
+  (Predictor.hash_pc (pc * 31) lxor fold st.history len 9
+  lxor (t * 0x5bd1))
+  land st.tag_mask
+
+let base_index st pc = Predictor.hash_pc pc land st.base_mask
+
+(* Longest-match lookup: returns (provider_table or -1, provider_pred,
+   alt_pred). *)
+let lookup st pc =
+  let n = Array.length st.tables in
+  let base_pred =
+    Predictor.counter_taken st.base.(base_index st pc) ~max:3
+  in
+  let rec find t =
+    if t < 0 then None
+    else
+      let e = st.tables.(t).(index st t pc) in
+      if e.tag = tag_of st t pc then Some t else find (t - 1)
+  in
+  match find (n - 1) with
+  | None -> (-1, base_pred, base_pred)
+  | Some p ->
+    let alt =
+      match (if p = 0 then None else find (p - 1)) with
+      | None -> base_pred
+      | Some a -> st.tables.(a).(index st a pc).ctr >= 4
+    in
+    let e = st.tables.(p).(index st p pc) in
+    (p, e.ctr >= 4, alt)
+
+let next_lfsr x =
+  let x = x lxor (x lsl 13) land max_int in
+  let x = x lxor (x lsr 7) in
+  x lxor (x lsl 17) land max_int
+
+let create ?(num_tables = 6) ?(table_bits = 11) ?(tag_bits = 9)
+    ?(max_history = 62) () =
+  let st =
+    { base = Array.make (1 lsl 13) 1;
+      base_mask = (1 lsl 13) - 1;
+      tables =
+        Array.init num_tables (fun _ ->
+            Array.init (1 lsl table_bits) (fun _ ->
+                { tag = -1; ctr = 4; useful = 0 }));
+      hist_lens = geometric ~first:4 ~last:max_history ~n:num_tables;
+      table_mask = (1 lsl table_bits) - 1;
+      tag_mask = (1 lsl tag_bits) - 1;
+      history = 0;
+      hmask = (1 lsl max_history) - 1;
+      use_alt_on_na = 8;
+      update_count = 0;
+      lfsr = 0x12345
+    }
+  in
+  let shift h taken = ((h lsl 1) lor Bool.to_int taken) land st.hmask in
+  let storage_bits =
+    (2 * (st.base_mask + 1))
+    + num_tables * (st.table_mask + 1) * (tag_bits + 3 + 2)
+  in
+  let predict ~pc ~outcome:_ =
+    let h = st.history in
+    let provider, ppred, alt = lookup st pc in
+    let pred =
+      if provider >= 0 then begin
+        let e = st.tables.(provider).(index st provider pc) in
+        (* Weak, never-useful entries are "newly allocated": optionally
+           trust the alternate prediction. *)
+        if e.useful = 0 && (e.ctr = 3 || e.ctr = 4) && st.use_alt_on_na >= 8
+        then alt
+        else ppred
+      end
+      else ppred
+    in
+    st.history <- shift h pred;
+    ( pred,
+      [| h;
+         Bool.to_int pred;
+         provider + 1;
+         Bool.to_int ppred;
+         Bool.to_int alt
+      |] )
+  in
+  let update meta ~pc ~taken =
+    let saved = st.history in
+    (* Recompute indices against the predict-time history snapshot. *)
+    st.history <- meta.(0);
+    let pred = meta.(1) = 1 in
+    let provider = meta.(2) - 1 in
+    let ppred = meta.(3) = 1 in
+    let alt = meta.(4) = 1 in
+    st.update_count <- st.update_count + 1;
+    if provider >= 0 then begin
+      let e = st.tables.(provider).(index st provider pc) in
+      if e.tag = tag_of st provider pc then begin
+        e.ctr <- Predictor.counter_update e.ctr ~taken ~max:7;
+        if ppred <> alt then
+          e.useful <-
+            Predictor.counter_update e.useful ~taken:(ppred = taken) ~max:3;
+        (* Track whether alt would have been the better choice for newly
+           allocated entries. *)
+        if e.useful = 0 && ppred <> alt then
+          st.use_alt_on_na <-
+            Predictor.counter_update st.use_alt_on_na ~taken:(alt = taken)
+              ~max:15
+      end
+    end
+    else begin
+      let i = base_index st pc in
+      st.base.(i) <- Predictor.counter_update st.base.(i) ~taken ~max:3
+    end;
+    (* Allocate on misprediction, in a table longer than the provider. *)
+    if pred <> taken && provider < Array.length st.tables - 1 then begin
+      let start = provider + 1 in
+      let n = Array.length st.tables in
+      (* Find candidate entries with useful = 0; pick pseudo-randomly with
+         preference for shorter histories. *)
+      let candidates = ref [] in
+      for t = n - 1 downto start do
+        let e = st.tables.(t).(index st t pc) in
+        if e.useful = 0 then candidates := t :: !candidates
+      done;
+      (match !candidates with
+      | [] ->
+        (* No room: age the would-be victims. *)
+        for t = start to n - 1 do
+          let e = st.tables.(t).(index st t pc) in
+          e.useful <- max 0 (e.useful - 1)
+        done
+      | c :: rest ->
+        st.lfsr <- next_lfsr st.lfsr;
+        let chosen =
+          match rest with
+          | c2 :: _ when st.lfsr land 3 = 0 -> c2
+          | _ -> c
+        in
+        let e = st.tables.(chosen).(index st chosen pc) in
+        e.tag <- tag_of st chosen pc;
+        e.ctr <- (if taken then 4 else 3);
+        e.useful <- 0)
+    end;
+    (* Periodic useful-bit aging. *)
+    if st.update_count land 0x3ffff = 0 then
+      Array.iter
+        (fun tbl -> Array.iter (fun e -> e.useful <- e.useful lsr 1) tbl)
+        st.tables;
+    st.history <- saved
+  in
+  let recover meta ~taken = st.history <- shift meta.(0) taken in
+  { Predictor.name =
+      Printf.sprintf "tage-%dx%db" num_tables table_bits;
+    storage_bits;
+    predict;
+    update;
+    recover
+  }

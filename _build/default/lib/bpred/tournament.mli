@@ -1,0 +1,8 @@
+(** The baseline direction predictor of the paper's Table 1: a 24 KB
+    three-table GShare-derived predictor — a bimodal component, a gshare
+    component and a per-PC chooser, each a table of 2-bit counters. *)
+
+val create :
+  ?table_bits:int -> ?history_bits:int -> unit -> Predictor.t
+(** [table_bits] applies to all three tables (default 15: 3 × 8 KB = 24 KB);
+    [history_bits] defaults to [table_bits]. *)

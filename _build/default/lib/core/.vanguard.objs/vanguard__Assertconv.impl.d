@@ -1,0 +1,1 @@
+lib/core/assertconv.ml: Block Bv_ir Bv_isa Bv_sched Label List Liveness Option Printf Proc Program Reg Select Term Transform Validate

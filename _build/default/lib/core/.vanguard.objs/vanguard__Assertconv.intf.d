@@ -1,0 +1,1 @@
+lib/core/assertconv.mli: Bv_ir Bv_isa Label Program Reg Select

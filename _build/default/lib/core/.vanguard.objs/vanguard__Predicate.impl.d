@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Block Bv_ir Bv_isa Bv_sched Hashtbl Instr Label List Proc Program Reg Select Term Transform Validate

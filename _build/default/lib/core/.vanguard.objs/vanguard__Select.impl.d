@@ -1,0 +1,1 @@
+lib/core/select.ml: Block Bv_ir Bv_isa Bv_profile Cfg Float Hashtbl Label List Proc Profile Program Term

@@ -1,0 +1,1 @@
+lib/core/select.mli: Bv_ir Bv_isa Bv_profile Profile Program

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Block Bv_ir Bv_isa Bv_sched Float Hashtbl Instr Label List Liveness Option Printf Proc Program Reg Select Set Term Validate

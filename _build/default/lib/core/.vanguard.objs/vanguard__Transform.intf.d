@@ -1,0 +1,1 @@
+lib/core/transform.mli: Bv_ir Bv_isa Instr Label Program Reg Select Stdlib

@@ -1,0 +1,41 @@
+(** Candidate selection for the Decomposed Branch Transformation.
+
+    The paper's heuristic (§5): transform {e forward} branches whose
+    predictability exceeds their bias by at least 5 percentage points,
+    as measured on TRAIN-input profiles. We additionally require a minimum
+    execution count (cold branches aren't worth the code growth) and the
+    structural preconditions of the transformation (both successors are
+    single-predecessor blocks of the same procedure — the hammock shape the
+    generated code and the paper's Figure 5 use). *)
+
+open Bv_ir
+open Bv_profile
+
+type candidate =
+  { proc : Bv_isa.Label.t;
+    block : Bv_isa.Label.t;  (** the block whose terminator is converted *)
+    site : int;  (** static branch-site id *)
+    bias : float;
+    predictability : float;
+    executed : int
+  }
+
+type t =
+  { candidates : candidate list;
+    static_forward_branches : int;
+        (** denominator of the paper's PBC metric *)
+    rejected_shape : int;  (** forward branches failing structural checks *)
+    rejected_heuristic : int  (** failing the predictability-bias test *)
+  }
+
+val pbc : t -> float
+(** Percent of static forward branches converted (Table 2's PBC). *)
+
+val select :
+  ?threshold:float ->
+  ?min_executed:int ->
+  profile:Profile.t ->
+  Program.t ->
+  t
+(** [threshold] is the required predictability-minus-bias margin (default
+    0.05); [min_executed] defaults to 100. *)

@@ -1,0 +1,97 @@
+(** The Decomposed Branch Transformation (paper §3, Figure 5).
+
+    For each selected branch site — block [A] ending in [cmp]+[br] with
+    successors [B] (not-taken) and [C] (taken) — the pass:
+
+    + replaces the branch with a [predict] terminator targeting two new
+      resolution blocks [A'nt] (predicted not-taken) and [A't] (predicted
+      taken);
+    + sinks the branch's condition slice out of [A] into both resolution
+      blocks (the predict depends on nothing, so [A]'s remaining work stays
+      put and the slice now overlaps with hoisted work);
+    + hoists the leading store-free prefix of each successor into the
+      corresponding resolution block, with loads marked speculative
+      (non-faulting) and destinations renamed to scratch temporaries so a
+      wrong prediction cannot clobber the alternate path's live-ins;
+    + places commit moves (temporary → architectural register) in a small
+      block in the shadow of the resolve's fall-through — the paper's
+      "hide the moves in the shadow of the resolution";
+    + emits correction blocks [Correct-B]/[Correct-C] that re-execute the
+      correct successor's hoisted prefix non-speculatively and jump back
+      into the main flow — reached only when the resolve detects a
+      misprediction;
+    + lays the new blocks out hot-path-fallthrough (A, A'nt, commit, B'),
+      with correction blocks cold at the end of the procedure.
+
+    The transformed program is architecturally equivalent without any
+    hardware rollback: the condition slice is path-independent (it reads
+    only pre-predict state and contains no stores), and hoisted code writes
+    temporaries that are committed only on the correctly predicted path.
+    Property tests check equivalence under adversarial predict policies. *)
+
+open Bv_isa
+open Bv_ir
+
+type site_report =
+  { site : int;
+    proc : Label.t;
+    slice_size : int;
+    slice_instrs : Instr.t list;
+        (** the sunk condition slice (for resolution-latency estimates) *)
+    hoisted_not_taken : int;  (** instructions hoisted from B into A'nt *)
+    hoisted_taken : int;
+    not_taken_block_size : int;  (** |B| before hoisting *)
+    taken_block_size : int
+  }
+
+type result =
+  { program : Program.t;  (** a transformed deep copy; input is untouched *)
+    reports : site_report list;
+    skipped : (int * string) list;  (** site id, reason *)
+    static_instrs_before : int;
+    static_instrs_after : int
+  }
+
+val default_temp_pool : Reg.t list
+(** r48–r63: the DBT-context scratch registers (paper §2.2's "additional
+    registers to hold speculative values"). Programs eligible for the
+    transformation must not use them. *)
+
+val split_condition_slice :
+  src:Bv_isa.Reg.t ->
+  Instr.t list ->
+  (Instr.t list * Instr.t list, string) Stdlib.result
+(** [(slice, remainder)] of a block body: the backward dependence closure
+    of [src] and what stays above the predict point. [Error reason] when
+    sinking the slice would be unsafe (a remainder instruction reads or
+    redefines slice registers, or a store follows a slice load). Exposed
+    for the assert-conversion pass, which sinks slices the same way. *)
+
+val split_hoistable_prefix :
+  max_hoist:int ->
+  temp_pool:Reg.t list ->
+  must_rename:(Reg.t -> bool) ->
+  Instr.t list ->
+  Instr.t list * Instr.t list * Instr.t list * Instr.t list
+(** [(original prefix, speculative renamed prefix, commit moves, rest)] of
+    a successor body (loads in the speculative copy are non-faulting). *)
+
+val phi : site_report -> float
+(** Percent of the successor blocks' instructions that were hoistable for
+    this site (Table 2's PHI). *)
+
+val apply :
+  ?max_hoist:int ->
+  ?temp_pool:Reg.t list ->
+  ?schedule:bool ->
+  ?exit_live:Reg.t list ->
+  candidates:Select.candidate list ->
+  Program.t ->
+  result
+(** [max_hoist] caps the hoisted prefix per successor (default 16).
+    [schedule] (default true) re-runs the list scheduler on the program
+    afterwards. [exit_live] is the calling convention: registers assumed
+    live at procedure exits for the renaming analysis (default: every
+    register — safe, but renames more than a compiler with knowledge of
+    the convention would). Sites violating a safety precondition at
+    rewrite time are skipped and reported. *)

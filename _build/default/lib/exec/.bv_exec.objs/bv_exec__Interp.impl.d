@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Bool Bv_ir Bv_isa Instr Layout Printf Program Reg Stack

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Bv_ir Layout Stack

@@ -1,0 +1,129 @@
+open Bv_isa
+open Bv_ir
+
+exception Fault of string
+
+type state =
+  { regs : int array;
+    mem : int array;
+    mutable pc : int;
+    mutable halted : bool;
+    mutable instr_count : int;
+    mutable load_count : int;
+    mutable store_count : int;
+    call_stack : int Stack.t
+  }
+
+let init image =
+  { regs = Array.make Reg.count 0;
+    mem = Program.initial_memory image.Layout.program;
+    pc = image.Layout.entry;
+    halted = false;
+    instr_count = 0;
+    load_count = 0;
+    store_count = 0;
+    call_stack = Stack.create ()
+  }
+
+type hooks =
+  { on_branch : id:int -> pc:int -> taken:bool -> unit;
+    on_resolve : id:int -> pc:int -> mispredicted:bool -> taken:bool -> unit
+  }
+
+let no_hooks =
+  { on_branch = (fun ~id:_ ~pc:_ ~taken:_ -> ());
+    on_resolve = (fun ~id:_ ~pc:_ ~mispredicted:_ ~taken:_ -> ())
+  }
+
+let operand_value regs = function
+  | Instr.Reg r -> regs.(Reg.index r)
+  | Instr.Imm i -> i
+
+let load_word state ~addr ~speculative =
+  if addr land 7 <> 0 || addr < 0 || addr / 8 >= Array.length state.mem then
+    if speculative then 0
+    else raise (Fault (Printf.sprintf "load from invalid address %d" addr))
+  else state.mem.(addr / 8)
+
+let store_word state ~addr v =
+  if addr land 7 <> 0 || addr < 0 || addr / 8 >= Array.length state.mem then
+    raise (Fault (Printf.sprintf "store to invalid address %d" addr))
+  else state.mem.(addr / 8) <- v
+
+let step ?(hooks = no_hooks) ?(predict_policy = fun ~pc:_ ~id:_ -> false) image
+    state =
+  if not state.halted then begin
+    let code = image.Layout.code in
+    if state.pc < 0 || state.pc >= Array.length code then
+      raise (Fault (Printf.sprintf "pc %d out of code bounds" state.pc));
+    let regs = state.regs in
+    let set r v = regs.(Reg.index r) <- v in
+    let get r = regs.(Reg.index r) in
+    let target_pc l = Layout.resolve image l in
+    let pc = state.pc in
+    state.instr_count <- state.instr_count + 1;
+    let next = pc + 1 in
+    (match code.(pc) with
+    | Instr.Nop -> state.pc <- next
+    | Instr.Alu { op; dst; src1; src2 } | Instr.Fpu { op; dst; src1; src2 } ->
+      set dst (Instr.eval_alu op (get src1) (operand_value regs src2));
+      state.pc <- next
+    | Instr.Mov { dst; src } ->
+      set dst (operand_value regs src);
+      state.pc <- next
+    | Instr.Load { dst; base; offset; speculative } ->
+      state.load_count <- state.load_count + 1;
+      set dst (load_word state ~addr:(get base + offset) ~speculative);
+      state.pc <- next
+    | Instr.Store { src; base; offset } ->
+      state.store_count <- state.store_count + 1;
+      store_word state ~addr:(get base + offset) (get src);
+      state.pc <- next
+    | Instr.Cmp { op; dst; src1; src2 } ->
+      set dst
+        (Bool.to_int (Instr.eval_cmp op (get src1) (operand_value regs src2)));
+      state.pc <- next
+    | Instr.Cmov { on; cond; dst; src } ->
+      if (get cond <> 0) = on then set dst (operand_value regs src);
+      state.pc <- next
+    | Instr.Branch { on; src; target; id } ->
+      let taken = (get src <> 0) = on in
+      hooks.on_branch ~id ~pc ~taken;
+      state.pc <- (if taken then target_pc target else next)
+    | Instr.Jump target -> state.pc <- target_pc target
+    | Instr.Call target ->
+      Stack.push next state.call_stack;
+      state.pc <- target_pc target
+    | Instr.Ret ->
+      (match Stack.pop_opt state.call_stack with
+      | Some ra -> state.pc <- ra
+      | None -> raise (Fault "ret with empty call stack"))
+    | Instr.Predict { target; id } ->
+      state.pc <- (if predict_policy ~pc ~id then target_pc target else next)
+    | Instr.Resolve { on; src; target; predicted_taken; id } ->
+      let taken = (get src <> 0) = on in
+      let mispredicted = taken <> predicted_taken in
+      hooks.on_resolve ~id ~pc ~mispredicted ~taken;
+      state.pc <- (if mispredicted then target_pc target else next)
+    | Instr.Halt -> state.halted <- true)
+  end
+
+let run ?hooks ?predict_policy ?(max_instrs = 100_000_000) image =
+  let state = init image in
+  let rec go () =
+    if (not state.halted) && state.instr_count < max_instrs then begin
+      step ?hooks ?predict_policy image state;
+      go ()
+    end
+  in
+  go ();
+  state
+
+let fnv_fold acc v =
+  let acc = (acc lxor v) * 0x100000001B3 in
+  acc land max_int
+
+let mem_digest state = Array.fold_left fnv_fold 0xcbf29ce4 state.mem
+let reg_digest state = Array.fold_left fnv_fold 0xcbf29ce4 state.regs
+
+let arch_digest state = fnv_fold (mem_digest state) state.store_count

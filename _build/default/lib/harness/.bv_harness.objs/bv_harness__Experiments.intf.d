@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Bv_workloads Format Runner

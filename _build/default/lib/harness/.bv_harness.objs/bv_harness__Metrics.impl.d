@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Agg Block Bv_cache Bv_ir Bv_isa Bv_pipeline Bv_profile Bv_sched Bv_workloads Float Gen Hierarchy Instr List Machine Proc Program Runner Sa_cache Spec Stats Vanguard

@@ -1,0 +1,1 @@
+lib/harness/metrics.mli: Bv_ir Bv_pipeline Machine Runner

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Bv_bpred Bv_cache Bv_ir Bv_pipeline Bv_profile Bv_workloads Hierarchy Kind Machine Spec Vanguard

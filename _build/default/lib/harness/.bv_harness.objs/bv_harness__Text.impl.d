@@ -1,0 +1,1 @@
+lib/harness/text.ml: Float List Printf String

@@ -1,0 +1,14 @@
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    let n = Float.of_int (List.length xs) in
+    Float.exp (List.fold_left (fun a x -> a +. Float.log x) 0.0 xs /. n)
+
+let geomean_speedup_pct pcts =
+  100.0 *. (geomean (List.map (fun p -> 1.0 +. (p /. 100.0)) pcts) -. 1.0)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+let max_or d = function [] -> d | xs -> List.fold_left Float.max neg_infinity xs

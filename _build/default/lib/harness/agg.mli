@@ -1,0 +1,11 @@
+(** Aggregation helpers for experiment results. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 elements give 1.0. *)
+
+val geomean_speedup_pct : float list -> float
+(** Geometric mean of speedups given as percentages: [geomean (1+s/100)]
+    mapped back to a percentage. *)
+
+val mean : float list -> float
+val max_or : float -> float list -> float

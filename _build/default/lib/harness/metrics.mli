@@ -1,0 +1,41 @@
+(** Table 2 metric computations for a prepared benchmark. *)
+
+open Bv_pipeline
+
+val alpbb : Bv_ir.Program.t -> float
+(** Average loads per basic block (static, over non-empty blocks). *)
+
+val pdih : Runner.bench -> float
+(** Average percent of dynamic instructions hoisted above a converted
+    branch: per converted site, the TRAIN-profile execution count times the
+    expected hoisted-prefix length for the direction taken, over total
+    profiled instructions. *)
+
+val phi : Runner.bench -> float
+(** Average percent of successor-block instructions hoistable across
+    converted sites. *)
+
+val aspcb : Runner.bench -> base:Machine.result -> float
+(** Average stall cycles per converted branch: the dynamic critical path
+    of the sunk condition slice, with load latency set to the benchmark's
+    measured average memory latency (cond-chase workloads resolve on cache
+    misses — the paper's high-ASPCB rows). *)
+
+val avg_load_latency : Machine.result -> float
+(** Effective average data-load latency from the run's hierarchy stats. *)
+
+type row =
+  { name : string;
+    spd : float;
+    pbc : float;
+    pdih : float;
+    alpbb : float;
+    aspcb : float;
+    phi : float;
+    mppki : float;
+    piscs : float
+  }
+
+val table2_row : Runner.bench -> row
+(** Computes all Table 2 columns at the paper's 4-wide configuration,
+    averaged over REF inputs. *)

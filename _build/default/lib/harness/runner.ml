@@ -1,0 +1,168 @@
+open Bv_bpred
+open Bv_cache
+open Bv_exec
+open Bv_ir
+open Bv_pipeline
+open Bv_workloads
+
+type sim_pair =
+  { base : Machine.result;
+    exp : Machine.result;
+    speedup_pct : float
+  }
+
+type bench =
+  { spec : Spec.t;
+    profile : Bv_profile.Profile.t;
+    selection : Vanguard.Select.t;
+    transform : Vanguard.Transform.result;
+    max_hoist : int option;
+    baseline_static : int;
+    experimental_static : int;
+    images : (int, Layout.image * Layout.image) Hashtbl.t;
+    digests : (int, int * int) Hashtbl.t;
+    memo : (string, sim_pair) Hashtbl.t
+  }
+
+let scale () =
+  match Sys.getenv_opt "BV_SCALE" with
+  | Some s -> (try Float.of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let scaled_spec spec =
+  let reps =
+    max 2 (Float.to_int (Float.round (Float.of_int spec.Spec.reps *. scale ())))
+  in
+  { spec with Spec.reps }
+
+(* Baseline compilation = block-local list scheduling of a copy. *)
+let baseline_of program =
+  let p = Program.copy program in
+  Bv_sched.Sched.schedule_program p;
+  p
+
+let prepare ?(predictor = Kind.Tournament) ?(threshold = 0.05) ?max_hoist
+    spec =
+  let spec = scaled_spec spec in
+  let train = Gen.generate ~input:0 spec in
+  let train_image = Layout.program (baseline_of train) in
+  let profile =
+    Bv_profile.Profile.collect ~predictor:(Kind.create predictor) train_image
+  in
+  let selection = Vanguard.Select.select ~threshold ~profile train in
+  let transform =
+    Vanguard.Transform.apply ?max_hoist ~exit_live:Gen.live_at_exit
+      ~candidates:selection.Vanguard.Select.candidates train
+  in
+  let bench =
+    { spec;
+      profile;
+      selection;
+      transform;
+      max_hoist;
+      baseline_static = Array.length train_image.Layout.code;
+      experimental_static =
+        Array.length (Layout.program transform.Vanguard.Transform.program)
+          .Layout.code;
+      images = Hashtbl.create 8;
+      digests = Hashtbl.create 8;
+      memo = Hashtbl.create 32
+    }
+  in
+  bench
+
+let spec b = b.spec
+let profile b = b.profile
+let selection b = b.selection
+let transform b = b.transform
+let baseline_static b = b.baseline_static
+let experimental_static b = b.experimental_static
+
+let piscs b =
+  100.0
+  *. Float.of_int (b.experimental_static - b.baseline_static)
+  /. Float.of_int (max 1 b.baseline_static)
+
+let images b ~input =
+  match Hashtbl.find_opt b.images input with
+  | Some pair -> pair
+  | None ->
+    let program = Gen.generate ~input b.spec in
+    let base = Layout.program (baseline_of program) in
+    let exp_result =
+      Vanguard.Transform.apply ?max_hoist:b.max_hoist
+        ~exit_live:Gen.live_at_exit
+        ~candidates:b.selection.Vanguard.Select.candidates program
+    in
+    let exp = Layout.program exp_result.Vanguard.Transform.program in
+    Hashtbl.replace b.images input (base, exp);
+    (base, exp)
+
+let baseline_program b ~input = fst (images b ~input)
+let experimental_program b ~input = snd (images b ~input)
+
+let reference_digests b ~input =
+  match Hashtbl.find_opt b.digests input with
+  | Some d -> d
+  | None ->
+    let base, exp = images b ~input in
+    let d =
+      ( Interp.arch_digest (Interp.run base),
+        Interp.arch_digest (Interp.run exp) )
+    in
+    Hashtbl.replace b.digests input d;
+    d
+
+let cache_tag (c : Hierarchy.config) =
+  Printf.sprintf "%d.%d.%d.%d.%d" c.Hierarchy.l1d_bytes c.Hierarchy.l1i_bytes
+    c.Hierarchy.l2_bytes c.Hierarchy.l3_bytes c.Hierarchy.mem_latency
+
+let simulate ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) b ~input ~width =
+  let key =
+    Printf.sprintf "i%d.w%d.%s.%s" input width (Kind.name predictor)
+      (cache_tag cache)
+  in
+  match Hashtbl.find_opt b.memo key with
+  | Some pair -> pair
+  | None ->
+    let base_img, exp_img = images b ~input in
+    let dbase, dexp = reference_digests b ~input in
+    let config = Config.make ~predictor ~cache ~width () in
+    let base = Machine.run ~config base_img in
+    let exp = Machine.run ~config exp_img in
+    let check name want (got : Machine.result) =
+      if not got.Machine.finished then
+        failwith
+          (Printf.sprintf "%s/%s: simulation hit a run limit" b.spec.Spec.name
+             name);
+      if got.Machine.arch_digest <> want then
+        failwith
+          (Printf.sprintf "%s/%s: timing model diverged from the interpreter"
+             b.spec.Spec.name name)
+    in
+    check "baseline" dbase base;
+    check "experimental" dexp exp;
+    let speedup_pct =
+      100.0
+      *. (Float.of_int base.Machine.stats.Stats.cycles
+          /. Float.of_int (max 1 exp.Machine.stats.Stats.cycles)
+         -. 1.0)
+    in
+    let pair = { base; exp; speedup_pct } in
+    Hashtbl.replace b.memo key pair;
+    pair
+
+let input_indices () = List.init Suites.ref_inputs (fun k -> k + 1)
+
+let avg_speedup ?predictor ?cache b ~width =
+  Agg.mean
+    (List.map
+       (fun input -> (simulate ?predictor ?cache b ~input ~width).speedup_pct)
+       (input_indices ()))
+
+let best_speedup ?predictor ?cache b ~width =
+  Agg.max_or 0.0
+    (List.map
+       (fun input -> (simulate ?predictor ?cache b ~input ~width).speedup_pct)
+       (input_indices ()))

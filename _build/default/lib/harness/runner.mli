@@ -1,0 +1,62 @@
+(** End-to-end per-benchmark pipeline: generate → profile (TRAIN) →
+    select → transform → schedule → simulate (REF inputs), with memoised
+    simulation results so multiple experiments can share runs. *)
+
+open Bv_bpred
+open Bv_cache
+open Bv_pipeline
+open Bv_workloads
+
+type bench
+
+val scale : unit -> float
+(** Workload scale factor from the [BV_SCALE] environment variable
+    (default 1.0): multiplies each spec's outer repetitions. Use e.g.
+    [BV_SCALE=0.5] for quick runs. *)
+
+val prepare :
+  ?predictor:Kind.t -> ?threshold:float -> ?max_hoist:int -> Spec.t -> bench
+(** Profile with [predictor] (default the baseline tournament) on the TRAIN
+    input and apply selection + transformation. *)
+
+val spec : bench -> Spec.t
+val profile : bench -> Bv_profile.Profile.t
+val selection : bench -> Vanguard.Select.t
+val transform : bench -> Vanguard.Transform.result
+
+val baseline_static : bench -> int
+(** Laid-out baseline code size in instructions. *)
+
+val experimental_static : bench -> int
+
+val piscs : bench -> float
+(** Percent increase in static code size. *)
+
+val baseline_program : bench -> input:int -> Bv_ir.Layout.image
+val experimental_program : bench -> input:int -> Bv_ir.Layout.image
+
+type sim_pair =
+  { base : Machine.result;
+    exp : Machine.result;
+    speedup_pct : float  (** 100 * (base cycles / exp cycles - 1) *)
+  }
+
+val simulate :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  bench ->
+  input:int ->
+  width:int ->
+  sim_pair
+(** Simulate one REF input at one width, baseline vs. transformed. Results
+    are memoised per (input, width, predictor, cache geometry). Raises
+    [Failure] if either run diverges from the functional interpreter's
+    architectural digest. *)
+
+val avg_speedup :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> bench -> width:int -> float
+(** Mean over REF inputs of the per-input speedup (the paper's
+    "averaged over all reference inputs"). *)
+
+val best_speedup :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> bench -> width:int -> float

@@ -1,0 +1,48 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '%')
+       s
+
+let render ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left
+      (fun w row ->
+        match List.nth_opt row c with
+        | Some cell -> max w (String.length cell)
+        | None -> w)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad c cell =
+    let w = List.nth widths c in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else if is_numeric cell then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows)
+
+let csv ~headers rows =
+  let cell s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map cell row))
+       (headers :: rows))
+
+let bar v ~width ~scale =
+  let n = max 0 (min width (Float.to_int (v /. scale))) in
+  String.make n '#'
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v

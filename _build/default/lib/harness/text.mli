@@ -1,0 +1,16 @@
+(** Minimal fixed-width text table renderer for experiment output. *)
+
+val render : headers:string list -> string list list -> string
+(** Columns are sized to fit; numeric-looking cells are right-aligned. *)
+
+val csv : headers:string list -> string list list -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes). *)
+
+val bar : float -> width:int -> scale:float -> string
+(** ASCII bar for quick visual series ([#] per [scale] units, capped). *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+val f3 : float -> string

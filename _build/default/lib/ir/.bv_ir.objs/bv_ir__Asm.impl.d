@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Block Buffer Bv_isa Instr List Option Printf Proc Program Reg String Term Validate

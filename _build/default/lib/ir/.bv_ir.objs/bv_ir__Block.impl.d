@@ -1,0 +1,1 @@
+lib/ir/block.ml: Bv_isa Format Instr Label List Printf Term

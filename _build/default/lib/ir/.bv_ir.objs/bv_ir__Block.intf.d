@@ -1,0 +1,1 @@
+lib/ir/block.mli: Bv_isa Format Instr Label Reg Term

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Block Bv_isa Hashtbl Label List Proc Term

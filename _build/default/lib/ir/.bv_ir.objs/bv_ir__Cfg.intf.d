@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Block Bv_isa Hashtbl Label Proc

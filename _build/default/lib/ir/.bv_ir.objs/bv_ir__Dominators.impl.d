@@ -1,0 +1,1 @@
+lib/ir/dominators.ml: Bv_isa Cfg Hashtbl Label List Option Proc Set String

@@ -1,0 +1,1 @@
+lib/ir/dominators.mli: Bv_isa Label Proc

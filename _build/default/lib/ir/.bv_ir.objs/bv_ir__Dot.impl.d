@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Block Buffer Bv_isa Format Instr Label List Printf Proc Program String Term

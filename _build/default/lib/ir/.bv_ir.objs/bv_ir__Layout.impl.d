@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Block Bv_isa Format Hashtbl Instr Label List Option Proc Program Term Validate

@@ -1,0 +1,1 @@
+lib/ir/layout.mli: Bv_isa Format Hashtbl Instr Label Program

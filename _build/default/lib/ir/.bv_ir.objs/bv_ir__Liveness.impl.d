@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Block Bv_isa Hashtbl Instr Label List Option Proc Reg Set Term

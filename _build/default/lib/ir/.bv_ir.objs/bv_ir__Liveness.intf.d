@@ -1,0 +1,1 @@
+lib/ir/liveness.mli: Block Bv_isa Label Proc Reg Set

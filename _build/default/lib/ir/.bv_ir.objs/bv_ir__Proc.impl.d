@@ -1,0 +1,1 @@
+lib/ir/proc.ml: Block Bv_isa Format Label List Option Printf

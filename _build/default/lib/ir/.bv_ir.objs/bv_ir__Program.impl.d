@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Block Bv_isa Format Int Label List Option Printf Proc Term

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Bv_isa Format Label Proc

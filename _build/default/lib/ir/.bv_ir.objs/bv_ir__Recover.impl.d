@@ -1,0 +1,1 @@
+lib/ir/recover.ml: Array Block Bv_isa Hashtbl Instr Int Layout List Printf Proc Program Set Term

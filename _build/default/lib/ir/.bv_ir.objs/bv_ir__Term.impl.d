@@ -1,0 +1,1 @@
+lib/ir/term.ml: Bv_isa Format Label Reg

@@ -1,0 +1,1 @@
+lib/ir/term.mli: Bv_isa Format Label Reg

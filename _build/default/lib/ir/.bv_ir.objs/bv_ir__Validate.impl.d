@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Bv_isa Hashtbl Label List Printf Proc Program String Term

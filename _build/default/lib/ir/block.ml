@@ -1,0 +1,31 @@
+open Bv_isa
+
+type t =
+  { label : Label.t;
+    mutable body : Instr.t list;
+    mutable term : Term.t
+  }
+
+let make ~label ~body ~term =
+  List.iter
+    (fun i ->
+      if Instr.is_terminator i then
+        invalid_arg
+          (Printf.sprintf "Block.make %s: terminator %s in body" label
+             (Instr.to_string i)))
+    body;
+  { label; body; term }
+
+let instr_count b = List.length b.body + 1
+
+let load_count b =
+  List.fold_left
+    (fun n i -> match i with Instr.Load _ -> n + 1 | _ -> n)
+    0 b.body
+
+let defs b = List.concat_map Instr.defs b.body
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v 2>%a:" Label.pp b.label;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" Instr.pp i) b.body;
+  Format.fprintf ppf "@,%a@]" Term.pp b.term

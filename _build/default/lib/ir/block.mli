@@ -1,0 +1,23 @@
+(** A basic block: a label, straight-line body, and one terminator. *)
+
+open Bv_isa
+
+type t =
+  { label : Label.t;
+    mutable body : Instr.t list;  (** non-terminator instructions only *)
+    mutable term : Term.t
+  }
+
+val make : label:Label.t -> body:Instr.t list -> term:Term.t -> t
+(** Raises [Invalid_argument] if [body] contains a terminator instruction. *)
+
+val instr_count : t -> int
+(** Body length plus one for the terminator. *)
+
+val load_count : t -> int
+(** Number of [Load] instructions in the body. *)
+
+val defs : t -> Reg.t list
+(** Registers written anywhere in the body (with duplicates). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+open Bv_isa
+
+let successors _proc block = Term.successors block.Block.term
+
+let predecessor_map proc =
+  let preds = Hashtbl.create 64 in
+  List.iter
+    (fun b -> Hashtbl.replace preds b.Block.label [])
+    proc.Proc.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt preds s with
+          | Some ps -> Hashtbl.replace preds s (b.Block.label :: ps)
+          | None -> ())
+        (Term.successors b.Block.term))
+    proc.Proc.blocks;
+  preds
+
+let block_position proc =
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i b -> Hashtbl.replace pos b.Block.label i) proc.Proc.blocks;
+  pos
+
+let reverse_postorder proc =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      (match
+         List.find_opt
+           (fun b -> Label.equal b.Block.label label)
+           proc.Proc.blocks
+       with
+      | Some b -> List.iter visit (Term.successors b.Block.term)
+      | None -> ());
+      order := label :: !order
+    end
+  in
+  visit proc.Proc.entry;
+  !order
+
+let is_forward_branch proc block =
+  match block.Block.term with
+  | Term.Branch { taken; _ } ->
+    let pos = block_position proc in
+    (match
+       (Hashtbl.find_opt pos block.Block.label, Hashtbl.find_opt pos taken)
+     with
+    | Some here, Some there -> there > here
+    | _ -> false)
+  | Term.Jump _ | Term.Predict _ | Term.Resolve _ | Term.Call _ | Term.Ret
+  | Term.Halt ->
+    false

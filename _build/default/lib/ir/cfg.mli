@@ -1,0 +1,21 @@
+(** Control-flow graph utilities over a procedure. *)
+
+open Bv_isa
+
+val successors : Proc.t -> Block.t -> Label.t list
+(** Intra-procedural successor labels of a block. *)
+
+val predecessor_map : Proc.t -> (Label.t, Label.t list) Hashtbl.t
+(** Map from block label to the labels of its predecessors. *)
+
+val block_position : Proc.t -> (Label.t, int) Hashtbl.t
+(** Map from block label to its index in layout order. *)
+
+val reverse_postorder : Proc.t -> Label.t list
+(** Blocks reachable from the entry, in reverse postorder. *)
+
+val is_forward_branch : Proc.t -> Block.t -> bool
+(** True if the block ends in a conditional [Branch] whose taken target lies
+    strictly later in layout order (i.e. a non-loop branch; backward-taken
+    branches are loop branches, which the paper leaves to loop
+    transformations). *)

@@ -1,0 +1,24 @@
+(** Dominator analysis (iterative dataflow over the CFG).
+
+    Used to sanity-check transformations — e.g. after the Decomposed Branch
+    Transformation, the predict block must dominate both resolution blocks
+    and each resolution block its commit block — and available as a
+    building block for region-formation passes. *)
+
+open Bv_isa
+
+type t
+
+val compute : Proc.t -> t
+(** Blocks unreachable from the entry have no dominator information and
+    report [dominates = false] for everything except themselves. *)
+
+val dominates : t -> Label.t -> Label.t -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through
+    [a]. Reflexive. *)
+
+val idom : t -> Label.t -> Label.t option
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+
+val dominator_tree : t -> (Label.t * Label.t list) list
+(** (block, children in the dominator tree), for reachable blocks. *)

@@ -1,0 +1,99 @@
+open Bv_isa
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_id proc_name label = Printf.sprintf "\"%s::%s\"" proc_name label
+
+let node_label ~bodies block =
+  if not bodies then block.Block.label
+  else begin
+    let b = Buffer.create 128 in
+    Buffer.add_string b (block.Block.label ^ ":\n");
+    List.iter
+      (fun i -> Buffer.add_string b ("  " ^ Instr.to_string i ^ "\n"))
+      block.Block.body;
+    Buffer.add_string b ("  " ^ Format.asprintf "%a" Term.pp block.Block.term);
+    Buffer.contents b
+  end
+
+let edges proc_name block =
+  let src = node_id proc_name block.Block.label in
+  match block.Block.term with
+  | Term.Jump l -> [ (src, node_id proc_name l, "") ]
+  | Term.Branch { taken; not_taken; _ } ->
+    [ (src, node_id proc_name taken, "taken");
+      (src, node_id proc_name not_taken, "fall")
+    ]
+  | Term.Predict { taken; not_taken; _ } ->
+    [ (src, node_id proc_name taken, "pred taken");
+      (src, node_id proc_name not_taken, "pred fall")
+    ]
+  | Term.Resolve { mispredict; fallthrough; _ } ->
+    [ (src, node_id proc_name mispredict, "mispredict");
+      (src, node_id proc_name fallthrough, "fall")
+    ]
+  | Term.Call { return_to; _ } -> [ (src, node_id proc_name return_to, "ret") ]
+  | Term.Ret | Term.Halt -> []
+
+let emit_blocks ~bodies ppf proc =
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %s [shape=box, fontname=monospace, label=\"%s\"];@."
+        (node_id proc.Proc.name b.Block.label)
+        (escape (node_label ~bodies b)))
+    proc.Proc.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (s, d, l) ->
+          if l = "" then Format.fprintf ppf "  %s -> %s;@." s d
+          else Format.fprintf ppf "  %s -> %s [label=\"%s\"];@." s d l)
+        (edges proc.Proc.name b))
+    proc.Proc.blocks
+
+let proc ?(bodies = true) ppf p =
+  Format.fprintf ppf "digraph \"%s\" {@." p.Proc.name;
+  emit_blocks ~bodies ppf p;
+  Format.fprintf ppf "}@."
+
+let program ?(bodies = true) ppf prog =
+  Format.fprintf ppf "digraph program {@.";
+  List.iteri
+    (fun i p ->
+      Format.fprintf ppf "subgraph cluster_%d {@.  label=\"%s\";@." i
+        p.Proc.name;
+      emit_blocks ~bodies ppf p;
+      Format.fprintf ppf "}@.")
+    prog.Program.procs;
+  (* call edges *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          match b.Block.term with
+          | Term.Call { target; _ } -> (
+            match
+              List.find_opt
+                (fun q -> Label.equal q.Proc.name target)
+                prog.Program.procs
+            with
+            | Some callee ->
+              Format.fprintf ppf
+                "  %s -> %s [style=dashed, label=\"call\"];@."
+                (node_id p.Proc.name b.Block.label)
+                (node_id callee.Proc.name callee.Proc.entry)
+            | None -> ())
+          | _ -> ())
+        p.Proc.blocks)
+    prog.Program.procs;
+  Format.fprintf ppf "}@."

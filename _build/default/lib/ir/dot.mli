@@ -1,0 +1,9 @@
+(** Graphviz export of procedure CFGs — handy for inspecting what the
+    transformations did ([dot -Tsvg]). *)
+
+val proc : ?bodies:bool -> Format.formatter -> Proc.t -> unit
+(** One digraph per procedure. With [bodies] (default true) each node shows
+    its instructions; edges are labelled taken/fall/mispredict. *)
+
+val program : ?bodies:bool -> Format.formatter -> Program.t -> unit
+(** All procedures as subgraph clusters, with inter-procedure call edges. *)

@@ -1,0 +1,66 @@
+open Bv_isa
+
+type t =
+  { name : Label.t;
+    entry : Label.t;
+    mutable blocks : Block.t list
+  }
+
+let make ~name ?entry blocks =
+  match blocks with
+  | [] -> invalid_arg (Printf.sprintf "Proc.make %s: no blocks" name)
+  | first :: _ ->
+    let entry = Option.value entry ~default:first.Block.label in
+    if not (Label.equal entry first.Block.label) then
+      invalid_arg
+        (Printf.sprintf "Proc.make %s: entry %s is not the first block" name
+           entry);
+    { name; entry; blocks }
+
+let find_block t label =
+  List.find (fun b -> Label.equal b.Block.label label) t.blocks
+
+let block_labels t = List.map (fun b -> b.Block.label) t.blocks
+
+let instr_count t =
+  List.fold_left (fun n b -> n + Block.instr_count b) 0 t.blocks
+
+let static_bytes t = 4 * instr_count t
+
+let replace_block t block =
+  let found = ref false in
+  t.blocks <-
+    List.map
+      (fun b ->
+        if Label.equal b.Block.label block.Block.label then begin
+          found := true;
+          block
+        end
+        else b)
+      t.blocks;
+  if not !found then raise Not_found
+
+let insert_after t label blocks =
+  let rec go = function
+    | [] -> raise Not_found
+    | b :: rest when Label.equal b.Block.label label -> b :: (blocks @ rest)
+    | b :: rest -> b :: go rest
+  in
+  t.blocks <- go t.blocks
+
+let insert_before t label blocks =
+  if Label.equal label t.entry then
+    invalid_arg "Proc.insert_before: cannot displace the entry block";
+  let rec go = function
+    | [] -> raise Not_found
+    | b :: rest when Label.equal b.Block.label label -> blocks @ (b :: rest)
+    | b :: rest -> b :: go rest
+  in
+  t.blocks <- go t.blocks
+
+let append_blocks t blocks = t.blocks <- t.blocks @ blocks
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>proc %a:" Label.pp t.name;
+  List.iter (fun b -> Format.fprintf ppf "@,%a" Block.pp b) t.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** A procedure: an entry label and its blocks, kept in preferred layout
+    order. *)
+
+open Bv_isa
+
+type t =
+  { name : Label.t;
+    entry : Label.t;
+    mutable blocks : Block.t list  (** layout order; entry must be first *)
+  }
+
+val make : name:Label.t -> ?entry:Label.t -> Block.t list -> t
+(** [make ~name blocks] builds a procedure. [entry] defaults to the label of
+    the first block. Raises [Invalid_argument] on an empty block list or if
+    [entry] is not the first block's label. *)
+
+val find_block : t -> Label.t -> Block.t
+(** Raises [Not_found]. *)
+
+val block_labels : t -> Label.t list
+
+val instr_count : t -> int
+
+val static_bytes : t -> int
+(** Code size assuming fixed 4-byte encodings and one emitted jump for every
+    terminator (an upper bound; {!Layout.program} reports the exact size of
+    the laid-out image). *)
+
+val replace_block : t -> Block.t -> unit
+(** Replace the block with the same label. Raises [Not_found]. *)
+
+val insert_after : t -> Label.t -> Block.t list -> unit
+(** Insert blocks immediately after the named block in layout order. *)
+
+val insert_before : t -> Label.t -> Block.t list -> unit
+(** Insert blocks immediately before the named block. Raises
+    [Invalid_argument] when the named block is the entry (the entry must
+    stay first). *)
+
+val append_blocks : t -> Block.t list -> unit
+(** Append blocks at the end of the layout (cold section). *)
+
+val pp : Format.formatter -> t -> unit

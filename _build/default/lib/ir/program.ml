@@ -1,0 +1,90 @@
+open Bv_isa
+
+type segment =
+  { base : int;
+    contents : int array
+  }
+
+type t =
+  { procs : Proc.t list;
+    main : Label.t;
+    segments : segment list;
+    mem_words : int
+  }
+
+let segment_end s = (s.base / 8) + Array.length s.contents
+
+let make ?(segments = []) ?mem_words ~main procs =
+  if not (List.exists (fun p -> Label.equal p.Proc.name main) procs) then
+    invalid_arg (Printf.sprintf "Program.make: no procedure named %s" main);
+  List.iter
+    (fun s ->
+      if s.base < 0 || s.base mod 8 <> 0 then
+        invalid_arg
+          (Printf.sprintf "Program.make: segment base %d not 8-aligned" s.base))
+    segments;
+  let sorted =
+    List.sort (fun a b -> Int.compare a.base b.base) segments
+  in
+  let rec check_overlap = function
+    | a :: (b :: _ as rest) ->
+      if segment_end a > b.base / 8 then
+        invalid_arg
+          (Printf.sprintf "Program.make: segments at %d and %d overlap" a.base
+             b.base);
+      check_overlap rest
+    | [ _ ] | [] -> ()
+  in
+  check_overlap sorted;
+  let needed =
+    List.fold_left (fun n s -> max n (segment_end s)) 1 segments
+  in
+  let mem_words = Option.value mem_words ~default:needed in
+  if mem_words < needed then
+    invalid_arg
+      (Printf.sprintf "Program.make: mem_words %d < segments end %d" mem_words
+         needed);
+  { procs; main; segments; mem_words }
+
+let find_proc t name =
+  List.find (fun p -> Label.equal p.Proc.name name) t.procs
+
+let instr_count t = List.fold_left (fun n p -> n + Proc.instr_count p) 0 t.procs
+
+let initial_memory t =
+  let mem = Array.make t.mem_words 0 in
+  List.iter
+    (fun s -> Array.blit s.contents 0 mem (s.base / 8) (Array.length s.contents))
+    t.segments;
+  mem
+
+let copy t =
+  let copy_block b =
+    { Block.label = b.Block.label; body = b.Block.body; term = b.Block.term }
+  in
+  let copy_proc p =
+    { Proc.name = p.Proc.name;
+      entry = p.Proc.entry;
+      blocks = List.map copy_block p.Proc.blocks
+    }
+  in
+  { t with procs = List.map copy_proc t.procs }
+
+let branch_sites t =
+  let sites = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          match Term.branch_site b.Block.term with
+          | Some id -> sites := id :: !sites
+          | None -> ())
+        p.Proc.blocks)
+    t.procs;
+  List.sort_uniq Int.compare !sites
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program (main %a, %d data words)" Label.pp t.main
+    t.mem_words;
+  List.iter (fun p -> Format.fprintf ppf "@,%a" Proc.pp p) t.procs;
+  Format.fprintf ppf "@]"

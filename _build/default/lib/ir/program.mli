@@ -1,0 +1,39 @@
+(** A whole program: procedures, an entry procedure, and initialised data. *)
+
+open Bv_isa
+
+type segment =
+  { base : int;  (** byte address, 8-byte aligned *)
+    contents : int array  (** 8-byte words *)
+  }
+
+type t =
+  { procs : Proc.t list;  (** layout order; code image follows this order *)
+    main : Label.t;  (** name of the entry procedure *)
+    segments : segment list;
+    mem_words : int  (** total data memory size in 8-byte words *)
+  }
+
+val make :
+  ?segments:segment list -> ?mem_words:int -> main:Label.t -> Proc.t list -> t
+(** Raises [Invalid_argument] if [main] names no procedure or a segment falls
+    outside memory or overlaps another. [mem_words] defaults to the smallest
+    size covering all segments (at least 1). *)
+
+val find_proc : t -> Label.t -> Proc.t
+(** Raises [Not_found]. *)
+
+val instr_count : t -> int
+
+val initial_memory : t -> int array
+(** Fresh memory image with all segments installed, zero elsewhere. *)
+
+val copy : t -> t
+(** Deep copy: blocks and procedures are fresh mutable records (instruction
+    lists are shared — instructions are immutable). Transformation passes
+    operate on copies so the baseline program survives. *)
+
+val branch_sites : t -> int list
+(** All static branch-site ids appearing in [Branch] terminators, sorted. *)
+
+val pp : Format.formatter -> t -> unit

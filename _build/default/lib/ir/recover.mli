@@ -1,0 +1,20 @@
+(** Control-flow recovery: rebuild a structured {!Program.t} from a flat
+    code image — the front half of a dynamic binary translator (the
+    paper's Denver/Crusoe deployment context ingests a guest binary
+    exactly this way).
+
+    Leaders are the entry point, every control-flow target, every call's
+    return point and every instruction following a terminator. Blocks are
+    the maximal straight-line runs between leaders; fall-through edges
+    become explicit [Jump] terminators (which {!Layout} re-elides), and
+    procedures are split at call targets (the code is assumed
+    contiguous per procedure, which {!Layout} guarantees for images it
+    produced).
+
+    Round-trip property (tested): for any laid-out program,
+    [Layout.program (recover (Layout.program p))] produces the identical
+    instruction array. *)
+
+val image : Layout.image -> Program.t
+(** Raises [Invalid_argument] on malformed code (e.g. a fall-through past
+    the end of the image, or an instruction stream with no entry). *)

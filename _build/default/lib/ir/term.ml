@@ -1,0 +1,71 @@
+open Bv_isa
+
+type t =
+  | Jump of Label.t
+  | Branch of
+      { on : bool;
+        src : Reg.t;
+        taken : Label.t;
+        not_taken : Label.t;
+        id : int }
+  | Predict of { taken : Label.t; not_taken : Label.t; id : int }
+  | Resolve of
+      { on : bool;
+        src : Reg.t;
+        mispredict : Label.t;
+        fallthrough : Label.t;
+        predicted_taken : bool;
+        id : int }
+  | Call of { target : Label.t; return_to : Label.t }
+  | Ret
+  | Halt
+
+let successors = function
+  | Jump l -> [ l ]
+  | Branch { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Predict { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Resolve { mispredict; fallthrough; _ } -> [ mispredict; fallthrough ]
+  | Call { return_to; _ } -> [ return_to ]
+  | Ret | Halt -> []
+
+let fallthrough_successor = function
+  | Jump l -> Some l
+  | Branch { not_taken; _ } -> Some not_taken
+  | Predict { not_taken; _ } -> Some not_taken
+  | Resolve { fallthrough; _ } -> Some fallthrough
+  | Call { return_to; _ } -> Some return_to
+  | Ret | Halt -> None
+
+let branch_site = function
+  | Branch { id; _ } -> Some id
+  | Jump _ | Predict _ | Resolve _ | Call _ | Ret | Halt -> None
+
+let map_labels f = function
+  | Jump l -> Jump (f l)
+  | Branch b -> Branch { b with taken = f b.taken; not_taken = f b.not_taken }
+  | Predict p ->
+    Predict { p with taken = f p.taken; not_taken = f p.not_taken }
+  | Resolve r ->
+    Resolve
+      { r with mispredict = f r.mispredict; fallthrough = f r.fallthrough }
+  | Call c -> Call { target = f c.target; return_to = f c.return_to }
+  | (Ret | Halt) as t -> t
+
+let pp ppf = function
+  | Jump l -> Format.fprintf ppf "jmp %a" Label.pp l
+  | Branch { on; src; taken; not_taken; id } ->
+    Format.fprintf ppf "b%s %a -> %a / %a  ; site %d"
+      (if on then "nz" else "z")
+      Reg.pp src Label.pp taken Label.pp not_taken id
+  | Predict { taken; not_taken; id } ->
+    Format.fprintf ppf "predict -> %a / %a  ; site %d" Label.pp taken Label.pp
+      not_taken id
+  | Resolve { on; src; mispredict; fallthrough; predicted_taken; id } ->
+    Format.fprintf ppf "resolve.%s%s %a -> miss:%a / %a  ; site %d"
+      (if on then "nz" else "z")
+      (if predicted_taken then ".pt" else ".pnt")
+      Reg.pp src Label.pp mispredict Label.pp fallthrough id
+  | Call { target; return_to } ->
+    Format.fprintf ppf "call %a (ret %a)" Label.pp target Label.pp return_to
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"

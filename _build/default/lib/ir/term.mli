@@ -1,0 +1,53 @@
+(** Basic-block terminators, with explicit successor labels.
+
+    The IR keeps both successors of conditional control flow explicit; the
+    layout pass ({!Layout}) decides which successor becomes the machine-level
+    fall-through and inserts [jmp] instructions where layout order cannot
+    provide one. *)
+
+open Bv_isa
+
+type t =
+  | Jump of Label.t
+  | Branch of
+      { on : bool;
+        src : Reg.t;
+        taken : Label.t;
+        not_taken : Label.t;
+        id : int }
+      (** Conditional branch on [(src <> 0) = on]; [id] is the static branch
+          site used by profiles. *)
+  | Predict of { taken : Label.t; not_taken : Label.t; id : int }
+      (** Decomposed-branch prediction point: front end picks a successor. *)
+  | Resolve of
+      { on : bool;
+        src : Reg.t;
+        mispredict : Label.t;
+        fallthrough : Label.t;
+        predicted_taken : bool;
+        id : int }
+      (** Decomposed-branch resolution point for the path on which the paired
+          predict chose [predicted_taken]. Control goes to [mispredict] iff
+          the original outcome [(src <> 0) = on] differs from
+          [predicted_taken]. *)
+  | Call of { target : Label.t; return_to : Label.t }
+      (** Call; execution resumes at [return_to], which layout must place
+          immediately after the call. *)
+  | Ret
+  | Halt
+
+val successors : t -> Label.t list
+(** Successor labels inside the same procedure, in (taken-first) order.
+    [Call] reports only [return_to]; [Ret] and [Halt] report none. *)
+
+val fallthrough_successor : t -> Label.t option
+(** The successor that layout should try to place immediately after the
+    block: the not-taken side of branches/predicts, the fall-through of
+    resolves, the [return_to] of calls, the target of jumps. *)
+
+val branch_site : t -> int option
+(** The static branch-site id for profiled terminators ([Branch]). *)
+
+val map_labels : (Label.t -> Label.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+open Bv_isa
+
+let check program =
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let block_owner = Hashtbl.create 256 in
+  let proc_names = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let name = p.Proc.name in
+      if Hashtbl.mem proc_names name then error "duplicate procedure %s" name;
+      Hashtbl.replace proc_names name ();
+      List.iter
+        (fun b ->
+          let l = b.Block.label in
+          if Hashtbl.mem block_owner l then error "duplicate block label %s" l
+          else Hashtbl.replace block_owner l name)
+        p.Proc.blocks)
+    program.Program.procs;
+  Hashtbl.iter
+    (fun l _ ->
+      if Hashtbl.mem proc_names l then
+        error "label %s is both a block and a procedure" l)
+    block_owner;
+  let branch_ids = Hashtbl.create 256 in
+  let predict_ids = Hashtbl.create 64 in
+  let resolve_ids = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      (match p.Proc.blocks with
+      | first :: _ when Label.equal first.Block.label p.Proc.entry -> ()
+      | _ -> error "proc %s: entry %s is not first" p.Proc.name p.Proc.entry);
+      let check_local b target =
+        match Hashtbl.find_opt block_owner target with
+        | Some owner when Label.equal owner p.Proc.name -> ()
+        | Some owner ->
+          error "block %s targets %s, which belongs to proc %s" b.Block.label
+            target owner
+        | None -> error "block %s targets unknown label %s" b.Block.label target
+      in
+      let rec check_blocks = function
+        | [] -> ()
+        | b :: rest ->
+          (match b.Block.term with
+          | Term.Jump l -> check_local b l
+          | Term.Branch { taken; not_taken; id; _ } ->
+            check_local b taken;
+            check_local b not_taken;
+            if Hashtbl.mem branch_ids id then
+              error "duplicate branch site id %d (block %s)" id b.Block.label;
+            Hashtbl.replace branch_ids id ()
+          | Term.Predict { taken; not_taken; id } ->
+            check_local b taken;
+            check_local b not_taken;
+            Hashtbl.replace predict_ids id ()
+          | Term.Resolve { mispredict; fallthrough; id; _ } ->
+            check_local b mispredict;
+            check_local b fallthrough;
+            Hashtbl.replace resolve_ids id ()
+          | Term.Call { target; return_to } ->
+            if not (Hashtbl.mem proc_names target) then
+              error "block %s calls unknown procedure %s" b.Block.label target;
+            check_local b return_to;
+            (match rest with
+            | next :: _ when Label.equal next.Block.label return_to -> ()
+            | _ ->
+              error "block %s: call return_to %s is not the next block"
+                b.Block.label return_to)
+          | Term.Ret | Term.Halt -> ());
+          check_blocks rest
+      in
+      check_blocks p.Proc.blocks)
+    program.Program.procs;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem resolve_ids id) then
+        error "predict site %d has no resolve" id;
+      if Hashtbl.mem branch_ids id then
+        error "site id %d used by both a branch and a predict" id)
+    predict_ids;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (List.rev es)
+
+let check_exn program =
+  match check program with
+  | Ok () -> ()
+  | Error es -> invalid_arg ("Validate: " ^ String.concat "; " es)

@@ -1,0 +1,20 @@
+(** Structural well-formedness checks for programs.
+
+    Checks performed:
+    - block labels are unique program-wide, procedure names are unique and
+      distinct from block labels;
+    - every intra-procedural terminator target names a block of the same
+      procedure;
+    - [Call] targets name a procedure, and the [return_to] block is laid out
+      immediately after the calling block (the machine returns to the
+      instruction after the [call]);
+    - every procedure's entry is its first block;
+    - branch-site ids of [Branch] terminators are unique program-wide;
+    - each [Predict] site id is matched by at least one [Resolve] with the
+      same id, and predict/resolve ids do not collide with branch ids. *)
+
+val check : Program.t -> (unit, string list) result
+(** [check p] is [Ok ()] or [Error messages]. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Invalid_argument] with all messages joined. *)

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Bool Instr Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/label.mli: Format

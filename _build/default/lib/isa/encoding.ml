@@ -1,0 +1,205 @@
+exception Encoding_error of string
+
+let imm_bits = 37
+let imm_min = -(1 lsl (imm_bits - 1))
+let imm_max = (1 lsl (imm_bits - 1)) - 1
+let encodable_imm v = v >= imm_min && v <= imm_max
+
+(* word layout (bit 0 = LSB):
+   [5:0]   opcode
+   [11:6]  register field a (dst / src / cond)
+   [17:12] register field b (src1 / base)
+   [23:18] register field c (src2 when register)
+   [24]    operand-is-immediate flag
+   [25]    polarity / speculative flag
+   [63:26] signed immediate / offset / target *)
+
+let op_nop = 0
+let op_alu_base = 1 (* 1..8: Add..Mul *)
+let op_fpu_base = 9 (* 9..16 *)
+let op_mov = 17
+let op_load = 18
+let op_store = 19
+let op_cmp_base = 20 (* 20..25: Eq..Gt *)
+let op_branch = 26
+let op_jump = 27
+let op_call = 28
+let op_ret = 29
+let op_predict = 30
+let op_resolve_pt = 31
+let op_resolve_pnt = 32
+let op_halt = 33
+let op_cmov = 34
+
+let alu_index = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.And -> 2
+  | Instr.Or -> 3
+  | Instr.Xor -> 4
+  | Instr.Shl -> 5
+  | Instr.Shr -> 6
+  | Instr.Mul -> 7
+
+let alu_of_index = function
+  | 0 -> Instr.Add
+  | 1 -> Instr.Sub
+  | 2 -> Instr.And
+  | 3 -> Instr.Or
+  | 4 -> Instr.Xor
+  | 5 -> Instr.Shl
+  | 6 -> Instr.Shr
+  | 7 -> Instr.Mul
+  | n -> raise (Encoding_error (Printf.sprintf "bad ALU index %d" n))
+
+let cmp_index = function
+  | Instr.Eq -> 0
+  | Instr.Ne -> 1
+  | Instr.Lt -> 2
+  | Instr.Ge -> 3
+  | Instr.Le -> 4
+  | Instr.Gt -> 5
+
+let cmp_of_index = function
+  | 0 -> Instr.Eq
+  | 1 -> Instr.Ne
+  | 2 -> Instr.Lt
+  | 3 -> Instr.Ge
+  | 4 -> Instr.Le
+  | 5 -> Instr.Gt
+  | n -> raise (Encoding_error (Printf.sprintf "bad cmp index %d" n))
+
+let check_imm v =
+  if not (encodable_imm v) then
+    raise
+      (Encoding_error
+         (Printf.sprintf "immediate %d outside the %d-bit field" v imm_bits))
+
+let pack ~opcode ?(ra = 0) ?(rb = 0) ?(rc = 0) ?(imm_flag = false)
+    ?(flag = false) ?(imm = 0) () =
+  check_imm imm;
+  opcode
+  lor (ra lsl 6)
+  lor (rb lsl 12)
+  lor (rc lsl 18)
+  lor (Bool.to_int imm_flag lsl 24)
+  lor (Bool.to_int flag lsl 25)
+  lor ((imm land ((1 lsl imm_bits) - 1)) lsl 26)
+
+let field word ~lo ~bits = (word lsr lo) land ((1 lsl bits) - 1)
+
+let imm_of word =
+  let raw = field word ~lo:26 ~bits:imm_bits in
+  if raw land (1 lsl (imm_bits - 1)) <> 0 then raw - (1 lsl imm_bits) else raw
+
+let operand_fields = function
+  | Instr.Reg r -> (Reg.index r, false, 0)
+  | Instr.Imm v -> (0, true, v)
+
+let encode ~resolve instr =
+  let reg = Reg.index in
+  match instr with
+  | Instr.Nop -> pack ~opcode:op_nop ()
+  | Instr.Alu { op; dst; src1; src2 } ->
+    let rc, imm_flag, imm = operand_fields src2 in
+    pack ~opcode:(op_alu_base + alu_index op) ~ra:(reg dst) ~rb:(reg src1)
+      ~rc ~imm_flag ~imm ()
+  | Instr.Fpu { op; dst; src1; src2 } ->
+    let rc, imm_flag, imm = operand_fields src2 in
+    pack ~opcode:(op_fpu_base + alu_index op) ~ra:(reg dst) ~rb:(reg src1)
+      ~rc ~imm_flag ~imm ()
+  | Instr.Mov { dst; src } ->
+    let rc, imm_flag, imm = operand_fields src in
+    pack ~opcode:op_mov ~ra:(reg dst) ~rc ~imm_flag ~imm ()
+  | Instr.Load { dst; base; offset; speculative } ->
+    pack ~opcode:op_load ~ra:(reg dst) ~rb:(reg base) ~flag:speculative
+      ~imm:offset ()
+  | Instr.Store { src; base; offset } ->
+    pack ~opcode:op_store ~ra:(reg src) ~rb:(reg base) ~imm:offset ()
+  | Instr.Cmp { op; dst; src1; src2 } ->
+    let rc, imm_flag, imm = operand_fields src2 in
+    pack ~opcode:(op_cmp_base + cmp_index op) ~ra:(reg dst) ~rb:(reg src1)
+      ~rc ~imm_flag ~imm ()
+  | Instr.Cmov { on; cond; dst; src } ->
+    let rc, imm_flag, imm = operand_fields src in
+    pack ~opcode:op_cmov ~ra:(reg dst) ~rb:(reg cond) ~rc ~imm_flag ~flag:on
+      ~imm ()
+  | Instr.Branch { on; src; target; id } ->
+    (* sited control flow splits the immediate: [15:0] resolved target,
+       [36:16] site id *)
+    let t = resolve target in
+    if t >= 1 lsl 16 then raise (Encoding_error "target exceeds 16 bits");
+    if id >= 1 lsl 20 then raise (Encoding_error "site id exceeds 20 bits");
+    pack ~opcode:op_branch ~ra:(reg src) ~flag:on
+      ~imm:(t lor (id lsl 16))
+      ()
+  | Instr.Jump target -> pack ~opcode:op_jump ~imm:(resolve target) ()
+  | Instr.Call target -> pack ~opcode:op_call ~imm:(resolve target) ()
+  | Instr.Ret -> pack ~opcode:op_ret ()
+  | Instr.Predict { target; id } ->
+    let t = resolve target in
+    if t >= 1 lsl 16 then raise (Encoding_error "target exceeds 16 bits");
+    if id >= 1 lsl 20 then raise (Encoding_error "site id exceeds 20 bits");
+    pack ~opcode:op_predict ~imm:(t lor (id lsl 16)) ()
+  | Instr.Resolve { on; src; target; predicted_taken; id } ->
+    let t = resolve target in
+    if t >= 1 lsl 16 then raise (Encoding_error "target exceeds 16 bits");
+    if id >= 1 lsl 20 then raise (Encoding_error "site id exceeds 20 bits");
+    pack
+      ~opcode:(if predicted_taken then op_resolve_pt else op_resolve_pnt)
+      ~ra:(reg src) ~flag:on
+      ~imm:(t lor (id lsl 16))
+      ()
+  | Instr.Halt -> pack ~opcode:op_halt ()
+
+let decode ~label_of word =
+  let opcode = field word ~lo:0 ~bits:6 in
+  let ra = Reg.make (field word ~lo:6 ~bits:6) in
+  let rb () = Reg.make (field word ~lo:12 ~bits:6) in
+  let rc () = Reg.make (field word ~lo:18 ~bits:6) in
+  let imm_flag = field word ~lo:24 ~bits:1 = 1 in
+  let flag = field word ~lo:25 ~bits:1 = 1 in
+  let imm = imm_of word in
+  let operand () =
+    if imm_flag then Instr.Imm imm else Instr.Reg (rc ())
+  in
+  let site_imm () = (imm land ((1 lsl 16) - 1), imm lsr 16) in
+  if opcode = op_nop then Instr.Nop
+  else if opcode >= op_alu_base && opcode < op_alu_base + 8 then
+    Instr.Alu
+      { op = alu_of_index (opcode - op_alu_base); dst = ra; src1 = rb ();
+        src2 = operand () }
+  else if opcode >= op_fpu_base && opcode < op_fpu_base + 8 then
+    Instr.Fpu
+      { op = alu_of_index (opcode - op_fpu_base); dst = ra; src1 = rb ();
+        src2 = operand () }
+  else if opcode = op_mov then Instr.Mov { dst = ra; src = operand () }
+  else if opcode = op_load then
+    Instr.Load { dst = ra; base = rb (); offset = imm; speculative = flag }
+  else if opcode = op_store then
+    Instr.Store { src = ra; base = rb (); offset = imm }
+  else if opcode >= op_cmp_base && opcode < op_cmp_base + 6 then
+    Instr.Cmp
+      { op = cmp_of_index (opcode - op_cmp_base); dst = ra; src1 = rb ();
+        src2 = operand () }
+  else if opcode = op_cmov then
+    Instr.Cmov { on = flag; cond = rb (); dst = ra; src = operand () }
+  else if opcode = op_branch then begin
+    let t, id = site_imm () in
+    Instr.Branch { on = flag; src = ra; target = label_of t; id }
+  end
+  else if opcode = op_jump then Instr.Jump (label_of imm)
+  else if opcode = op_call then Instr.Call (label_of imm)
+  else if opcode = op_ret then Instr.Ret
+  else if opcode = op_predict then begin
+    let t, id = site_imm () in
+    Instr.Predict { target = label_of t; id }
+  end
+  else if opcode = op_resolve_pt || opcode = op_resolve_pnt then begin
+    let t, id = site_imm () in
+    Instr.Resolve
+      { on = flag; src = ra; target = label_of t;
+        predicted_taken = opcode = op_resolve_pt; id }
+  end
+  else if opcode = op_halt then Instr.Halt
+  else raise (Encoding_error (Printf.sprintf "unknown opcode %d" opcode))

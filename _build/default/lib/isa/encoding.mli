@@ -1,0 +1,30 @@
+(** Binary encoding of the hidden ISA.
+
+    A DBT-based machine (the paper's deployment context, §2.2) needs a
+    concrete encoding for its translation cache. Instructions encode into
+    one 64-bit word: 6-bit opcode, three 6-bit register fields, flag bits,
+    and a 37-bit signed immediate/target field — wide enough for every
+    offset the toolchain produces. Control-flow targets are encoded as
+    resolved instruction addresses (encoding happens after layout); sited
+    control flow (branch/predict/resolve) splits the field into a 16-bit
+    target and a 20-bit site id.
+
+    The architectural code-size model (4 bytes per instruction slot,
+    {!Instr.encoded_bytes}) is unchanged: this module is the translation
+    cache serialisation, where hidden-ISA words are wide (Crusoe/Denver
+    store VLIW molecules, not the 4-byte architectural footprint). *)
+
+exception Encoding_error of string
+
+val encode : resolve:(Label.t -> int) -> Instr.t -> int
+(** Raises {!Encoding_error} if an immediate falls outside the signed
+    37-bit range or a site id/target outside its field. *)
+
+val decode : label_of:(int -> Label.t) -> int -> Instr.t
+(** Inverse of {!encode} given a consistent address-to-label mapping.
+    Raises {!Encoding_error} on an unknown opcode. *)
+
+val imm_bits : int
+(** Width of the signed immediate field (37). *)
+
+val encodable_imm : int -> bool

@@ -1,0 +1,101 @@
+(** Instructions of the hidden ISA.
+
+    This is the VLIW-style hidden ISA of a DBT-based machine (Transmeta
+    Crusoe / Project Denver class), extended with the paper's decomposed
+    branch pair:
+
+    - [Predict]: opcode + target only. At fetch it is run through the branch
+      predictor; if predicted taken, fetch is redirected to the target.
+      It is dropped from the fetch buffer after steering (no issue slot).
+    - [Resolve]: a conditional branch always predicted not-taken by the
+      front end. Its condition evaluates the {e original} branch outcome;
+      it is taken exactly when that outcome disagrees with the direction
+      the paired [Predict] chose on this path. Taken ⇒ misprediction:
+      speculative state since the [Predict] is squashed and fetch is
+      redirected to correction code. Either way, the predictor entry
+      allocated by the [Predict] is updated through the DBB.
+
+    Speculative loads ([speculative = true]) are the paper's non-faulting
+    loads: faults from control-speculative execution are suppressed. *)
+
+type alu_op = Add | Sub | And | Or | Xor | Shl | Shr | Mul
+
+type cmp_op = Eq | Ne | Lt | Ge | Le | Gt
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+
+type t =
+  | Nop
+  | Alu of { op : alu_op; dst : Reg.t; src1 : Reg.t; src2 : operand }
+      (** Integer ALU operation. *)
+  | Fpu of { op : alu_op; dst : Reg.t; src1 : Reg.t; src2 : operand }
+      (** Floating-point/SIMD-class operation (integer semantics here, but
+          dispatched to the FP/SIMD functional units and carrying FP
+          latency). *)
+  | Mov of { dst : Reg.t; src : operand }
+  | Load of { dst : Reg.t; base : Reg.t; offset : int; speculative : bool }
+      (** Word load from [base + offset] (byte address, 8-byte words). *)
+  | Store of { src : Reg.t; base : Reg.t; offset : int }
+  | Cmp of { op : cmp_op; dst : Reg.t; src1 : Reg.t; src2 : operand }
+      (** [dst <- 1] if [src1 op src2] holds, else [0]. *)
+  | Cmov of { on : bool; cond : Reg.t; dst : Reg.t; src : operand }
+      (** Conditional move (the predication primitive, Figure 1's
+          alternative for unpredictable hammocks): [dst <- src] iff
+          [(cond <> 0) = on], otherwise [dst] is unchanged — so [dst] is
+          both read and written. *)
+  | Branch of { on : bool; src : Reg.t; target : Label.t; id : int }
+      (** Conditional branch: taken iff [(src <> 0) = on]. [id] is the
+          static branch-site identifier used by profiling. *)
+  | Jump of Label.t
+  | Call of Label.t
+  | Ret
+  | Predict of { target : Label.t; id : int }
+  | Resolve of
+      { on : bool;
+        src : Reg.t;
+        target : Label.t;
+        predicted_taken : bool;
+        id : int }
+      (** Original branch outcome is [(src <> 0) = on]; the resolve is taken
+          (jumps to [target], the correction block) iff that outcome differs
+          from [predicted_taken], the direction the paired [Predict] chose on
+          this code path. [id] matches the [Predict]'s. *)
+  | Halt
+
+type fu_class = Fu_int | Fu_fp | Fu_mem | Fu_branch | Fu_none
+(** Functional-unit class used by the issue stage and the scheduler.
+    [Fu_none] marks instructions that consume no issue slot (Nop, Predict). *)
+
+val fu_class : t -> fu_class
+
+val defs : t -> Reg.t list
+(** Registers written. *)
+
+val uses : t -> Reg.t list
+(** Registers read. *)
+
+val is_terminator : t -> bool
+(** True for instructions that may end a basic block: branches, jumps,
+    call/ret, predict/resolve, halt. *)
+
+val is_control : t -> bool
+(** True for any control-flow instruction (including not-taken-falling
+    resolves and predicts). *)
+
+val branch_target : t -> Label.t option
+(** Explicit label target, if any. *)
+
+val encoded_bytes : t -> int
+(** Fixed 4-byte encoding for every instruction (used for I$ addressing and
+    static code size accounting). *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val eval_alu : alu_op -> int -> int -> int
+(** Reference semantics of ALU/FPU operations on 63-bit OCaml ints. *)
+
+val eval_cmp : cmp_op -> int -> int -> bool

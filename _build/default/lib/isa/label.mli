@@ -1,0 +1,14 @@
+(** Symbolic code labels, resolved to instruction addresses at layout time. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val fresh : prefix:string -> t
+(** [fresh ~prefix] returns a label that no previous call to [fresh] has
+    returned. Deterministic: a global counter, no randomness. *)
+
+val reset_fresh_counter : unit -> unit
+(** Restart the [fresh] counter (useful to make test output reproducible). *)

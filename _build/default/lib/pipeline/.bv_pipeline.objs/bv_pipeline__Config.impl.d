@@ -1,0 +1,1 @@
+lib/pipeline/config.ml: Bv_bpred Bv_cache Format Hierarchy Kind Predictor Printf

@@ -1,0 +1,1 @@
+lib/pipeline/config.mli: Bv_bpred Bv_cache Format Hierarchy Kind

@@ -1,0 +1,1 @@
+lib/pipeline/dbb.ml: Array Bv_bpred List Option Predictor

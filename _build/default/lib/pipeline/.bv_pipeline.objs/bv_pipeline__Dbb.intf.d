@@ -1,0 +1,1 @@
+lib/pipeline/dbb.mli: Bv_bpred Predictor

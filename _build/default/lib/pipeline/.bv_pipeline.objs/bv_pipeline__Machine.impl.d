@@ -1,0 +1,1 @@
+lib/pipeline/machine.ml: Array Bool Btb Bv_bpred Bv_cache Bv_ir Bv_isa Config Dbb Hierarchy Instr Kind Layout List Option Predictor Program Ras Reg Sa_cache Stats

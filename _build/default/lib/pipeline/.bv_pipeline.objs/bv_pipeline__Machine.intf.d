@@ -1,0 +1,1 @@
+lib/pipeline/machine.mli: Bv_cache Bv_ir Bv_isa Config Layout Stats

@@ -1,0 +1,1 @@
+lib/pipeline/stats.ml: Float Format Hashtbl Option

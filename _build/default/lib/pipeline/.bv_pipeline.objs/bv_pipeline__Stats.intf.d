@@ -1,0 +1,1 @@
+lib/pipeline/stats.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/pipeline/trace.ml: Bv_isa Format Hashtbl List Machine

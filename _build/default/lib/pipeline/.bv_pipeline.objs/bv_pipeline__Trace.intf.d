@@ -1,0 +1,1 @@
+lib/pipeline/trace.mli: Bv_ir Bv_isa Config Format Machine

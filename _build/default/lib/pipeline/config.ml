@@ -1,0 +1,87 @@
+open Bv_bpred
+open Bv_cache
+
+type t =
+  { width : int;
+    fetch_buffer : int;
+    front_stages : int;
+    int_units : int;
+    fp_units : int;
+    mem_units : int;
+    branch_units : int;
+    alu_latency : int;
+    mul_latency : int;
+    fpu_latency : int;
+    taken_bubble : int;
+    btb_miss_penalty : int;
+    runahead : bool;
+    dbb_entries : int;
+    mshrs : int;
+    store_buffer : int;
+    cache : Hierarchy.config;
+    predictor : Kind.t;
+    btb_entries : int;
+    ras_entries : int
+  }
+
+let make ?(predictor = Kind.Tournament) ?(cache = Hierarchy.default_config)
+    ~width () =
+  let int_units, fp_units, mem_units, branch_units =
+    match width with
+    | 2 -> (2, 2, 1, 1)
+    | 4 -> (2, 4, 2, 1)
+    | 8 -> (4, 4, 2, 2)
+    | w -> invalid_arg (Printf.sprintf "Config.make: unsupported width %d" w)
+  in
+  { width;
+    fetch_buffer = 32;
+    front_stages = 5;
+    int_units;
+    fp_units;
+    mem_units;
+    branch_units;
+    alu_latency = 1;
+    mul_latency = 3;
+    fpu_latency = 4;
+    taken_bubble = 1;
+    btb_miss_penalty = 2;
+    runahead = false;
+    dbb_entries = 16;
+    mshrs = 64;
+    store_buffer = 16;
+    cache;
+    predictor;
+    btb_entries = 4096;
+    ras_entries = 64
+  }
+
+let two_wide = make ~width:2 ()
+let four_wide = make ~width:4 ()
+let eight_wide = make ~width:8 ()
+
+let name t = Printf.sprintf "%d-wide/%s" t.width (Kind.name t.predictor)
+
+let pp ppf t =
+  let c = t.cache in
+  Format.fprintf ppf
+    "@[<v>%-16s %s@,%-16s %d-wide fetch/decode/dispatch, %d stages, \
+     %d-entry fetch buffer@,%-16s %d LD/ST, %d INT, %d FP, %d BR@,\
+     %-16s %s (%d KB), %d-entry BTB, %d-entry RAS@,\
+     %-16s %d KB L1-D (%d-way), %d KB L1-I (%d-way), %d B lines, %d-cycle@,\
+     %-16s %d KB unified (%d-way), %d-cycle@,\
+     %-16s %d MB (%d-way), %d-cycle@,\
+     %-16s %d-entry miss buffer, %d-entry store buffer@,\
+     %-16s %d-cycle latency@]"
+    "Machine" (name t) "Front-End" t.width t.front_stages t.fetch_buffer
+    "Exec Units" t.mem_units t.int_units t.fp_units t.branch_units "Bpred"
+    (Kind.name t.predictor)
+    ((Kind.create t.predictor).Predictor.storage_bits / 8192)
+    t.btb_entries t.ras_entries "L1 Caches" (c.Hierarchy.l1d_bytes / 1024)
+    c.Hierarchy.l1d_ways
+    (c.Hierarchy.l1i_bytes / 1024)
+    c.Hierarchy.l1i_ways c.Hierarchy.line_bytes c.Hierarchy.l1_latency "L2"
+    (c.Hierarchy.l2_bytes / 1024)
+    c.Hierarchy.l2_ways c.Hierarchy.l2_latency "L3"
+    (c.Hierarchy.l3_bytes / 1024 / 1024)
+    c.Hierarchy.l3_ways c.Hierarchy.l3_latency "Miss Handling" t.mshrs
+    t.store_buffer "Main Memory" c.Hierarchy.mem_latency

@@ -1,0 +1,87 @@
+open Bv_bpred
+
+type entry =
+  { predict_pc : int;
+    meta : Predictor.meta;
+    predicted_taken : bool
+  }
+
+type slot =
+  { id : int;  (* unique allocation id *)
+    entry : entry;
+    mutable claimed : bool
+  }
+
+type t =
+  { slots : slot option array;
+    mutable order : int list;  (* live slot indices, newest first *)
+    mutable next : int;  (* ring allocation pointer *)
+    mutable alloc_id : int
+  }
+
+(* A snapshot records which allocation occupied each slot and whether it was
+   claimed. Restoring must never resurrect an entry freed since the snapshot
+   (an older resolve may legitimately have completed in between), so
+   restoration is an intersection keyed by allocation id:
+   - same id still present: revert its claimed flag;
+   - different/new id in the slot: allocated after the snapshot — drop it;
+   - slot now empty: freed since — stays empty. *)
+type snapshot = (int * bool) option array * int list * int
+
+let create ~entries =
+  { slots = Array.make entries None; order = []; next = 0; alloc_id = 0 }
+
+let capacity t = Array.length t.slots
+let occupancy t = List.length t.order
+let is_full t = occupancy t = capacity t
+
+let allocate t entry =
+  if is_full t then None
+  else begin
+    let n = capacity t in
+    let rec find i =
+      let idx = (t.next + i) mod n in
+      match t.slots.(idx) with None -> idx | Some _ -> find (i + 1)
+    in
+    let idx = find 0 in
+    t.alloc_id <- t.alloc_id + 1;
+    t.slots.(idx) <- Some { id = t.alloc_id; entry; claimed = false };
+    t.order <- idx :: t.order;
+    t.next <- (idx + 1) mod n;
+    Some idx
+  end
+
+let claim_newest t =
+  let rec go = function
+    | [] -> None
+    | idx :: rest ->
+      (match t.slots.(idx) with
+      | Some s when not s.claimed ->
+        s.claimed <- true;
+        Some (idx, s.entry)
+      | _ -> go rest)
+  in
+  go t.order
+
+let free t idx =
+  if Option.is_some t.slots.(idx) then begin
+    t.slots.(idx) <- None;
+    t.order <- List.filter (fun i -> i <> idx) t.order
+  end
+
+let snapshot t =
+  ( Array.map (Option.map (fun s -> (s.id, s.claimed))) t.slots,
+    t.order,
+    t.next )
+
+let restore t (snap_slots, snap_order, next) =
+  Array.iteri
+    (fun i current ->
+      match (current, snap_slots.(i)) with
+      | Some s, Some (id, claimed) when s.id = id -> s.claimed <- claimed
+      | Some _, (Some _ | None) -> t.slots.(i) <- None
+      | None, _ -> ())
+    t.slots;
+  t.order <-
+    List.filter (fun idx -> Option.is_some t.slots.(idx)) snap_order;
+  t.next <- next

@@ -1,0 +1,53 @@
+(** The Decomposed Branch Buffer (paper §4, Figure 7).
+
+    A small circular buffer written by [predict] instructions at fetch and
+    read by [resolve] instructions. Each entry keeps the predictor metadata
+    (history snapshot and table indices — the paper's 24 bits) plus the
+    predict instruction's PC and its chosen direction, so that the
+    resolution can train the predictor entry that made the prediction.
+
+    A [predict] allocates at the tail (fetch stalls when the buffer is
+    full); the following [resolve] claims the newest entry at fetch and
+    carries its slot index down the pipe; the entry is freed when the
+    resolve executes and updates the predictor. Branch mispredictions
+    restore the buffer from a snapshot, recovering the tail pointer as the
+    paper describes. *)
+
+open Bv_bpred
+
+type entry =
+  { predict_pc : int;
+    meta : Predictor.meta;
+    predicted_taken : bool
+  }
+
+type t
+
+type snapshot
+
+val create : entries:int -> t
+val capacity : t -> int
+val occupancy : t -> int
+val is_full : t -> bool
+
+val allocate : t -> entry -> int option
+(** Tail allocation; [None] when full. Returns the slot index. *)
+
+val claim_newest : t -> (int * entry) option
+(** The most recently allocated unclaimed entry (the paper's tail-pointer
+    read), marked claimed. [None] when nothing is outstanding — which a
+    well-formed program only produces on wrong-path fetch; the machine then
+    skips the predictor update (the paper's "suppress spurious updates"
+    option). *)
+
+val free : t -> int -> unit
+(** Release a slot at resolve execution. Idempotent. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Misprediction repair. Restoration intersects the snapshot with the
+    current contents by allocation identity: entries allocated after the
+    snapshot are dropped, claim flags are reverted, and entries freed since
+    the snapshot are {e not} resurrected (an older resolve may legitimately
+    have retired and updated the predictor in the meantime). *)

@@ -1,0 +1,50 @@
+(** Cycle-level in-order superscalar timing model.
+
+    The model is functional-first: instructions are executed architecturally
+    at fetch, in (speculative) fetch order, on a register file and memory
+    with an undo log; the rest of the machine is pure timing. The front end
+    follows branch predictions, so fetch genuinely walks wrong paths after a
+    misprediction and the work issued there is counted (Figure 14's
+    issued-instruction overhead). When a mispredicted branch, return or
+    resolve executes, younger instructions are squashed, the speculative
+    state is restored from the checkpoint taken at its fetch, and fetch is
+    re-steered.
+
+    Key structures (Table 1): a [fetch_buffer]-entry fetch buffer feeding a
+    scoreboarded, strictly in-order issue stage (head-of-line blocking:
+    issue stops at the first instruction that cannot issue), per-class
+    functional units, an MSHR-limited non-blocking data cache, a store
+    buffer, the branch predictor + BTB + RAS front end, and the paper's
+    Decomposed Branch Buffer for predict/resolve pairs. *)
+
+open Bv_ir
+
+type event =
+  | Fetched of { cycle : int; seq : int; pc : int; instr : Bv_isa.Instr.t }
+  | Issued of { cycle : int; seq : int }
+  | Completed of { cycle : int; seq : int; mispredicted : bool }
+  | Squashed of { cycle : int; seq : int }
+  | Redirected of { cycle : int; after_seq : int; new_pc : int }
+      (** pipeline flush: everything younger than [after_seq] died *)
+
+type result =
+  { stats : Stats.t;
+    hierarchy : Bv_cache.Hierarchy.t;
+    config : Config.t;
+    finished : bool;  (** reached [Halt] (as opposed to a run limit) *)
+    mem_digest : int;
+    stores_retired : int;
+    arch_digest : int
+        (** comparable with {!Bv_exec.Interp.arch_digest} when [finished] *)
+  }
+
+val run :
+  ?max_cycles:int ->
+  ?max_retired:int ->
+  ?on_event:(event -> unit) ->
+  config:Config.t ->
+  Layout.image ->
+  result
+(** Simulate until [Halt] retires or a limit is hit ([max_cycles] defaults
+    to 1G, [max_retired] to no limit). [on_event] streams pipeline events
+    (fetch/issue/complete/squash/redirect) — see {!Trace} for a renderer. *)

@@ -1,0 +1,111 @@
+type t =
+  { mutable cycles : int;
+    mutable fetched : int;
+    mutable issued : int;
+    mutable squashed_issued : int;
+    mutable squashed_fetched : int;
+    mutable predicts_fetched : int;
+    mutable branch_execs : int;
+    mutable branch_mispredicts : int;
+    mutable resolve_execs : int;
+    mutable resolve_mispredicts : int;
+    mutable ret_execs : int;
+    mutable ret_mispredicts : int;
+    mutable redirects : int;
+    mutable loads_issued : int;
+    mutable stores_issued : int;
+    mutable head_stall_cycles : int;
+    mutable operand_stall_cycles : int;
+    mutable fu_stall_cycles : int;
+    mutable mem_struct_stall_cycles : int;
+    mutable frontend_empty_cycles : int;
+    mutable dbb_full_stalls : int;
+    mutable dbb_occupancy_sum : int;
+    mutable dbb_samples : int;
+    mutable dbb_max_occupancy : int;
+    mutable icache_stall_cycles : int;
+    mutable icache_misses : int;
+    mutable runahead_prefetches : int;
+    mutable icache_misses_in_shadow : int;
+    site_stalls : (int, int) Hashtbl.t;
+    site_waits : (int, int * int) Hashtbl.t
+  }
+
+let create () =
+  { cycles = 0;
+    fetched = 0;
+    issued = 0;
+    squashed_issued = 0;
+    squashed_fetched = 0;
+    predicts_fetched = 0;
+    branch_execs = 0;
+    branch_mispredicts = 0;
+    resolve_execs = 0;
+    resolve_mispredicts = 0;
+    ret_execs = 0;
+    ret_mispredicts = 0;
+    redirects = 0;
+    loads_issued = 0;
+    stores_issued = 0;
+    head_stall_cycles = 0;
+    operand_stall_cycles = 0;
+    fu_stall_cycles = 0;
+    mem_struct_stall_cycles = 0;
+    frontend_empty_cycles = 0;
+    dbb_full_stalls = 0;
+    dbb_occupancy_sum = 0;
+    dbb_samples = 0;
+    dbb_max_occupancy = 0;
+    icache_stall_cycles = 0;
+    icache_misses = 0;
+    runahead_prefetches = 0;
+    icache_misses_in_shadow = 0;
+    site_stalls = Hashtbl.create 64;
+    site_waits = Hashtbl.create 64
+  }
+
+let retired t = t.issued - t.squashed_issued
+
+let ipc t =
+  if t.cycles = 0 then 0.0 else Float.of_int (retired t) /. Float.of_int t.cycles
+
+let mispredicts t = t.branch_mispredicts + t.resolve_mispredicts
+
+let mppki t =
+  let r = retired t in
+  if r = 0 then 0.0 else 1000.0 *. Float.of_int (mispredicts t) /. Float.of_int r
+
+let dbb_avg_occupancy t =
+  if t.dbb_samples = 0 then 0.0
+  else Float.of_int t.dbb_occupancy_sum /. Float.of_int t.dbb_samples
+
+let site_stall_cycles t site =
+  Option.value (Hashtbl.find_opt t.site_stalls site) ~default:0
+
+let add_site_stall t ~site =
+  Hashtbl.replace t.site_stalls site (site_stall_cycles t site + 1)
+
+let add_site_wait t ~site ~cycles =
+  let n, sum = Option.value (Hashtbl.find_opt t.site_waits site) ~default:(0, 0) in
+  Hashtbl.replace t.site_waits site (n + 1, sum + cycles)
+
+let site_wait_avg t site =
+  match Hashtbl.find_opt t.site_waits site with
+  | Some (n, sum) when n > 0 -> Float.of_int sum /. Float.of_int n
+  | _ -> 0.0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles %d, retired %d (IPC %.3f)@,\
+     fetched %d, issued %d (%d squashed after issue, %d before)@,\
+     branches %d (%d miss), resolves %d (%d miss), rets %d (%d miss), \
+     %.2f MPPKI@,\
+     stalls: head %d (operand %d, fu %d, mem %d), empty frontend %d, \
+     icache %d@,\
+     dbb: avg occ %.2f, max %d, full-stalls %d@]"
+    t.cycles (retired t) (ipc t) t.fetched t.issued t.squashed_issued
+    t.squashed_fetched t.branch_execs t.branch_mispredicts t.resolve_execs
+    t.resolve_mispredicts t.ret_execs t.ret_mispredicts (mppki t)
+    t.head_stall_cycles t.operand_stall_cycles t.fu_stall_cycles
+    t.mem_struct_stall_cycles t.frontend_empty_cycles t.icache_stall_cycles
+    (dbb_avg_occupancy t) t.dbb_max_occupancy t.dbb_full_stalls

@@ -1,0 +1,66 @@
+(** Counters collected by a timing-model run. *)
+
+type t =
+  { mutable cycles : int;
+    mutable fetched : int;  (** instructions entering the fetch buffer *)
+    mutable issued : int;  (** issued, including later-squashed *)
+    mutable squashed_issued : int;
+    mutable squashed_fetched : int;  (** squashed before issuing *)
+    mutable predicts_fetched : int;  (** predict instructions steered+dropped *)
+    mutable branch_execs : int;
+    mutable branch_mispredicts : int;
+    mutable resolve_execs : int;
+    mutable resolve_mispredicts : int;
+    mutable ret_execs : int;
+    mutable ret_mispredicts : int;
+    mutable redirects : int;  (** all pipeline flushes *)
+    mutable loads_issued : int;
+    mutable stores_issued : int;
+    mutable head_stall_cycles : int;  (** cycles with zero issue, head blocked *)
+    mutable operand_stall_cycles : int;
+    mutable fu_stall_cycles : int;
+    mutable mem_struct_stall_cycles : int;
+    mutable frontend_empty_cycles : int;  (** nothing eligible to issue *)
+    mutable dbb_full_stalls : int;
+    mutable dbb_occupancy_sum : int;
+    mutable dbb_samples : int;
+    mutable dbb_max_occupancy : int;
+    mutable icache_stall_cycles : int;
+    mutable icache_misses : int;
+    mutable runahead_prefetches : int;
+    mutable icache_misses_in_shadow : int;
+        (** I$ misses within the redirect shadow of a misprediction (§6.1) *)
+    site_stalls : (int, int) Hashtbl.t;
+        (** branch/resolve site id -> cycles the issue head stalled on it *)
+    site_waits : (int, int * int) Hashtbl.t
+        (** branch/resolve site id -> (executions, summed backlog cycles):
+            how far behind the front end the machine was running when the
+            site's condition finally became ready — an issue-backlog
+            indicator, not a pure condition latency (queueing and the
+            condition are confounded in an in-order backlog) *)
+  }
+
+val create : unit -> t
+
+val retired : t -> int
+(** Instructions that issued and were never squashed. *)
+
+val ipc : t -> float
+
+val mispredicts : t -> int
+(** Direction mispredictions: branches + resolves (not returns). *)
+
+val mppki : t -> float
+
+val dbb_avg_occupancy : t -> float
+
+val site_stall_cycles : t -> int -> int
+
+val add_site_stall : t -> site:int -> unit
+
+val add_site_wait : t -> site:int -> cycles:int -> unit
+
+val site_wait_avg : t -> int -> float
+(** Average backlog cycles for a site (0 if never executed). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type row =
+  { seq : int;
+    pc : int;
+    instr : Bv_isa.Instr.t;
+    fetch : int;
+    issue : int option;
+    complete : int option;
+    squashed : bool;
+    mispredicted : bool
+  }
+
+let collect ?(max_rows = 200) ?max_cycles ~config image =
+  let rows : (int, row) Hashtbl.t = Hashtbl.create (2 * max_rows) in
+  let order = ref [] in
+  let record seq f =
+    match Hashtbl.find_opt rows seq with
+    | Some row -> Hashtbl.replace rows seq (f row)
+    | None -> ()
+  in
+  let on_event = function
+    | Machine.Fetched { cycle; seq; pc; instr } ->
+      if Hashtbl.length rows < max_rows then begin
+        Hashtbl.replace rows seq
+          { seq; pc; instr; fetch = cycle; issue = None; complete = None;
+            squashed = false; mispredicted = false };
+        order := seq :: !order
+      end
+    | Machine.Issued { cycle; seq } ->
+      record seq (fun r -> { r with issue = Some cycle })
+    | Machine.Completed { cycle; seq; mispredicted } ->
+      record seq (fun r -> { r with complete = Some cycle; mispredicted })
+    | Machine.Squashed { seq; _ } ->
+      record seq (fun r -> { r with squashed = true })
+    | Machine.Redirected _ -> ()
+  in
+  let result = Machine.run ?max_cycles ~on_event ~config image in
+  let collected =
+    List.rev_map (fun seq -> Hashtbl.find rows seq) !order
+  in
+  (collected, result)
+
+let pp ppf rows =
+  Format.fprintf ppf "@[<v>%6s %5s %6s %6s %6s %-4s %s@," "seq" "pc" "F" "I"
+    "C" "flag" "instruction";
+  List.iter
+    (fun r ->
+      let opt = function Some c -> string_of_int c | None -> "-" in
+      let flag =
+        (if r.squashed then "x" else ".")
+        ^ if r.mispredicted then "!" else ""
+      in
+      Format.fprintf ppf "%6d %5d %6d %6s %6s %-4s %s@," r.seq r.pc r.fetch
+        (opt r.issue) (opt r.complete) flag
+        (Bv_isa.Instr.to_string r.instr))
+    rows;
+  Format.fprintf ppf "@]"

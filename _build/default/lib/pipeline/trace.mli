@@ -1,0 +1,27 @@
+(** Pipeline trace collection and rendering: the classic per-instruction
+    cycle table (fetch / issue / complete, squashes marked), built from
+    {!Machine.run}'s event stream. *)
+
+type row =
+  { seq : int;
+    pc : int;
+    instr : Bv_isa.Instr.t;
+    fetch : int;
+    issue : int option;
+    complete : int option;
+    squashed : bool;
+    mispredicted : bool
+  }
+
+val collect :
+  ?max_rows:int ->
+  ?max_cycles:int ->
+  config:Config.t ->
+  Bv_ir.Layout.image ->
+  row list * Machine.result
+(** Run the machine collecting up to [max_rows] (default 200) instruction
+    rows (events beyond the cap are still simulated, just not recorded). *)
+
+val pp : Format.formatter -> row list -> unit
+(** Renders rows as a table, one instruction per line:
+    [seq pc F I C flags instruction]. *)

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Bv_bpred Bv_exec Float Format Hashtbl Int Interp List Predictor

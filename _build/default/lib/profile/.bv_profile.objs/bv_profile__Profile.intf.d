@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Bv_bpred Bv_ir Format Hashtbl Layout Predictor

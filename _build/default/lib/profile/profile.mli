@@ -1,0 +1,51 @@
+(** Profile-guided branch statistics (the paper's TRAIN-input PGO step).
+
+    Runs a program functionally while feeding every conditional branch
+    through a branch predictor in program order. Per static branch site this
+    yields execution count, bias (how lopsided the outcomes are) and
+    predictability (how often the predictor is right) — the two quantities
+    whose divergence the paper's Figures 2 and 3 plot and whose difference
+    drives candidate selection. *)
+
+open Bv_bpred
+open Bv_ir
+
+type site =
+  { id : int;
+    mutable executed : int;
+    mutable taken : int;
+    mutable correct : int
+  }
+
+type t =
+  { sites : (int, site) Hashtbl.t;
+    predictor_name : string;
+    mutable instr_count : int;
+    mutable branch_count : int;
+    mutable mispredicts : int
+  }
+
+val collect :
+  ?max_instrs:int -> predictor:Predictor.t -> Layout.image -> t
+(** Profile a (baseline) program: every [Branch] is predicted, compared and
+    immediately trained. [max_instrs] defaults to 10M. *)
+
+val find : t -> int -> site option
+(** Stats for a branch site id. *)
+
+val bias : site -> float
+(** Fraction of executions going in the branch's preferred direction, in
+    [0.5, 1.0]. Zero executions give 1.0. *)
+
+val taken_rate : site -> float
+
+val predictability : site -> float
+(** Fraction of correct predictions. Zero executions give 1.0. *)
+
+val mppki : t -> float
+(** Branch mispredictions per thousand executed instructions. *)
+
+val sites_by_execution : t -> site list
+(** All sites, most-executed first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Block Bv_ir Bv_isa Fun Hashtbl Instr Int List Option Proc Program Reg Term

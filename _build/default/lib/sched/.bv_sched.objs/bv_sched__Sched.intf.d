@@ -1,0 +1,1 @@
+lib/sched/sched.mli: Block Bv_ir Bv_isa Instr Proc Program Term

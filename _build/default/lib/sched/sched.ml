@@ -1,0 +1,186 @@
+open Bv_isa
+open Bv_ir
+
+let default_latency i =
+  match i with
+  | Instr.Load _ -> 4
+  | Instr.Fpu _ -> 4
+  | Instr.Alu { op = Instr.Mul; _ } -> 3
+  | _ -> 1
+
+let is_mem = function Instr.Load _ | Instr.Store _ -> true | _ -> false
+let is_store = function Instr.Store _ -> true | _ -> false
+
+(* Dependence DAG as predecessor lists: preds.(i) holds (j, delay) meaning
+   instruction i may start [delay] cycles after j starts. *)
+let build_preds ~latency instrs =
+  let n = Array.length instrs in
+  let preds = Array.make n [] in
+  let add_edge ~from ~to_ ~delay =
+    preds.(to_) <- (from, delay) :: preds.(to_)
+  in
+  let last_def = Hashtbl.create 16 in
+  (* reg index -> instr *)
+  let last_uses = Hashtbl.create 16 in
+  (* reg index -> instr list since last def *)
+  let last_store = ref None in
+  let loads_since_store = ref [] in
+  for i = 0 to n - 1 do
+    let ins = instrs.(i) in
+    (* RAW *)
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt last_def (Reg.index r) with
+        | Some j -> add_edge ~from:j ~to_:i ~delay:(latency instrs.(j))
+        | None -> ())
+      (Instr.uses ins);
+    (* WAR and WAW: same-cycle start is fine in a machine with register
+       read-before-write, but keep a 0-delay order edge for determinism. *)
+    List.iter
+      (fun r ->
+        let ri = Reg.index r in
+        (match Hashtbl.find_opt last_uses ri with
+        | Some users -> List.iter (fun j -> add_edge ~from:j ~to_:i ~delay:0) users
+        | None -> ());
+        (match Hashtbl.find_opt last_def ri with
+        | Some j -> add_edge ~from:j ~to_:i ~delay:1
+        | None -> ()))
+      (Instr.defs ins);
+    (* Memory ordering: stores are barriers. *)
+    if is_mem ins then begin
+      (match !last_store with
+      | Some j -> add_edge ~from:j ~to_:i ~delay:1
+      | None -> ());
+      if is_store ins then begin
+        List.iter (fun j -> add_edge ~from:j ~to_:i ~delay:1)
+          !loads_since_store;
+        last_store := Some i;
+        loads_since_store := []
+      end
+      else loads_since_store := i :: !loads_since_store
+    end;
+    (* Bookkeeping after edges are drawn. *)
+    List.iter
+      (fun r ->
+        let ri = Reg.index r in
+        let users = Option.value (Hashtbl.find_opt last_uses ri) ~default:[] in
+        Hashtbl.replace last_uses ri (i :: users))
+      (Instr.uses ins);
+    List.iter
+      (fun r ->
+        let ri = Reg.index r in
+        Hashtbl.replace last_def ri i;
+        Hashtbl.replace last_uses ri [])
+      (Instr.defs ins)
+  done;
+  preds
+
+(* Critical-path height: cycles from this instruction's start to the end of
+   the block. Terminator operands count as consumed at the end. *)
+let heights ~latency ~term instrs preds =
+  let n = Array.length instrs in
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun i ps -> List.iter (fun (j, d) -> succs.(j) <- (i, d) :: succs.(j)) ps)
+    preds;
+  let term_uses =
+    List.map Reg.index
+      (match term with
+      | Term.Branch { src; _ } | Term.Resolve { src; _ } -> [ src ]
+      | Term.Jump _ | Term.Predict _ | Term.Call _ | Term.Ret | Term.Halt -> [])
+  in
+  let h = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let lat = latency instrs.(i) in
+    let base =
+      (* Any def may be live out of the block, so a producer's full latency
+         counts towards the block end; terminator sources certainly do. *)
+      if
+        Instr.defs instrs.(i) <> []
+        || List.exists
+             (fun r -> List.mem (Reg.index r) term_uses)
+             (Instr.uses instrs.(i))
+      then lat
+      else 1
+    in
+    let over_succs =
+      List.fold_left (fun acc (j, d) -> max acc (d + h.(j))) 0 succs.(i)
+    in
+    h.(i) <- max base over_succs
+  done;
+  h
+
+let schedule_body ?(latency = default_latency) ?(width = 4) ~term body =
+  let instrs = Array.of_list body in
+  let n = Array.length instrs in
+  if n <= 1 then body
+  else begin
+    let preds = build_preds ~latency instrs in
+    let h = heights ~latency ~term instrs preds in
+    let start_time = Array.make n (-1) in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let placed = ref 0 in
+    let cycle = ref 0 in
+    while !placed < n do
+      (* Ready = all predecessors started early enough. *)
+      let ready =
+        List.filter
+          (fun i ->
+            (not scheduled.(i))
+            && List.for_all
+                 (fun (j, d) ->
+                   scheduled.(j) && start_time.(j) + d <= !cycle)
+                 preds.(i))
+          (List.init n Fun.id)
+      in
+      let ready =
+        List.sort
+          (fun a b ->
+            match Int.compare h.(b) h.(a) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          ready
+      in
+      let rec take k = function
+        | i :: rest when k > 0 ->
+          scheduled.(i) <- true;
+          start_time.(i) <- !cycle;
+          order := i :: !order;
+          incr placed;
+          take (k - 1) rest
+        | _ -> ()
+      in
+      take width ready;
+      incr cycle
+    done;
+    List.rev_map (fun i -> instrs.(i)) !order
+  end
+
+let schedule_block ?latency ?width block =
+  block.Block.body <-
+    schedule_body ?latency ?width ~term:block.Block.term block.Block.body
+
+let schedule_proc ?latency ?width proc =
+  List.iter (schedule_block ?latency ?width) proc.Proc.blocks
+
+let schedule_program ?latency ?width program =
+  List.iter (schedule_proc ?latency ?width) program.Program.procs
+
+let critical_path_cycles ?(latency = default_latency) body =
+  let instrs = Array.of_list body in
+  let n = Array.length instrs in
+  if n = 0 then 0
+  else begin
+    let preds = build_preds ~latency instrs in
+    let finish = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let start =
+        List.fold_left
+          (fun acc (j, d) -> max acc (finish.(j) - latency instrs.(j) + d))
+          0 preds.(i)
+      in
+      finish.(i) <- start + latency instrs.(i)
+    done;
+    Array.fold_left max 0 finish
+  end

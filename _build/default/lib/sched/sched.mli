@@ -1,0 +1,43 @@
+(** Latency-aware list scheduling of basic-block bodies for an in-order
+    target.
+
+    The scheduler builds a register/memory dependence DAG over the body,
+    assigns each instruction a critical-path height (distance in cycles to
+    the end of the block, counting the terminator's operands as consumed at
+    the end), then issues greedily in time order: at each simulated cycle it
+    picks, among instructions whose predecessors have completed, the ones
+    with the greatest height. For an in-order machine this pushes loads as
+    early as their dependences allow and sinks their consumers (e.g. the
+    compare feeding a resolve) towards the end — exactly the schedule shape
+    the paper's transformation exists to enable.
+
+    Memory ordering is conservative: stores are ordered against all other
+    memory operations; load/load pairs are free to reorder. *)
+
+open Bv_isa
+open Bv_ir
+
+val default_latency : Instr.t -> int
+(** L1-hit assumptions: loads 4, FPU ops 4, multiplies 3, everything else
+    1 cycle. *)
+
+val schedule_body :
+  ?latency:(Instr.t -> int) ->
+  ?width:int ->
+  term:Term.t ->
+  Instr.t list ->
+  Instr.t list
+(** Reorder a block body. [width] (default 4) bounds how many instructions
+    the greedy pass places per simulated cycle. The result is a permutation
+    of the input that respects all dependences. *)
+
+val schedule_block : ?latency:(Instr.t -> int) -> ?width:int -> Block.t -> unit
+(** In-place convenience wrapper over [schedule_body]. *)
+
+val schedule_proc : ?latency:(Instr.t -> int) -> ?width:int -> Proc.t -> unit
+val schedule_program :
+  ?latency:(Instr.t -> int) -> ?width:int -> Program.t -> unit
+
+val critical_path_cycles : ?latency:(Instr.t -> int) -> Instr.t list -> int
+(** Length in cycles of the longest dependence chain through the body
+    (a lower bound on in-order execution time of the block). *)

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Block Bv_ir Bv_isa Float Instr List Printf Proc Program Reg Rng Spec Stream Term

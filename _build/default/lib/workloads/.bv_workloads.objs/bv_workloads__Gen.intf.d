@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Bv_ir Bv_isa Program Spec

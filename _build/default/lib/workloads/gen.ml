@@ -1,0 +1,495 @@
+open Bv_isa
+open Bv_ir
+
+(* Register roles. Scratch temporaries r48-r63 are reserved for the
+   transformation (Vanguard.Transform.default_temp_pool). *)
+let r_i = Reg.make 1 (* inner induction variable *)
+let r_ioff = Reg.make 2 (* i * 8 *)
+let r_n = Reg.make 3
+let r_cond = Reg.make 4
+let r_cc = Reg.make 5
+let r_acc = Reg.make 6
+let r_facc = Reg.make 7
+let r_seq = Reg.make 8 (* sequential data cursor, byte offset *)
+let r_rnd = Reg.make 9 (* LCG state for pointer-chase accesses *)
+let r_data = Reg.make 10 (* data array base, byte address *)
+let r_addr = Reg.make 11
+let r_outer = Reg.make 21
+let r_reps = Reg.make 22
+let r_t = Reg.make 23
+
+(* Dedicated registers for the condition's pointer-chase dependence, kept
+   disjoint from the block-work registers so the condition slice can be
+   sunk without register conflicts. *)
+let r_cchase_v = Reg.make 24
+let r_cchase_a = Reg.make 25
+let r_crnd = Reg.make 26
+let load_dest k = Reg.make (12 + (k mod 8))
+
+(* Per-worker global iteration counters: index the packed condition stream
+   across outer repetitions, so condition noise is never replayed (a frozen
+   noise sequence would be learnable by the predictors). *)
+let gi_reg p = Reg.make (32 + min p 7)
+
+(* Rotating accumulator pools: consecutive sites accumulate into different
+   registers, so the consume chains of neighbouring blocks overlap instead
+   of serialising the whole program on one register. *)
+let acc_pool = [| Reg.make 6; Reg.make 27; Reg.make 28; Reg.make 29 |]
+let facc_pool = [| Reg.make 7; Reg.make 30; Reg.make 31 |]
+let acc_of k = acc_pool.(k mod Array.length acc_pool)
+let facc_of k = facc_pool.(k mod Array.length facc_pool)
+
+let live_at_exit =
+  Array.to_list acc_pool @ Array.to_list facc_pool
+  @ [ r_rnd; r_crnd; r_data; r_outer; r_reps ]
+  @ List.init 8 gi_reg
+
+let lcg_mul = 2862933555777941757
+let lcg_add = 3037000493
+
+type site =
+  { id : int;
+    taken_rate : float;
+    predictability : float;
+    period : int;
+    iid : bool;
+    bit : int  (* bit plane of this site in the packed condition stream *)
+  }
+
+let site_count spec = Spec.total_sites spec
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+(* Expand the class population into per-site parameters. The site order is
+   input-independent (the static code must be the same binary for every
+   input); only the per-input perturbation of bias/predictability uses the
+   data rng (REF inputs shift branch behaviour, not code). *)
+let expand_sites ~code_rng ~data_rng ~input spec =
+  let sites =
+    List.concat_map
+      (fun c ->
+        List.init c.Spec.count (fun _ ->
+            ( c.Spec.taken_rate,
+              c.Spec.predictability,
+              c.Spec.period,
+              c.Spec.iid )))
+      spec.Spec.branch_classes
+  in
+  let arr = Array.of_list sites in
+  Rng.shuffle code_rng arr;
+  Array.map
+    (fun (rate, pred, period, iid) ->
+      if input = 0 then (rate, pred, period, iid)
+      else
+        let jr = (Rng.float data_rng -. 0.5) *. 0.08 in
+        let jp = (Rng.float data_rng -. 0.5) *. 0.03 in
+        ( clamp 0.02 0.98 (rate +. jr),
+          clamp 0.5 0.999 (pred +. jp),
+          period,
+          iid ))
+    arr
+
+(* Emit a chunk of data-array work: a sequential-cursor address, a mix of
+   sequential and pointer-chase loads, cursor advance, and consuming ALU/FP
+   work. Shared by hammock successor blocks and by A-block filler. *)
+let data_work ~rng ~spec ~gi ~acc ~acc2 ~facc ~facc2 ~salt ~n_loads ~n_alu
+    ~data_mask_bytes ~data_words =
+  let s = spec in
+  let instrs = ref [] in
+  let emit i = instrs := i :: !instrs in
+  (* Block-local window into the data array, derived from the iteration
+     counter: consecutive iterations touch consecutive lines (sequential
+     locality) and there is no loop-carried cursor chain serialising
+     unrelated blocks. [salt] spreads different blocks' windows apart. *)
+  if n_loads > 0 then begin
+    emit (Instr.Alu { op = Instr.Shl; dst = r_addr; src1 = gi;
+                      src2 = Instr.Imm 6 });
+    emit (Instr.Alu { op = Instr.Add; dst = r_addr; src1 = r_addr;
+                      src2 = Instr.Imm (salt * 4104) });
+    emit (Instr.Alu { op = Instr.And; dst = r_addr; src1 = r_addr;
+                      src2 = Instr.Imm data_mask_bytes });
+    emit (Instr.Alu { op = Instr.Add; dst = r_addr; src1 = r_addr;
+                      src2 = Instr.Reg r_data })
+  end;
+  let dests = ref [] in
+  for k = 0 to n_loads - 1 do
+    let d = load_dest (k + salt) in
+    dests := d :: !dests;
+    if Rng.bernoulli rng s.Spec.chase_frac then begin
+      emit (Instr.Alu { op = Instr.Mul; dst = r_rnd; src1 = r_rnd;
+                        src2 = Instr.Imm lcg_mul });
+      emit (Instr.Alu { op = Instr.Add; dst = r_rnd; src1 = r_rnd;
+                        src2 = Instr.Imm lcg_add });
+      emit (Instr.Alu { op = Instr.Shr; dst = r_t; src1 = r_rnd;
+                        src2 = Instr.Imm 20 });
+      emit (Instr.Alu { op = Instr.And; dst = r_t; src1 = r_t;
+                        src2 = Instr.Imm (data_words - 1) });
+      emit (Instr.Alu { op = Instr.Shl; dst = r_t; src1 = r_t;
+                        src2 = Instr.Imm 3 });
+      emit (Instr.Alu { op = Instr.Add; dst = r_t; src1 = r_t;
+                        src2 = Instr.Reg r_data });
+      emit (Instr.Load { dst = d; base = r_t; offset = 0; speculative = false })
+    end
+    else
+      emit
+        (Instr.Load { dst = d; base = r_addr; offset = 8 * k;
+                      speculative = false })
+  done;
+  (* Consume alternates between two accumulators of each kind, halving the
+     serial dependence chain through the block. *)
+  List.iteri
+    (fun k d ->
+      if Rng.float rng < s.Spec.fp_mix then begin
+        let f = if k land 1 = 0 then facc else facc2 in
+        emit (Instr.Fpu { op = Instr.Add; dst = f; src1 = f;
+                          src2 = Instr.Reg d })
+      end
+      else begin
+        let a = if k land 1 = 0 then acc else acc2 in
+        emit (Instr.Alu { op = (if k land 2 = 2 then Instr.Xor else Instr.Add);
+                          dst = a; src1 = a; src2 = Instr.Reg d })
+      end)
+    (List.rev !dests);
+  for k = 0 to n_alu - 1 do
+    if Rng.float rng < s.Spec.fp_mix then begin
+      let f = if k land 1 = 0 then facc2 else facc in
+      emit (Instr.Fpu { op = Instr.Mul; dst = f; src1 = f;
+                        src2 = Instr.Imm (3 + k) })
+    end
+    else begin
+      let a = if k land 1 = 0 then acc2 else acc in
+      emit (Instr.Alu { op = Instr.Add; dst = a; src1 = a;
+                        src2 = Instr.Imm (1 + k) })
+    end
+  done;
+  List.rev !instrs
+
+let sample_loads ~rng mean =
+  let base = Float.to_int mean in
+  let frac = mean -. Float.of_int base in
+  base + if Rng.bernoulli rng frac then 1 else 0
+
+(* One successor block of a hammock, with a store placed to realise the
+   spec's hoistable fraction. [flavor] differentiates the two paths. *)
+let work_block ~rng ~spec ~site_idx ~flavor ~gi ~data_mask_bytes ~data_words
+    ~chk_offset ~label ~next =
+  let s = spec in
+  let n_loads =
+    max 1
+      (sample_loads ~rng s.Spec.loads_per_block
+      + if flavor = `Taken then 1 else 0)
+  in
+  let n_alu = s.Spec.extra_alu + if flavor = `Taken then 1 else 0 in
+  let acc = acc_of site_idx
+  and acc2 = acc_of (site_idx + 1)
+  and facc = facc_of site_idx
+  and facc2 = facc_of (site_idx + 1) in
+  let salt = (site_idx * 2) + if flavor = `Taken then 1 else 0 in
+  let body_no_store =
+    data_work ~rng ~spec ~gi ~acc ~acc2 ~facc ~facc2 ~salt ~n_loads ~n_alu
+      ~data_mask_bytes ~data_words
+  in
+  let store = Instr.Store { src = acc; base = r_data; offset = chk_offset } in
+  let len = List.length body_no_store in
+  let store_pos =
+    min len (Float.to_int (s.Spec.hoist_frac *. Float.of_int (len + 1)))
+  in
+  let rec insert k rest =
+    match rest with
+    | _ when k = 0 -> store :: rest
+    | [] -> [ store ]
+    | x :: tail -> x :: insert (k - 1) tail
+  in
+  Block.make ~label ~body:(insert store_pos body_no_store)
+    ~term:(Term.Jump next)
+
+(* The A block of a site: condition load from the stream, an optional
+   pointer-chase dependence (value-neutral), a dependent ALU chain of
+   [cond_depth], the compare + branch, plus optional independent filler
+   work ([a_loads]/[a_alu]) modelling large basic blocks. The first site of
+   an iteration also materialises i*8. *)
+let site_a_block ~rng ~spec ~site ~first ~gi ~data_mask_bytes ~data_words
+    ~label ~b_label ~c_label =
+  let body = ref [] in
+  let emit i = body := i :: !body in
+  if first then
+    emit (Instr.Alu { op = Instr.Shl; dst = r_ioff; src1 = gi;
+                      src2 = Instr.Imm 3 });
+  (* Conditions are packed one word per iteration, one bit plane per
+     site: a single hot line serves every site of the iteration. *)
+  emit
+    (Instr.Load { dst = r_cond; base = r_ioff; offset = 0;
+                  speculative = false });
+  emit (Instr.Alu { op = Instr.Shr; dst = r_cond; src1 = r_cond;
+                    src2 = Instr.Imm site.bit });
+  emit (Instr.Alu { op = Instr.And; dst = r_cond; src1 = r_cond;
+                    src2 = Instr.Imm 1 });
+  if spec.Spec.cond_chase then begin
+    (* A potentially-missing load whose value is masked to zero before
+       joining the condition: dataflow dependence with no value change. *)
+    emit (Instr.Alu { op = Instr.Mul; dst = r_crnd; src1 = r_crnd;
+                      src2 = Instr.Imm lcg_mul });
+    emit (Instr.Alu { op = Instr.Add; dst = r_crnd; src1 = r_crnd;
+                      src2 = Instr.Imm lcg_add });
+    emit (Instr.Alu { op = Instr.Shr; dst = r_cchase_a; src1 = r_crnd;
+                      src2 = Instr.Imm 20 });
+    emit (Instr.Alu { op = Instr.And; dst = r_cchase_a; src1 = r_cchase_a;
+                      src2 = Instr.Imm (data_words - 1) });
+    emit (Instr.Alu { op = Instr.Shl; dst = r_cchase_a; src1 = r_cchase_a;
+                      src2 = Instr.Imm 3 });
+    emit (Instr.Alu { op = Instr.Add; dst = r_cchase_a; src1 = r_cchase_a;
+                      src2 = Instr.Reg r_data });
+    emit (Instr.Load { dst = r_cchase_v; base = r_cchase_a; offset = 0;
+                       speculative = false });
+    emit (Instr.Alu { op = Instr.And; dst = r_cchase_v; src1 = r_cchase_v;
+                      src2 = Instr.Imm 0 });
+    emit (Instr.Alu { op = Instr.Add; dst = r_cond; src1 = r_cond;
+                      src2 = Instr.Reg r_cchase_v })
+  end;
+  for k = 0 to spec.Spec.cond_depth - 1 do
+    emit (Instr.Alu { op = (if k mod 2 = 0 then Instr.Add else Instr.Xor);
+                      dst = r_cond; src1 = r_cond; src2 = Instr.Imm 0 })
+  done;
+  emit (Instr.Cmp { op = Instr.Ne; dst = r_cc; src1 = r_cond;
+                    src2 = Instr.Imm 0 });
+  (* Independent filler after the condition slice: the scheduler will
+     interleave it, covering resolution latency in the baseline. *)
+  let filler =
+    data_work ~rng ~spec ~gi ~acc:(acc_of (site.bit + 1))
+      ~acc2:(acc_of (site.bit + 2))
+      ~facc:(facc_of (site.bit + 1))
+      ~facc2:(facc_of (site.bit + 2))
+      ~salt:(40 + site.bit)
+      ~n_loads:(sample_loads ~rng spec.Spec.a_loads)
+      ~n_alu:spec.Spec.a_alu ~data_mask_bytes ~data_words
+  in
+  Block.make ~label
+    ~body:(List.rev_append !body filler)
+    ~term:
+      (Term.Branch
+         { on = true; src = r_cc; taken = c_label; not_taken = b_label;
+           id = site.id })
+
+let worker_proc ~rng ~spec ~name ~latch_id ~trip ~gi ~sites ~data_mask_bytes
+    ~data_words ~chk_base_off =
+  let head = name ^ ".head" in
+  let latch = name ^ ".latch" in
+  let out = name ^ ".out" in
+  let entry =
+    Block.make ~label:(name ^ ".entry")
+      ~body:[ Instr.Mov { dst = r_i; src = Instr.Imm 0 } ]
+      ~term:(Term.Jump head)
+  in
+  let n_sites = Array.length sites in
+  let a_label k = Printf.sprintf "%s.s%d.a" name k in
+  let site_blocks =
+    List.concat
+      (List.init n_sites (fun k ->
+           let site = sites.(k) in
+           let next = if k = n_sites - 1 then latch else a_label (k + 1) in
+           let b_label = Printf.sprintf "%s.s%d.b" name k in
+           let c_label = Printf.sprintf "%s.s%d.c" name k in
+           let a =
+             site_a_block ~rng ~spec ~site ~first:(k = 0) ~gi ~data_mask_bytes
+               ~data_words
+               ~label:(if k = 0 then head else a_label k)
+               ~b_label ~c_label
+           in
+           let b =
+             work_block ~rng ~spec ~site_idx:k ~flavor:`Not_taken ~gi
+               ~data_mask_bytes ~data_words
+               ~chk_offset:(chk_base_off + (((site.id * 2) + 0) * 8))
+               ~label:b_label ~next
+           in
+           let c =
+             work_block ~rng ~spec ~site_idx:k ~flavor:`Taken ~gi
+               ~data_mask_bytes ~data_words
+               ~chk_offset:(chk_base_off + (((site.id * 2) + 1) * 8))
+               ~label:c_label ~next
+           in
+           [ a; b; c ]))
+  in
+  let latch_block =
+    Block.make ~label:latch
+      ~body:
+        [ Instr.Alu { op = Instr.Add; dst = r_i; src1 = r_i;
+                      src2 = Instr.Imm 1 };
+          Instr.Alu { op = Instr.Add; dst = gi; src1 = gi;
+                      src2 = Instr.Imm 1 };
+          Instr.Cmp { op = Instr.Lt; dst = r_cc; src1 = r_i;
+                      src2 = Instr.Imm trip }
+        ]
+      ~term:
+        (Term.Branch
+           { on = true; src = r_cc; taken = head; not_taken = out;
+             id = latch_id })
+  in
+  let out_block = Block.make ~label:out ~body:[] ~term:Term.Ret in
+  Proc.make ~name ((entry :: site_blocks) @ [ latch_block; out_block ])
+
+let generate ?(input = 0) spec =
+  (* Code structure depends only on the benchmark seed; stream contents and
+     behaviour perturbations depend on the input index too. *)
+  let rng = Rng.create ~seed:(spec.Spec.seed * 7919) in
+  let data_rng =
+    Rng.create ~seed:((spec.Spec.seed * 7919) + ((input + 1) * 104729))
+  in
+  let params = expand_sites ~code_rng:rng ~data_rng ~input spec in
+  let n_sites = Array.length params in
+  if n_sites > 62 then
+    invalid_arg
+      (Printf.sprintf "Gen.generate %s: %d sites exceed the 62 bit planes"
+         spec.Spec.name n_sites);
+  let inner_n = spec.Spec.inner_n in
+  (* Condition streams are packed: one word per inner iteration, one bit
+     plane per site — and long enough to cover every outer repetition
+     without replaying noise. *)
+  let streams_words = (spec.Spec.reps * inner_n) + 1 in
+  let data_words = round_pow2 (spec.Spec.footprint_kb * 1024 / 8) in
+  let chk_words = (n_sites * 2) + 16 in
+  let data_base = streams_words * 8 in
+  let mem_words = streams_words + data_words + chk_words in
+  let sites =
+    Array.mapi
+      (fun k (taken_rate, predictability, period, iid) ->
+        { id = k + 1; taken_rate; predictability; period; iid; bit = k })
+      params
+  in
+  let packed = Array.make streams_words 0 in
+  Array.iter
+    (fun site ->
+      let seq =
+        Stream.sequence ~period:site.period
+          ?noise:(if site.iid then Some 1.0 else None)
+          ~rng:data_rng ~taken_rate:site.taken_rate
+          ~predictability:site.predictability ~length:streams_words ()
+      in
+      Array.iteri
+        (fun i taken ->
+          if taken then packed.(i) <- packed.(i) lor (1 lsl site.bit))
+        seq)
+    sites;
+  let segments = [ { Program.base = 0; contents = packed } ] in
+  (* Hot sites (the unbiased population plus unpredictable hammocks) are
+     split round-robin across the hot workers; highly biased sites go to a
+     cold worker with a shorter trip count, so converted branches dominate
+     dynamic execution the way the paper's PDIH column implies. *)
+  let is_cold site =
+    site.iid && Float.max site.taken_rate (1.0 -. site.taken_rate) >= 0.7
+  in
+  let hot_sites = Array.of_list (List.filter (fun s -> not (is_cold s))
+                                   (Array.to_list sites)) in
+  let cold_sites = Array.of_list (List.filter is_cold (Array.to_list sites)) in
+  let n_hot_procs = max 1 (min spec.Spec.procs (max 1 (Array.length hot_sites)))
+  in
+  let hot_proc_sites =
+    Array.init n_hot_procs (fun p ->
+        Array.of_list
+          (List.filteri
+             (fun k _ -> k mod n_hot_procs = p)
+             (Array.to_list hot_sites)))
+  in
+  let data_mask_bytes = (data_words * 8) - 8 in
+  let chk_base_off = data_words * 8 in
+  let cold_trip = max 16 (inner_n / max 1 spec.Spec.cold_factor) in
+  let hot_workers =
+    Array.to_list
+      (Array.mapi
+         (fun p ss ->
+           worker_proc ~rng ~spec
+             ~name:(Printf.sprintf "%s.w%d" spec.Spec.name p)
+             ~latch_id:(900_000 + p) ~trip:inner_n ~gi:(gi_reg p) ~sites:ss
+             ~data_mask_bytes ~data_words ~chk_base_off)
+         hot_proc_sites)
+  in
+  let cold_workers =
+    if Array.length cold_sites = 0 then []
+    else
+      [ worker_proc ~rng ~spec
+          ~name:(Printf.sprintf "%s.cold" spec.Spec.name)
+          ~latch_id:910_000 ~trip:cold_trip ~gi:(gi_reg 7) ~sites:cold_sites
+          ~data_mask_bytes ~data_words ~chk_base_off
+      ]
+  in
+  let workers = hot_workers @ cold_workers in
+  let n_procs = List.length workers in
+  (* main: setup, then an outer loop calling each worker. *)
+  let setup =
+    Block.make ~label:"main"
+      ~body:
+        (Array.to_list
+           (Array.map
+              (fun r -> Instr.Mov { dst = r; src = Instr.Imm 0 })
+              acc_pool)
+        @ Array.to_list
+            (Array.map
+               (fun r -> Instr.Mov { dst = r; src = Instr.Imm 1 })
+               facc_pool)
+        @ [ Instr.Mov { dst = r_seq; src = Instr.Imm 0 };
+          Instr.Mov { dst = r_rnd; src = Instr.Imm (spec.Spec.seed + 12345) };
+            Instr.Mov { dst = r_crnd; src = Instr.Imm (spec.Spec.seed + 777) };
+            Instr.Mov { dst = r_data; src = Instr.Imm data_base };
+            Instr.Mov { dst = r_n; src = Instr.Imm inner_n };
+            Instr.Mov { dst = r_reps; src = Instr.Imm spec.Spec.reps };
+            Instr.Mov { dst = r_outer; src = Instr.Imm 0 }
+          ]
+        @ List.init 8 (fun p ->
+              Instr.Mov { dst = gi_reg p; src = Instr.Imm 0 }))
+      ~term:(Term.Jump "main.outer")
+  in
+  let call_blocks =
+    List.mapi
+      (fun p w ->
+        let label =
+          if p = 0 then "main.outer" else Printf.sprintf "main.c%d" p
+        in
+        let return_to =
+          if p = n_procs - 1 then "main.latch"
+          else Printf.sprintf "main.c%d" (p + 1)
+        in
+        Block.make ~label ~body:[]
+          ~term:(Term.Call { target = w.Proc.name; return_to }))
+      workers
+  in
+  let latch =
+    Block.make ~label:"main.latch"
+      ~body:
+        [ Instr.Alu { op = Instr.Add; dst = r_outer; src1 = r_outer;
+                      src2 = Instr.Imm 1 };
+          Instr.Cmp { op = Instr.Lt; dst = r_cc; src1 = r_outer;
+                      src2 = Instr.Reg r_reps }
+        ]
+      ~term:
+        (Term.Branch
+           { on = true; src = r_cc; taken = "main.outer";
+             not_taken = "main.exit"; id = 999_999 })
+  in
+  let exit_block =
+    (* Fold the accumulator pools together and store the checksums. *)
+    let fold_pool op pool =
+      List.init
+        (Array.length pool - 1)
+        (fun k ->
+          Instr.Alu { op; dst = pool.(0); src1 = pool.(0);
+                      src2 = Instr.Reg pool.(k + 1) })
+    in
+    Block.make ~label:"main.exit"
+      ~body:
+        (fold_pool Instr.Add acc_pool
+        @ fold_pool Instr.Xor facc_pool
+        @ [ Instr.Store { src = r_acc; base = r_data;
+                          offset = chk_base_off + (n_sites * 2 * 8) };
+            Instr.Store { src = r_facc; base = r_data;
+                          offset = chk_base_off + (((n_sites * 2) + 1) * 8) }
+          ])
+      ~term:Term.Halt
+  in
+  let main =
+    Proc.make ~name:"main.proc" ~entry:"main"
+      ((setup :: call_blocks) @ [ latch; exit_block ])
+  in
+  Program.make ~segments ~mem_words ~main:"main.proc" (main :: workers)

@@ -1,0 +1,23 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed * 2 + 1) land max_int }
+
+let next t =
+  (* splitmix64 constants truncated to OCaml's 63-bit int range *)
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  (z lxor (z lsr 31)) land max_int
+
+let float t = Float.of_int (next t) /. Float.of_int max_int
+let below t n = next t mod n
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

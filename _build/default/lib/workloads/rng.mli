@@ -1,0 +1,17 @@
+(** Deterministic splitmix64-style pseudo-random generator. All workload
+    generation is seeded, so every experiment is exactly reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** Uniform non-negative 62-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val below : t -> int -> int
+(** Uniform in [0, n). *)
+
+val bernoulli : t -> float -> bool
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,67 @@
+type suite = Int_2006 | Fp_2006 | Int_2000 | Fp_2000
+
+let suite_name = function
+  | Int_2006 -> "SPEC 2006 Int"
+  | Fp_2006 -> "SPEC 2006 FP"
+  | Int_2000 -> "SPEC 2000 Int"
+  | Fp_2000 -> "SPEC 2000 FP"
+
+type branch_class =
+  { count : int;
+    taken_rate : float;
+    predictability : float;
+    period : int;
+    iid : bool
+  }
+
+let cls ?(period = 8) ?(iid = false) ~count ~taken_rate ~predictability () =
+  { count; taken_rate; predictability; period; iid }
+
+type t =
+  { name : string;
+    suite : suite;
+    seed : int;
+    branch_classes : branch_class list;
+    loads_per_block : float;
+    extra_alu : int;
+    hoist_frac : float;
+    fp_mix : float;
+    footprint_kb : int;
+    chase_frac : float;
+    cond_depth : int;
+    cond_chase : bool;
+    a_loads : float;
+    a_alu : int;
+    procs : int;
+    inner_n : int;
+    cold_factor : int;
+    reps : int
+  }
+
+let total_sites t =
+  List.fold_left (fun n c -> n + c.count) 0 t.branch_classes
+
+let make ~name ~suite ~seed ~branch_classes ?(loads_per_block = 2.5)
+    ?(extra_alu = 2) ?(hoist_frac = 0.75) ?(fp_mix = 0.0) ?(footprint_kb = 16)
+    ?(chase_frac = 0.05) ?(cond_depth = 1) ?(cond_chase = false)
+    ?(a_loads = 0.0) ?(a_alu = 0) ?(procs = 2) ?(inner_n = 256)
+    ?(cold_factor = 3) ?(reps = 12) () =
+  { name;
+    suite;
+    seed;
+    branch_classes;
+    loads_per_block;
+    extra_alu;
+    hoist_frac;
+    fp_mix;
+    footprint_kb;
+    chase_frac;
+    cond_depth;
+    cond_chase;
+    a_loads;
+    a_alu;
+    procs;
+    inner_n;
+    cold_factor;
+    reps
+  }

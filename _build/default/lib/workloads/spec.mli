@@ -1,0 +1,96 @@
+(** Benchmark specifications.
+
+    Each SPEC benchmark is modelled as a synthetic kernel whose measurable
+    characteristics (per-branch bias and predictability, loads per block,
+    hoistable fraction, FP mix, data footprint and irregular-access share)
+    are calibrated to the paper's Table 2 metrics for that benchmark. See
+    DESIGN.md §2 for why this substitution preserves the experiments. *)
+
+type suite = Int_2006 | Fp_2006 | Int_2000 | Fp_2000
+
+val suite_name : suite -> string
+
+type branch_class =
+  { count : int;  (** static sites of this class *)
+    taken_rate : float;
+    predictability : float;
+    period : int;
+        (** base-pattern period of the condition stream. Short periods (8)
+            are learnable by every history predictor; long periods (16+)
+            need longer/better-allocated history, which is what separates
+            the predictor ladder in the §5.3 sensitivity study. *)
+    iid : bool
+        (** i.i.d. Bernoulli outcomes instead of pattern+noise: best
+            achievable accuracy equals the bias. Models highly biased
+            branches (whose rare direction is data-dependent noise) and
+            truly unpredictable hammocks. *)
+  }
+
+val cls :
+  ?period:int -> ?iid:bool -> count:int -> taken_rate:float ->
+  predictability:float -> unit -> branch_class
+(** [period] defaults to 8, [iid] to false. *)
+
+type t =
+  { name : string;
+    suite : suite;
+    seed : int;
+    branch_classes : branch_class list;
+        (** the population of forward hammock branches *)
+    loads_per_block : float;  (** ALPBB knob *)
+    extra_alu : int;  (** non-load work per successor block *)
+    hoist_frac : float;
+        (** fraction of a successor block before its first store (PHI) *)
+    fp_mix : float;  (** fraction of block ALU work sent to FP units *)
+    footprint_kb : int;  (** data array size; > 32 KB ⇒ L1-D misses *)
+    chase_frac : float;
+        (** fraction of data loads using a pseudo-random index *)
+    cond_depth : int;
+        (** extra dependent ALU ops between the condition load and the
+            compare — lengthens the resolution slice (raises ASPCB) *)
+    cond_chase : bool;
+        (** route a pointer-chase load into the condition's dependence
+            chain (value-neutral): branch resolution now waits on a
+            potentially missing load, the paper's high-ASPCB shape
+            (mcf, omnetpp, libquantum) *)
+    a_loads : float;
+    a_alu : int;
+        (** independent work inside the branch's own block. Large values
+            model the big basic blocks of FP codes, where the baseline
+            scheduler can already hide branch resolution — shrinking the
+            transformation's advantage *)
+    procs : int;  (** callee procedures the hot sites are spread across *)
+    inner_n : int;  (** hot inner-loop trip count (also stream length) *)
+    cold_factor : int;
+        (** highly biased sites live in a colder worker whose loop runs
+            [inner_n / cold_factor] trips: converted (hot) branches dominate
+            dynamically, as the paper's PDIH ≫ PBC rows show *)
+    reps : int  (** outer repetitions (caches warm after the first) *)
+  }
+
+val total_sites : t -> int
+
+val make :
+  name:string ->
+  suite:suite ->
+  seed:int ->
+  branch_classes:branch_class list ->
+  ?loads_per_block:float ->
+  ?extra_alu:int ->
+  ?hoist_frac:float ->
+  ?fp_mix:float ->
+  ?footprint_kb:int ->
+  ?chase_frac:float ->
+  ?cond_depth:int ->
+  ?cond_chase:bool ->
+  ?a_loads:float ->
+  ?a_alu:int ->
+  ?procs:int ->
+  ?inner_n:int ->
+  ?cold_factor:int ->
+  ?reps:int ->
+  unit ->
+  t
+(** Defaults: 2.5 loads/block, 2 extra ALU, hoist 0.75, no FP, 16 KB
+    footprint, 0.05 chase, cond_depth 1, no cond_chase, no A-block work,
+    2 procs, inner 256, cold_factor 3, reps 12. *)

@@ -1,0 +1,38 @@
+(* Base pattern of period [p] with [k] takens, spread evenly (Bresenham) so
+   that short-history predictors can learn it. *)
+let base_pattern ~period ~taken_rate =
+  let k =
+    Float.to_int (Float.round (taken_rate *. Float.of_int period))
+  in
+  let k = max 0 (min period k) in
+  Array.init period (fun i -> (i * k) mod period < k)
+
+let noise_for ~taken_rate ~predictability =
+  (* A replacement draw is Bernoulli(taken_rate); it disagrees with a
+     pattern element with probability close to the pattern's duty-cycle
+     mix. We solve for q in  accuracy = 1 - q * p_disagree. *)
+  let b = taken_rate in
+  let p_disagree = (b *. (1.0 -. b)) +. ((1.0 -. b) *. b) in
+  let p_disagree = Float.max 0.05 p_disagree in
+  let q = (1.0 -. predictability) /. p_disagree in
+  Float.max 0.0 (Float.min 1.0 q)
+
+let sequence ?(period = 8) ?noise ~rng ~taken_rate ~predictability ~length ()
+    =
+  if taken_rate < 0.0 || taken_rate > 1.0 then
+    invalid_arg "Stream.sequence: taken_rate out of [0,1]";
+  if predictability < 0.0 || predictability > 1.0 then
+    invalid_arg "Stream.sequence: predictability out of [0,1]";
+  if length <= 0 then invalid_arg "Stream.sequence: length <= 0";
+  if period <= 0 then invalid_arg "Stream.sequence: period <= 0";
+  let pattern = base_pattern ~period ~taken_rate in
+  let q =
+    match noise with
+    | Some q -> Float.max 0.0 (Float.min 1.0 q)
+    | None -> noise_for ~taken_rate ~predictability
+  in
+  Array.init length (fun i ->
+      if Rng.bernoulli rng q then Rng.bernoulli rng taken_rate
+      else pattern.(i mod period))
+
+let to_words seq = Array.map Bool.to_int seq

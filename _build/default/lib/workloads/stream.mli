@@ -1,0 +1,38 @@
+(** Synthesis of branch-condition sequences with controlled bias and
+    predictability.
+
+    A sequence is built from a short repeating base pattern (learnable by
+    any history-based predictor, hence ~100% predictable when noise-free)
+    whose duty cycle sets the {e bias}, plus i.i.d. noise that replaces a
+    pattern element with a fresh Bernoulli(taken-rate) draw — lowering
+    {e predictability} while preserving bias in expectation. This is the
+    knob pair behind the paper's Figures 2 and 3: bias and predictability
+    can be dialled independently (within [predictability >= bias]). *)
+
+val sequence :
+  ?period:int ->
+  ?noise:float ->
+  rng:Rng.t ->
+  taken_rate:float ->
+  predictability:float ->
+  length:int ->
+  unit ->
+  bool array
+(** [sequence ~rng ~taken_rate ~predictability ~length ()] returns a boolean
+    outcome sequence whose empirical taken-rate approaches [taken_rate] and
+    whose achievable prediction accuracy (for a pattern-learning predictor)
+    approaches [predictability]. [period] (default 8) sets the base-pattern
+    period: longer periods demand longer effective history from the
+    predictor. [noise] overrides the computed replacement probability;
+    [~noise:1.0] yields a pure i.i.d. Bernoulli sequence, whose best
+    achievable accuracy is its bias — how real highly-biased (or truly
+    unpredictable) branches behave. Raises [Invalid_argument] on rates
+    outside [0, 1], non-positive length or period. *)
+
+val noise_for : taken_rate:float -> predictability:float -> float
+(** The noise probability used by {!sequence}: solves
+    [1 - q * p_disagree = predictability] where [p_disagree] is the chance a
+    random replacement disagrees with the pattern element it displaces. *)
+
+val to_words : bool array -> int array
+(** 1/0 words for a data segment. *)

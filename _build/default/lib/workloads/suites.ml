@@ -1,0 +1,260 @@
+(* Per-benchmark calibration. The class populations follow the paper's
+   taxonomy (Figure 1): "eligible" sites are predictable-but-unbiased
+   (predictability well above bias — the transformation's target),
+   "biased" sites are highly biased with predictability ≈ bias (superblock
+   territory; they fail the 5% selection margin), and "hard" sites are
+   unbiased and unpredictable (predication territory; they supply MPPKI).
+   Long-period eligible sites ([~period:24]) are what the §5.3 predictor
+   ladder separates on. *)
+
+let eligible ?(period = 8) count rate pred =
+  Spec.cls ~period ~count ~taken_rate:rate ~predictability:pred ()
+
+(* Highly biased sites are i.i.d.: their rare direction is data-dependent
+   noise, so predictability collapses to bias and the 5% selection margin
+   excludes them (superblock territory, not ours). *)
+let biased count rate =
+  let bias = Float.max rate (1.0 -. rate) in
+  Spec.cls ~iid:true ~count ~taken_rate:rate ~predictability:bias ()
+
+(* Unbiased and unpredictable: predication territory. *)
+let hard count =
+  Spec.cls ~iid:true ~count ~taken_rate:0.5 ~predictability:0.5 ()
+
+let ref_inputs = 2
+
+let b = Spec.make
+
+let int_2006 =
+  [ b ~name:"h264ref" ~suite:Spec.Int_2006 ~seed:101
+      ~branch_classes:[ eligible 10 0.62 0.95; biased 8 0.93; hard 2 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.77 ~footprint_kb:16 ~chase_frac:0.02
+      ~cond_depth:6 ~cold_factor:8 ();
+    b ~name:"perlbench" ~suite:Spec.Int_2006 ~seed:102
+      ~branch_classes:[ eligible 9 0.60 0.975; biased 10 0.95 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.50 ~footprint_kb:16 ~chase_frac:0.02
+      ~cond_depth:7 ~cold_factor:7 ();
+    b ~name:"astar" ~suite:Spec.Int_2006 ~seed:103
+      ~branch_classes:[ eligible 8 0.58 0.96; biased 8 0.90; hard 4 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.75 ~footprint_kb:64 ~chase_frac:0.06
+      ~cond_depth:6 ~cold_factor:8 ();
+    b ~name:"omnetpp" ~suite:Spec.Int_2006 ~seed:104
+      ~branch_classes:[ eligible 5 0.60 0.93; biased 15 0.94; hard 1 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.80 ~footprint_kb:256
+      ~chase_frac:0.15 ~cond_chase:true ~cond_depth:2 ~cold_factor:5 ();
+    b ~name:"xalancbmk" ~suite:Spec.Int_2006 ~seed:105
+      ~branch_classes:[ eligible 5 0.62 0.94; biased 14 0.94; hard 1 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.85 ~footprint_kb:128
+      ~chase_frac:0.12 ~cond_depth:8 ~cold_factor:7 ();
+    b ~name:"sjeng" ~suite:Spec.Int_2006 ~seed:106
+      ~branch_classes:[ eligible 6 0.58 0.96; biased 14 0.93; hard 3 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.60 ~footprint_kb:32 ~chase_frac:0.05
+      ~cond_depth:8 ~cold_factor:5 ();
+    b ~name:"gobmk" ~suite:Spec.Int_2006 ~seed:107
+      ~branch_classes:[ eligible 4 0.56 0.95; biased 18 0.92; hard 5 ]
+      ~loads_per_block:3.4 ~hoist_frac:0.84 ~footprint_kb:32 ~chase_frac:0.05
+      ~cond_depth:7 ~cold_factor:8 ();
+    b ~name:"gcc" ~suite:Spec.Int_2006 ~seed:108
+      ~branch_classes:[ eligible 6 0.60 0.93; biased 17 0.94; hard 2 ]
+      ~loads_per_block:2.3 ~hoist_frac:0.75 ~footprint_kb:64 ~chase_frac:0.08
+      ~cond_depth:8 ~cold_factor:6 ();
+    b ~name:"mcf" ~suite:Spec.Int_2006 ~seed:109
+      ~branch_classes:[ eligible 8 0.58 0.96; biased 12 0.92; hard 5 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.74 ~footprint_kb:4096
+      ~chase_frac:0.35 ~cond_chase:true ~cond_depth:2 ~cold_factor:4 ();
+    b ~name:"bzip2" ~suite:Spec.Int_2006 ~seed:110
+      ~branch_classes:[ eligible 3 0.60 0.93; biased 17 0.93; hard 2 ]
+      ~loads_per_block:3.4 ~hoist_frac:0.61 ~footprint_kb:64 ~chase_frac:0.05
+      ~cond_depth:8 ~cold_factor:4 ();
+    b ~name:"hmmer" ~suite:Spec.Int_2006 ~seed:111
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 17 0.97 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.98 ~footprint_kb:16 ~chase_frac:0.01
+      ~a_alu:6 ~cond_depth:9 ~cold_factor:3 ();
+    b ~name:"libquantum" ~suite:Spec.Int_2006 ~seed:112
+      ~branch_classes:[ eligible 1 0.60 0.97; biased 16 0.97 ]
+      ~loads_per_block:1.0 ~extra_alu:4 ~hoist_frac:0.78 ~footprint_kb:64
+      ~chase_frac:0.05 ~cond_chase:true ~cond_depth:2 ~cold_factor:2 ()
+  ]
+
+let fp_2006 =
+  [ b ~name:"wrf" ~suite:Spec.Fp_2006 ~seed:201
+      ~branch_classes:[ eligible 7 0.60 0.985; biased 20 0.97 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.85 ~fp_mix:0.5 ~footprint_kb:32
+      ~chase_frac:0.02 ~a_alu:2 ~cond_depth:10 ~cold_factor:12 ();
+    b ~name:"povray" ~suite:Spec.Fp_2006 ~seed:202
+      ~branch_classes:[ eligible 7 0.62 0.975; biased 18 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.85 ~fp_mix:0.5 ~footprint_kb:16
+      ~a_alu:2 ~cond_depth:6 ~cold_factor:9 ();
+    b ~name:"tonto" ~suite:Spec.Fp_2006 ~seed:203
+      ~branch_classes:[ eligible 7 0.60 0.96; biased 16 0.96; hard 2 ]
+      ~loads_per_block:3.1 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:32 ~cond_depth:5 ~cold_factor:4 ();
+    b ~name:"gamess" ~suite:Spec.Fp_2006 ~seed:204
+      ~branch_classes:[ eligible 7 0.60 0.96; biased 12 0.95; hard 1 ]
+      ~loads_per_block:3.5 ~hoist_frac:0.54 ~fp_mix:0.5 ~footprint_kb:32 ~cond_depth:7 ~cold_factor:2 ();
+    b ~name:"calculix" ~suite:Spec.Fp_2006 ~seed:205
+      ~branch_classes:[ eligible 5 0.60 0.94; biased 18 0.94; hard 2 ]
+      ~loads_per_block:2.1 ~hoist_frac:0.45 ~fp_mix:0.5 ~footprint_kb:32 ~cond_depth:7 ~cold_factor:5 ();
+    b ~name:"milc" ~suite:Spec.Fp_2006 ~seed:206
+      ~branch_classes:[ eligible 6 0.60 0.985; biased 18 0.97 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.77 ~fp_mix:0.5 ~footprint_kb:128
+      ~chase_frac:0.05 ~a_alu:4 ~cond_depth:9 ~cold_factor:4 ();
+    b ~name:"soplex" ~suite:Spec.Fp_2006 ~seed:207
+      ~branch_classes:[ eligible 3 0.60 0.96; biased 18 0.95; hard 1 ]
+      ~loads_per_block:1.0 ~hoist_frac:0.49 ~fp_mix:0.5 ~footprint_kb:256
+      ~chase_frac:0.08 ~cond_depth:11 ~cold_factor:4 ();
+    b ~name:"namd" ~suite:Spec.Fp_2006 ~seed:208
+      ~branch_classes:[ eligible 6 0.60 0.98; biased 18 0.97 ]
+      ~loads_per_block:2.4 ~hoist_frac:0.94 ~fp_mix:0.5 ~footprint_kb:32
+      ~a_alu:4 ~cond_depth:7 ~cold_factor:3 ();
+    b ~name:"lbm" ~suite:Spec.Fp_2006 ~seed:209
+      ~branch_classes:[ eligible 5 0.60 0.985; biased 16 0.97 ]
+      ~loads_per_block:5.0 ~extra_alu:8 ~hoist_frac:0.66 ~fp_mix:0.5
+      ~footprint_kb:512 ~chase_frac:0.05 ~a_alu:10 ~cond_chase:true ~cond_depth:4 ~cold_factor:2 ();
+    b ~name:"gromacs" ~suite:Spec.Fp_2006 ~seed:210
+      ~branch_classes:[ eligible 5 0.60 0.97; biased 18 0.96 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.88 ~fp_mix:0.5 ~footprint_kb:32
+      ~a_alu:5 ~cond_depth:11 ~cold_factor:3 ();
+    b ~name:"sphinx3" ~suite:Spec.Fp_2006 ~seed:211
+      ~branch_classes:[ eligible 4 0.60 0.96; biased 20 0.96; hard 1 ]
+      ~loads_per_block:2.6 ~hoist_frac:0.87 ~fp_mix:0.5 ~footprint_kb:128
+      ~chase_frac:0.06 ~a_alu:1 ~cond_depth:11 ~cold_factor:4 ();
+    b ~name:"bwaves" ~suite:Spec.Fp_2006 ~seed:212
+      ~branch_classes:[ eligible 6 0.60 0.97; biased 15 0.96 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.30 ~fp_mix:0.5 ~footprint_kb:256
+      ~a_alu:6 ~cond_depth:7 ~cold_factor:3 ();
+    b ~name:"GemsFDTD" ~suite:Spec.Fp_2006 ~seed:213
+      ~branch_classes:[ eligible 2 0.60 0.97; biased 19 0.96 ]
+      ~loads_per_block:3.2 ~hoist_frac:0.68 ~fp_mix:0.5 ~footprint_kb:256
+      ~a_alu:6 ~cond_depth:10 ~cold_factor:3 ();
+    b ~name:"zeusmp" ~suite:Spec.Fp_2006 ~seed:214
+      ~branch_classes:[ eligible 5 0.60 0.98; biased 18 0.97 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.85 ~fp_mix:0.5 ~footprint_kb:256
+      ~a_alu:8 ~cond_depth:11 ~cold_factor:2 ();
+    b ~name:"dealII" ~suite:Spec.Fp_2006 ~seed:215
+      ~branch_classes:[ eligible 3 0.58 0.955; biased 24 0.96; hard 1 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.35 ~fp_mix:0.5 ~footprint_kb:64 ~cond_depth:7 ~cold_factor:2 ();
+    b ~name:"cactusADM" ~suite:Spec.Fp_2006 ~seed:216
+      ~branch_classes:[ eligible 3 0.60 0.98; biased 24 0.97 ]
+      ~loads_per_block:6.0 ~extra_alu:8 ~hoist_frac:0.97 ~fp_mix:0.5
+      ~footprint_kb:256 ~a_alu:14 ~a_loads:3.0 ~cond_depth:7 ~cold_factor:2 ();
+    b ~name:"leslie3d" ~suite:Spec.Fp_2006 ~seed:217
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 19 0.97 ]
+      ~loads_per_block:6.0 ~extra_alu:8 ~hoist_frac:0.94 ~fp_mix:0.5
+      ~footprint_kb:256 ~a_alu:14 ~a_loads:3.0 ~cond_depth:13 ~cold_factor:2 ()
+  ]
+
+let int_2000 =
+  [ b ~name:"gzip" ~suite:Spec.Int_2000 ~seed:301
+      ~branch_classes:[ eligible 6 0.60 0.96; biased 14 0.94; hard 1 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.70 ~footprint_kb:128
+      ~chase_frac:0.10 ~cond_depth:6 ~cold_factor:6 ();
+    b ~name:"vpr" ~suite:Spec.Int_2000 ~seed:302
+      ~branch_classes:[ eligible 3 0.58 0.93; biased 20 0.93; hard 2 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.65 ~footprint_kb:64 ~chase_frac:0.08
+      ~cond_depth:6 ~cold_factor:3 ();
+    b ~name:"gcc.2k" ~suite:Spec.Int_2000 ~seed:303
+      ~branch_classes:[ eligible 7 0.60 0.96; biased 14 0.95; hard 1 ]
+      ~loads_per_block:2.3 ~hoist_frac:0.70 ~footprint_kb:32 ~chase_frac:0.04
+      ~cond_depth:6 ~cold_factor:6 ();
+    b ~name:"mcf.2k" ~suite:Spec.Int_2000 ~seed:304
+      ~branch_classes:[ eligible 8 0.58 0.97; biased 10 0.93; hard 3 ]
+      ~loads_per_block:5.0 ~hoist_frac:0.74 ~footprint_kb:2048
+      ~chase_frac:0.30 ~cond_chase:true ~cond_depth:2 ~cold_factor:6 ();
+    b ~name:"crafty" ~suite:Spec.Int_2000 ~seed:305
+      ~branch_classes:[ eligible 8 0.60 0.96; biased 12 0.94; hard 2 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~footprint_kb:16 ~chase_frac:0.02
+      ~cond_depth:6 ~cold_factor:7 ();
+    b ~name:"parser" ~suite:Spec.Int_2000 ~seed:306
+      ~branch_classes:[ eligible 7 0.60 0.955; biased 14 0.94; hard 2 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.70 ~footprint_kb:32 ~cond_depth:6 ~cold_factor:6 ();
+    b ~name:"eon" ~suite:Spec.Int_2000 ~seed:307
+      ~branch_classes:[ eligible 8 0.62 0.97; biased 12 0.95 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.2 ~footprint_kb:16 ~cond_depth:6 ~cold_factor:7 ();
+    b ~name:"perlbmk" ~suite:Spec.Int_2000 ~seed:308
+      ~branch_classes:[ eligible 6 0.60 0.97; biased 14 0.95 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.55 ~footprint_kb:16 ~cond_depth:7 ~cold_factor:6 ();
+    b ~name:"gap" ~suite:Spec.Int_2000 ~seed:309
+      ~branch_classes:[ eligible 8 0.60 0.96; biased 12 0.94; hard 1 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~footprint_kb:64 ~chase_frac:0.05
+      ~cond_depth:6 ~cold_factor:6 ();
+    b ~name:"vortex" ~suite:Spec.Int_2000 ~seed:310
+      ~branch_classes:[ eligible 10 0.60 0.97; biased 10 0.95 ]
+      ~loads_per_block:3.5 ~hoist_frac:0.80 ~footprint_kb:32 ~chase_frac:0.03
+      ~cond_depth:7 ~cold_factor:8 ();
+    b ~name:"bzip2.2k" ~suite:Spec.Int_2000 ~seed:311
+      ~branch_classes:[ eligible 4 0.60 0.95; biased 16 0.94; hard 1 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.60 ~footprint_kb:64 ~cond_depth:7 ~cold_factor:4 ();
+    b ~name:"twolf" ~suite:Spec.Int_2000 ~seed:312
+      ~branch_classes:[ eligible 3 0.56 0.92; biased 20 0.92; hard 3 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.60 ~footprint_kb:128
+      ~chase_frac:0.12 ~cond_depth:6 ~cold_factor:3 ()
+  ]
+
+let fp_2000 =
+  [ b ~name:"art" ~suite:Spec.Fp_2000 ~seed:401
+      ~branch_classes:[ eligible 5 0.60 0.985; biased 18 0.97 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:256
+      ~chase_frac:0.10 ~a_alu:4 ~cond_depth:8 ~cold_factor:8 ();
+    b ~name:"ammp" ~suite:Spec.Fp_2000 ~seed:402
+      ~branch_classes:[ eligible 5 0.60 0.98; biased 18 0.97 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:128
+      ~chase_frac:0.08 ~a_alu:4 ~cond_depth:8 ~cold_factor:7 ();
+    b ~name:"mesa" ~suite:Spec.Fp_2000 ~seed:403
+      ~branch_classes:[ eligible 5 0.62 0.98; biased 19 0.97 ]
+      ~loads_per_block:2.5 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:32
+      ~a_alu:3 ~cond_depth:7 ~cold_factor:7 ();
+    b ~name:"wupwise" ~suite:Spec.Fp_2000 ~seed:404
+      ~branch_classes:[ eligible 4 0.60 0.975; biased 20 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~fp_mix:0.5 ~footprint_kb:64
+      ~a_alu:6 ~cond_depth:8 ~cold_factor:5 ();
+    b ~name:"facerec" ~suite:Spec.Fp_2000 ~seed:405
+      ~branch_classes:[ eligible 4 0.60 0.975; biased 20 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.70 ~fp_mix:0.5 ~footprint_kb:128
+      ~a_alu:6 ~cond_depth:8 ~cold_factor:5 ();
+    b ~name:"swim" ~suite:Spec.Fp_2000 ~seed:406
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 20 0.97 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.85 ~fp_mix:0.5 ~footprint_kb:512
+      ~a_alu:12 ~cond_depth:9 ~cold_factor:3 ();
+    b ~name:"mgrid" ~suite:Spec.Fp_2000 ~seed:407
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 20 0.97 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.85 ~fp_mix:0.5 ~footprint_kb:256
+      ~a_alu:12 ~cond_depth:9 ~cold_factor:3 ();
+    b ~name:"applu" ~suite:Spec.Fp_2000 ~seed:408
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 20 0.97 ]
+      ~loads_per_block:4.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:256
+      ~a_alu:10 ~cond_depth:8 ~cold_factor:3 ();
+    b ~name:"galgel" ~suite:Spec.Fp_2000 ~seed:409
+      ~branch_classes:[ eligible 3 0.60 0.975; biased 20 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:128
+      ~a_alu:8 ~cond_depth:8 ~cold_factor:3 ();
+    b ~name:"equake" ~suite:Spec.Fp_2000 ~seed:410
+      ~branch_classes:[ eligible 3 0.60 0.97; biased 18 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~fp_mix:0.5 ~footprint_kb:256
+      ~chase_frac:0.08 ~a_alu:4 ~cond_depth:8 ~cold_factor:3 ();
+    b ~name:"lucas" ~suite:Spec.Fp_2000 ~seed:411
+      ~branch_classes:[ eligible 2 0.60 0.98; biased 20 0.97 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:128
+      ~a_alu:10 ~cond_depth:9 ~cold_factor:2 ();
+    b ~name:"fma3d" ~suite:Spec.Fp_2000 ~seed:412
+      ~branch_classes:[ eligible 2 0.60 0.975; biased 22 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~fp_mix:0.5 ~footprint_kb:128
+      ~a_alu:8 ~cond_depth:8 ~cold_factor:2 ();
+    b ~name:"sixtrack" ~suite:Spec.Fp_2000 ~seed:413
+      ~branch_classes:[ eligible 2 0.60 0.975; biased 22 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.80 ~fp_mix:0.5 ~footprint_kb:64
+      ~a_alu:10 ~cond_depth:8 ~cold_factor:2 ();
+    b ~name:"apsi" ~suite:Spec.Fp_2000 ~seed:414
+      ~branch_classes:[ eligible 2 0.60 0.975; biased 20 0.96 ]
+      ~loads_per_block:3.0 ~hoist_frac:0.75 ~fp_mix:0.5 ~footprint_kb:128
+      ~a_alu:8 ~cond_depth:8 ~cold_factor:2 ()
+  ]
+
+let all = int_2006 @ fp_2006 @ int_2000 @ fp_2000
+
+let of_suite = function
+  | Spec.Int_2006 -> int_2006
+  | Spec.Fp_2006 -> fp_2006
+  | Spec.Int_2000 -> int_2000
+  | Spec.Fp_2000 -> fp_2000
+
+let find name = List.find_opt (fun s -> String.equal s.Spec.name name) all

@@ -1,0 +1,20 @@
+(** The benchmark suites: synthetic stand-ins for SPEC 2006 INT (12),
+    SPEC 2006 FP (17), SPEC 2000 INT (12) and SPEC 2000 FP (14), each
+    calibrated to the corresponding row of the paper's Table 2 (PBC via the
+    eligible-site share, ALPBB via loads-per-block, PHI via store placement,
+    MPPKI via stream noise and hard-branch count, D$ behaviour via footprint
+    and pointer-chase share, ASPCB via condition depth/chase). See DESIGN.md
+    for the substitution argument. *)
+
+val int_2006 : Spec.t list
+val fp_2006 : Spec.t list
+val int_2000 : Spec.t list
+val fp_2000 : Spec.t list
+
+val all : Spec.t list
+val of_suite : Spec.suite -> Spec.t list
+val find : string -> Spec.t option
+
+val ref_inputs : int
+(** Number of REF inputs simulated per benchmark (input indices
+    [1 .. ref_inputs]; input 0 is the TRAIN input used for profiling). *)

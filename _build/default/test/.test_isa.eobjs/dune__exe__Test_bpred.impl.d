@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Array Bimodal Bool Btb Bv_bpred Bv_workloads Float Gshare Isl_tage Kind List Perceptron Predictor Printf QCheck2 QCheck_alcotest Ras Tage Tournament

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bv_cache Fmt Hierarchy QCheck2 QCheck_alcotest Sa_cache

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Block Bv_exec Bv_ir Bv_isa Instr Interp Layout Proc Program Reg Term

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Bv_ir Bv_isa Cfg Format Hashtbl Instr Layout List Liveness Proc Program Reg String Term

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bv_isa Fmt Instr Label List QCheck2 QCheck_alcotest Reg

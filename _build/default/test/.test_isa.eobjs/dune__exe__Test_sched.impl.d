@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Block Bv_exec Bv_ir Bv_isa Bv_sched Instr Layout List Proc Program QCheck2 QCheck_alcotest Reg Term Validate

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Array Asm Bv_exec Bv_ir Bv_isa Dominators Dot Format Instr Layout List Program Recover Reg String Vanguard

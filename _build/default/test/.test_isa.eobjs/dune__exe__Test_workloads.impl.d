@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bool Bv_bpred Bv_exec Bv_ir Bv_isa Bv_profile Bv_workloads Float Fun Gen List Option Printf QCheck2 QCheck_alcotest Rng Spec Stream Suites Vanguard

@@ -1,0 +1,279 @@
+(* Whole-program fuzzing: generate random structured programs (straight
+   blocks, hammocks, bounded loops, leaf calls), then check every pillar on
+   them:
+
+   - the interpreter runs them to completion without faults;
+   - the timing model matches the interpreter's architectural digest at
+     every width (wrong-path execution, rollback, store buffering ...);
+   - the list scheduler preserves semantics program-wide;
+   - control-flow recovery round-trips;
+   - the Decomposed Branch Transformation preserves semantics on every
+     shape-valid site at once, both functionally and through the machine. *)
+
+open Bv_isa
+open Bv_ir
+
+let r = Reg.make
+
+(* --------------------------------------------------------- generator -- *)
+
+(* Register conventions for generated programs: r1..r4 induction/scratch,
+   r5 condition, r6..r19 data. Memory: 64 words, all addresses immediate-
+   offset from r0 (always 0). *)
+
+type gstate =
+  { rng : Bv_workloads.Rng.t;
+    mutable next_label : int;
+    mutable next_site : int;
+    mutable blocks : Block.t list;  (* reversed *)
+    mutable procs : Proc.t list
+  }
+
+let fresh_label g prefix =
+  g.next_label <- g.next_label + 1;
+  Printf.sprintf "%s%d" prefix g.next_label
+
+let fresh_site g =
+  g.next_site <- g.next_site + 1;
+  g.next_site
+
+let rand_reg g lo hi = r (lo + Bv_workloads.Rng.below g.rng (hi - lo + 1))
+
+let rand_instr g =
+  match Bv_workloads.Rng.below g.rng 7 with
+  | 0 ->
+    Instr.Mov { dst = rand_reg g 6 19; src = Instr.Imm (Bv_workloads.Rng.below g.rng 100) }
+  | 1 ->
+    Instr.Alu
+      { op = List.nth Instr.[ Add; Sub; Xor; And; Or ] (Bv_workloads.Rng.below g.rng 5);
+        dst = rand_reg g 6 19;
+        src1 = rand_reg g 6 19;
+        src2 = Instr.Reg (rand_reg g 6 19)
+      }
+  | 2 ->
+    Instr.Alu
+      { op = Instr.Add; dst = rand_reg g 6 19; src1 = rand_reg g 6 19;
+        src2 = Instr.Imm (Bv_workloads.Rng.below g.rng 50)
+      }
+  | 3 ->
+    Instr.Load
+      { dst = rand_reg g 6 19; base = r 0;
+        offset = 8 * Bv_workloads.Rng.below g.rng 64; speculative = false
+      }
+  | 4 ->
+    Instr.Store
+      { src = rand_reg g 6 19; base = r 0;
+        offset = 8 * Bv_workloads.Rng.below g.rng 64
+      }
+  | 5 ->
+    Instr.Cmov
+      { on = Bv_workloads.Rng.below g.rng 2 = 0; cond = rand_reg g 6 19;
+        dst = rand_reg g 6 19; src = Instr.Reg (rand_reg g 6 19)
+      }
+  | _ ->
+    Instr.Fpu
+      { op = Instr.Mul; dst = rand_reg g 6 19; src1 = rand_reg g 6 19;
+        src2 = Instr.Imm (1 + Bv_workloads.Rng.below g.rng 5)
+      }
+
+let rand_body g n = List.init n (fun _ -> rand_instr g)
+
+let emit g label body term =
+  g.blocks <- Block.make ~label ~body ~term :: g.blocks
+
+(* Emit a structured segment; control enters at [entry] and leaves at the
+   returned label (which the caller will define next). *)
+let rec emit_segment g ~depth ~entry =
+  let exit_label = fresh_label g "x" in
+  (* loops only nest twice: deeper nests multiply trip counts into machine
+     runs that dominate the test budget *)
+  (match Bv_workloads.Rng.below g.rng (if depth >= 2 then 2 else 4) with
+  | 0 ->
+    (* straight-line *)
+    emit g entry
+      (rand_body g (1 + Bv_workloads.Rng.below g.rng 8))
+      (Term.Jump exit_label)
+  | 1 ->
+    (* hammock: condition derived from data-register parity *)
+    let site = fresh_site g in
+    let b = fresh_label g "b" and c = fresh_label g "c" in
+    let src = rand_reg g 6 19 in
+    emit g entry
+      (rand_body g (Bv_workloads.Rng.below g.rng 4)
+      @ [ Instr.Alu { op = Instr.And; dst = r 5; src1 = src; src2 = Instr.Imm 1 } ])
+      (Term.Branch { on = true; src = r 5; taken = c; not_taken = b; id = site });
+    emit g b (rand_body g (1 + Bv_workloads.Rng.below g.rng 6)) (Term.Jump exit_label);
+    emit g c (rand_body g (1 + Bv_workloads.Rng.below g.rng 6)) (Term.Jump exit_label)
+  | 2 ->
+    (* bounded counted loop with a nested segment *)
+    let site = fresh_site g in
+    let head = fresh_label g "h" and latch = fresh_label g "l" in
+    let trips = 2 + Bv_workloads.Rng.below g.rng 3 in
+    (* counters are assigned by nesting depth: an inner loop must never
+       reset an enclosing loop's counter *)
+    let counter = r (2 + min depth 2) in
+    emit g entry
+      [ Instr.Mov { dst = counter; src = Instr.Imm 0 } ]
+      (Term.Jump head);
+    emit_segment_to g ~depth:(depth + 1) ~entry:head ~next:latch;
+    emit g latch
+      [ Instr.Alu { op = Instr.Add; dst = counter; src1 = counter; src2 = Instr.Imm 1 };
+        Instr.Cmp { op = Instr.Lt; dst = r 5; src1 = counter; src2 = Instr.Imm trips }
+      ]
+      (Term.Branch
+         { on = true; src = r 5; taken = head; not_taken = exit_label;
+           id = site });
+    ()
+  | _ ->
+    (* call a fresh leaf procedure *)
+    let pname = fresh_label g "leaf" in
+    let pentry = fresh_label g "pe" in
+    g.procs <-
+      Proc.make ~name:pname
+        [ Block.make ~label:pentry
+            ~body:(rand_body g (1 + Bv_workloads.Rng.below g.rng 6))
+            ~term:Term.Ret
+        ]
+      :: g.procs;
+    emit g entry [] (Term.Call { target = pname; return_to = exit_label }));
+  exit_label
+
+and emit_segment_to g ~depth ~entry ~next =
+  (* a segment that must end by jumping to [next] *)
+  let out = emit_segment g ~depth ~entry in
+  emit g out [] (Term.Jump next)
+
+let gen_program seed =
+  let g =
+    { rng = Bv_workloads.Rng.create ~seed;
+      next_label = 0;
+      next_site = 0;
+      blocks = [];
+      procs = []
+    }
+  in
+  let n_segments = 2 + Bv_workloads.Rng.below g.rng 3 in
+  let entry = "entry" in
+  let rec chain entry k =
+    if k = 0 then emit g entry [] Term.Halt
+    else begin
+      let next = emit_segment g ~depth:0 ~entry in
+      chain next (k - 1)
+    end
+  in
+  chain entry n_segments;
+  let main = Proc.make ~name:"m" ~entry (List.rev g.blocks) in
+  Program.make ~mem_words:64 ~main:"m" (main :: g.procs)
+
+(* The generator orders blocks by emission; the entry must come first,
+   which [chain] guarantees by emitting "entry" first. *)
+
+let digest img = Bv_exec.Interp.arch_digest (Bv_exec.Interp.run img)
+
+let seeds = QCheck2.Gen.int_range 0 100_000
+
+let prop_generated_programs_run =
+  QCheck2.Test.make ~name:"generated programs validate and halt" ~count:150
+    seeds
+    (fun seed ->
+      let prog = gen_program seed in
+      Validate.check_exn prog;
+      let st = Bv_exec.Interp.run ~max_instrs:5_000_000 (Layout.program prog) in
+      st.Bv_exec.Interp.halted)
+
+let prop_machine_matches_interp =
+  QCheck2.Test.make ~name:"machine digest = interpreter digest (all widths)"
+    ~count:40 seeds
+    (fun seed ->
+      let img = Layout.program (gen_program seed) in
+      let want = digest img in
+      List.for_all
+        (fun config ->
+          let res = Bv_pipeline.Machine.run ~config img in
+          res.Bv_pipeline.Machine.finished
+          && res.Bv_pipeline.Machine.arch_digest = want)
+        Bv_pipeline.Config.[ two_wide; four_wide; eight_wide ])
+
+let prop_scheduler_preserves_programs =
+  QCheck2.Test.make ~name:"program-wide scheduling preserves semantics"
+    ~count:100 seeds
+    (fun seed ->
+      let prog = gen_program seed in
+      let want = digest (Layout.program (Program.copy prog)) in
+      Bv_sched.Sched.schedule_program prog;
+      digest (Layout.program prog) = want)
+
+let prop_recover_roundtrip =
+  QCheck2.Test.make ~name:"recovery round-trips generated programs"
+    ~count:100 seeds
+    (fun seed ->
+      let img = Layout.program (gen_program seed) in
+      let img2 = Layout.program (Recover.image img) in
+      Array.length img.Layout.code = Array.length img2.Layout.code
+      && digest img = digest img2)
+
+let shape_valid_candidates prog =
+  (* every forward hammock the selector would consider, regardless of
+     profile statistics *)
+  let image = Layout.program (Program.copy prog) in
+  let profile =
+    Bv_profile.Profile.collect
+      ~predictor:(Bv_bpred.Kind.create Bv_bpred.Kind.Always_not_taken)
+      image
+  in
+  (Vanguard.Select.select ~threshold:(-2.0) ~min_executed:0 ~profile prog)
+    .Vanguard.Select.candidates
+
+let prop_transform_all_sites =
+  QCheck2.Test.make
+    ~name:"transforming every shape-valid site preserves semantics"
+    ~count:60 seeds
+    (fun seed ->
+      let prog = gen_program seed in
+      let want = digest (Layout.program (Program.copy prog)) in
+      let candidates = shape_valid_candidates prog in
+      let result = Vanguard.Transform.apply ~candidates prog in
+      let img = Layout.program result.Vanguard.Transform.program in
+      digest img = want
+      &&
+      let res =
+        Bv_pipeline.Machine.run ~config:Bv_pipeline.Config.four_wide img
+      in
+      res.Bv_pipeline.Machine.finished
+      && res.Bv_pipeline.Machine.arch_digest = want)
+
+let prop_encoding_whole_images =
+  QCheck2.Test.make ~name:"whole images encode and decode losslessly"
+    ~count:60 seeds
+    (fun seed ->
+      let img = Layout.program (gen_program seed) in
+      let resolve l = Layout.resolve img l in
+      (* invert the label table *)
+      let by_pc = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun l pc -> if not (Hashtbl.mem by_pc pc) then Hashtbl.add by_pc pc l)
+        img.Layout.labels;
+      let label_of pc = Hashtbl.find by_pc pc in
+      Array.for_all
+        (fun i ->
+          let w = Encoding.encode ~resolve i in
+          let back = Encoding.decode ~label_of w in
+          (* compare via resolved targets (labels may alias per pc) *)
+          match (Instr.branch_target i, Instr.branch_target back) with
+          | None, None -> i = back
+          | Some a, Some b -> resolve a = resolve b
+          | _ -> false)
+        img.Layout.code)
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "whole-program properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_programs_run;
+            prop_machine_matches_interp;
+            prop_scheduler_preserves_programs;
+            prop_recover_roundtrip;
+            prop_transform_all_sites;
+            prop_encoding_whole_images
+          ] )
+    ]

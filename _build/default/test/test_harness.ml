@@ -1,0 +1,129 @@
+open Bv_harness
+open Bv_workloads
+
+let tiny_spec =
+  Spec.make ~name:"tiny-harness" ~suite:Spec.Int_2006 ~seed:21
+    ~branch_classes:
+      [ Spec.cls ~count:3 ~taken_rate:0.6 ~predictability:0.95 ();
+        Spec.cls ~iid:true ~count:2 ~taken_rate:0.93 ~predictability:0.93 ()
+      ]
+    ~inner_n:64 ~reps:3 ()
+
+let bench = lazy (Runner.prepare tiny_spec)
+
+let test_geomean () =
+  Alcotest.(check (float 0.0001)) "empty" 1.0 (Agg.geomean []);
+  Alcotest.(check (float 0.0001)) "pair" 2.0 (Agg.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 0.01)) "speedup pct" 10.0
+    (Agg.geomean_speedup_pct [ 10.0; 10.0 ]);
+  Alcotest.(check (float 0.0001)) "mean" 2.0 (Agg.mean [ 1.0; 3.0 ]);
+  Alcotest.(check (float 0.0001)) "max_or default" 5.0 (Agg.max_or 5.0 []);
+  Alcotest.(check (float 0.0001)) "max_or" 3.0 (Agg.max_or 0.0 [ 1.0; 3.0 ])
+
+let test_text_render () =
+  let t = Text.render ~headers:[ "name"; "value" ] [ [ "a"; "1.5" ]; [ "bb"; "10.25" ] ] in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  (* all lines equal width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check string) "bar" "###" (Text.bar 3.2 ~width:10 ~scale:1.0);
+  Alcotest.(check string) "bar capped" "#####" (Text.bar 99.0 ~width:5 ~scale:1.0);
+  Alcotest.(check string) "f1" "1.2" (Text.f1 1.25)
+
+let test_csv () =
+  let out = Text.csv ~headers:[ "a"; "b" ] [ [ "1,5"; "x\"y" ]; [ "2"; "z" ] ] in
+  Alcotest.(check string) "escaped"
+    "a,b\n\"1,5\",\"x\"\"y\"\n2,z" out
+
+let test_prepare_and_metrics () =
+  let b = Lazy.force bench in
+  Alcotest.(check bool) "selected something" true
+    ((Runner.selection b).Vanguard.Select.candidates <> []);
+  Alcotest.(check bool) "piscs positive" true (Runner.piscs b > 0.0);
+  Alcotest.(check bool) "static grew" true
+    (Runner.experimental_static b > Runner.baseline_static b);
+  let row = Metrics.table2_row b in
+  Alcotest.(check bool) "pbc in range" true
+    (row.Metrics.pbc > 0.0 && row.Metrics.pbc <= 100.0);
+  Alcotest.(check bool) "phi in range" true
+    (row.Metrics.phi >= 0.0 && row.Metrics.phi <= 100.0);
+  Alcotest.(check bool) "alpbb positive" true (row.Metrics.alpbb > 0.0);
+  Alcotest.(check bool) "aspcb at least a load+cmp" true
+    (row.Metrics.aspcb >= 4.0)
+
+let test_simulate_cross_checked () =
+  let b = Lazy.force bench in
+  let pair = Runner.simulate b ~input:1 ~width:4 in
+  Alcotest.(check bool) "both finished" true
+    (pair.Runner.base.Bv_pipeline.Machine.finished
+    && pair.Runner.exp.Bv_pipeline.Machine.finished);
+  (* memoisation returns the same physical result *)
+  let pair2 = Runner.simulate b ~input:1 ~width:4 in
+  Alcotest.(check bool) "memoised" true (pair == pair2)
+
+let test_best_ge_avg () =
+  let b = Lazy.force bench in
+  Alcotest.(check bool) "best >= avg" true
+    (Runner.best_speedup b ~width:4 >= Runner.avg_speedup b ~width:4 -. 1e-9)
+
+let test_alpbb_known () =
+  let open Bv_ir in
+  let open Bv_isa in
+  let r = Reg.make in
+  let ld d = Instr.Load { dst = r d; base = r 0; offset = 0; speculative = false } in
+  let prog =
+    Program.make ~main:"m" ~mem_words:2
+      [ Proc.make ~name:"m"
+          [ Block.make ~label:"a" ~body:[ ld 1; ld 2 ] ~term:(Term.Jump "b");
+            Block.make ~label:"b" ~body:[ ld 3 ] ~term:Term.Halt
+          ]
+      ]
+  in
+  Alcotest.(check (float 0.001)) "alpbb" 1.5 (Metrics.alpbb prog)
+
+let test_experiments_registry () =
+  Alcotest.(check int) "18 experiments" 18 (List.length Experiments.all);
+  Alcotest.(check bool) "find fig8" true (Experiments.find "fig8" <> None);
+  Alcotest.(check bool) "find nothing" true (Experiments.find "zzz" = None);
+  (* table1 is cheap: render it *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match Experiments.find "table1" with
+  | Some f ->
+    f ppf;
+    Format.pp_print_flush ppf ()
+  | None -> Alcotest.fail "table1 missing");
+  Alcotest.(check bool) "mentions widths" true
+    (Buffer.length buf > 200)
+
+let prop_geomean_between_min_max =
+  QCheck2.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 10.0))
+    (fun xs ->
+      let g = Agg.geomean xs in
+      let mn = List.fold_left Float.min infinity xs in
+      let mx = List.fold_left Float.max neg_infinity xs in
+      g >= mn -. 1e-9 && g <= mx +. 1e-9)
+
+let () =
+  Alcotest.run "bv_harness"
+    [ ( "agg",
+        [ Alcotest.test_case "geomean" `Quick test_geomean;
+          QCheck_alcotest.to_alcotest prop_geomean_between_min_max
+        ] );
+      ( "text",
+        [ Alcotest.test_case "render" `Quick test_text_render;
+          Alcotest.test_case "csv" `Quick test_csv
+        ] );
+      ( "runner",
+        [ Alcotest.test_case "prepare/metrics" `Slow test_prepare_and_metrics;
+          Alcotest.test_case "simulate + memo" `Slow
+            test_simulate_cross_checked;
+          Alcotest.test_case "best >= avg" `Slow test_best_ge_avg
+        ] );
+      ( "metrics", [ Alcotest.test_case "alpbb" `Quick test_alpbb_known ] );
+      ( "experiments",
+        [ Alcotest.test_case "registry" `Quick test_experiments_registry ] )
+    ]

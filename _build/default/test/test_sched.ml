@@ -1,0 +1,164 @@
+open Bv_isa
+open Bv_ir
+
+let r = Reg.make
+let add d a b = Instr.Alu { op = Instr.Add; dst = r d; src1 = r a; src2 = Instr.Reg (r b) }
+let addi d a v = Instr.Alu { op = Instr.Add; dst = r d; src1 = r a; src2 = Instr.Imm v }
+let ld d b o = Instr.Load { dst = r d; base = r b; offset = o; speculative = false }
+let st s b o = Instr.Store { src = r s; base = r b; offset = o }
+
+let position instr order =
+  let rec go i = function
+    | [] -> Alcotest.failf "missing %s" (Instr.to_string instr)
+    | x :: _ when x == instr -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 order
+
+let sched body = Bv_sched.Sched.schedule_body ~term:Term.Halt body
+
+let test_is_permutation () =
+  let body = [ ld 1 0 0; add 2 1 1; ld 3 0 8; addi 4 3 1; st 4 0 16 ] in
+  let out = sched body in
+  Alcotest.(check int) "same length" (List.length body) (List.length out);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "present" true (List.exists (fun j -> i == j) out))
+    body
+
+let test_raw_preserved () =
+  let producer = ld 1 0 0 in
+  let consumer = add 2 1 1 in
+  let out = sched [ producer; consumer ] in
+  Alcotest.(check bool) "producer first" true
+    (position producer out < position consumer out)
+
+let test_loads_hoisted () =
+  (* independent load placed late in the original order should move up
+     ahead of cheap ALU work *)
+  let a1 = addi 2 2 1 and a2 = addi 2 2 2 and a3 = addi 2 2 3 in
+  let late_load = ld 3 0 0 in
+  let out = sched [ a1; a2; a3; late_load ] in
+  Alcotest.(check int) "load first" 0 (position late_load out)
+
+let test_store_ordering () =
+  let s1 = st 1 0 0 in
+  let l1 = ld 2 0 0 in
+  let s2 = st 2 0 8 in
+  let out = sched [ s1; l1; s2 ] in
+  Alcotest.(check bool) "load after older store" true
+    (position s1 out < position l1 out);
+  Alcotest.(check bool) "store after older load" true
+    (position l1 out < position s2 out)
+
+let test_load_load_reorder_allowed () =
+  (* two independent loads may swap: the second feeds a longer chain *)
+  let l1 = ld 1 0 0 in
+  let l2 = ld 2 0 8 in
+  let chain = [ add 3 2 2; add 4 3 3; add 5 4 4 ] in
+  let out = sched ([ l1; l2 ] @ chain) in
+  Alcotest.(check bool) "critical load first" true
+    (position l2 out <= position l1 out)
+
+let test_war_waw () =
+  let use_old = add 2 1 1 in
+  let redefine = addi 1 0 5 in
+  let out = sched [ use_old; redefine ] in
+  Alcotest.(check bool) "WAR preserved" true
+    (position use_old out < position redefine out);
+  let w1 = addi 1 0 1 in
+  let w2 = addi 1 0 2 in
+  let out = sched [ w1; w2 ] in
+  Alcotest.(check bool) "WAW preserved" true (position w1 out < position w2 out)
+
+let test_term_source_sinks () =
+  (* the compare feeding the block terminator should not block earlier
+     independent loads *)
+  let cmp = Instr.Cmp { op = Instr.Ne; dst = r 5; src1 = r 4; src2 = Instr.Imm 0 } in
+  let cond_load = ld 4 0 0 in
+  let indep = ld 6 0 64 in
+  let out =
+    Bv_sched.Sched.schedule_body
+      ~term:(Term.Branch { on = true; src = r 5; taken = "a"; not_taken = "b"; id = 1 })
+      [ cond_load; cmp; indep ]
+  in
+  Alcotest.(check int) "cmp last" 2 (position cmp out)
+
+let test_critical_path () =
+  Alcotest.(check int) "empty" 0 (Bv_sched.Sched.critical_path_cycles []);
+  Alcotest.(check int) "single load" 4
+    (Bv_sched.Sched.critical_path_cycles [ ld 1 0 0 ]);
+  Alcotest.(check int) "load + consumer" 5
+    (Bv_sched.Sched.critical_path_cycles [ ld 1 0 0; add 2 1 1 ]);
+  Alcotest.(check int) "independent stay parallel" 4
+    (Bv_sched.Sched.critical_path_cycles [ ld 1 0 0; ld 2 0 8 ]);
+  Alcotest.(check int) "chain of adds" 3
+    (Bv_sched.Sched.critical_path_cycles [ addi 1 0 1; add 2 1 1; add 3 2 2 ])
+
+let test_schedule_program_runs () =
+  let blocks =
+    [ Block.make ~label:"e"
+        ~body:[ addi 1 0 3; ld 2 1 0; add 3 2 2 ]
+        ~term:Term.Halt
+    ]
+  in
+  let prog = Program.make ~main:"m" ~mem_words:8 [ Proc.make ~name:"m" blocks ] in
+  Bv_sched.Sched.schedule_program prog;
+  Validate.check_exn prog
+
+(* property: scheduling preserves functional semantics of straight-line code *)
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = int_range 1 7 in
+  oneof
+    [ map3 (fun d a v -> addi d a v) reg reg (int_range 0 100);
+      map3 (fun d a b -> add d a b) reg reg reg;
+      map2 (fun d o -> ld d 0 (o * 8)) reg (int_range 0 7);
+      map2 (fun s o -> st s 0 (o * 8)) reg (int_range 0 7)
+    ]
+
+let run_straight_line body =
+  let prog =
+    Program.make ~main:"m" ~mem_words:16
+      [ Proc.make ~name:"m" [ Block.make ~label:"e" ~body ~term:Term.Halt ] ]
+  in
+  let st = Bv_exec.Interp.run (Layout.program prog) in
+  (Array.to_list (Array.sub st.Bv_exec.Interp.regs 0 8), Array.to_list st.Bv_exec.Interp.mem)
+
+let prop_schedule_preserves_semantics =
+  QCheck2.Test.make ~name:"schedule preserves straight-line semantics"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 25) instr_gen)
+    (fun body ->
+      let scheduled = Bv_sched.Sched.schedule_body ~term:Term.Halt body in
+      run_straight_line body = run_straight_line scheduled)
+
+let prop_schedule_is_permutation =
+  QCheck2.Test.make ~name:"schedule is a permutation" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) instr_gen)
+    (fun body ->
+      let out = Bv_sched.Sched.schedule_body ~term:Term.Halt body in
+      List.length out = List.length body
+      && List.for_all (fun i -> List.memq i out) body)
+
+let () =
+  Alcotest.run "bv_sched"
+    [ ( "ordering",
+        [ Alcotest.test_case "permutation" `Quick test_is_permutation;
+          Alcotest.test_case "RAW" `Quick test_raw_preserved;
+          Alcotest.test_case "loads hoisted" `Quick test_loads_hoisted;
+          Alcotest.test_case "memory order" `Quick test_store_ordering;
+          Alcotest.test_case "load/load free" `Quick
+            test_load_load_reorder_allowed;
+          Alcotest.test_case "WAR/WAW" `Quick test_war_waw;
+          Alcotest.test_case "terminator source sinks" `Quick
+            test_term_source_sinks
+        ] );
+      ( "critical path",
+        [ Alcotest.test_case "lengths" `Quick test_critical_path ] );
+      ( "integration",
+        [ Alcotest.test_case "whole program" `Quick test_schedule_program_runs ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_schedule_preserves_semantics; prop_schedule_is_permutation ] )
+    ]

@@ -1,0 +1,272 @@
+open Bv_workloads
+
+let tiny_spec ?(seed = 7) ?(classes = None) () =
+  let branch_classes =
+    Option.value classes
+      ~default:
+        [ Spec.cls ~count:3 ~taken_rate:0.6 ~predictability:0.95 ();
+          Spec.cls ~iid:true ~count:3 ~taken_rate:0.92 ~predictability:0.92 ();
+          Spec.cls ~iid:true ~count:1 ~taken_rate:0.5 ~predictability:0.5 ()
+        ]
+  in
+  Spec.make ~name:"tiny" ~suite:Spec.Int_2006 ~seed ~branch_classes
+    ~inner_n:64 ~reps:3 ()
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seed differs" true (Rng.next a <> Rng.next c);
+  let f = Rng.float (Rng.create ~seed:3) in
+  Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0);
+  Alcotest.(check bool) "below" true (Rng.below (Rng.create ~seed:4) 10 < 10)
+
+let test_rng_shuffle_permutes () =
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle (Rng.create ~seed:5) b;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list b) = Array.to_list a);
+  Alcotest.(check bool) "actually shuffled" true (a <> b)
+
+let measured_rate seq =
+  let t = Array.fold_left (fun a b -> a + Bool.to_int b) 0 seq in
+  Float.of_int t /. Float.of_int (Array.length seq)
+
+let test_stream_bias () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun rate ->
+      let seq =
+        Stream.sequence ~rng ~taken_rate:rate ~predictability:0.95
+          ~length:20000 ()
+      in
+      let m = measured_rate seq in
+      Alcotest.(check bool)
+        (Printf.sprintf "rate %.2f measured %.3f" rate m)
+        true
+        (Float.abs (m -. rate) < 0.07))
+    [ 0.1; 0.4; 0.6; 0.9 ]
+
+let test_stream_iid () =
+  let rng = Rng.create ~seed:12 in
+  let seq =
+    Stream.sequence ~noise:1.0 ~rng ~taken_rate:0.8 ~predictability:0.8
+      ~length:20000 ()
+  in
+  Alcotest.(check bool) "iid keeps bias" true
+    (Float.abs (measured_rate seq -. 0.8) < 0.03)
+
+let test_stream_validation () =
+  let rng = Rng.create ~seed:13 in
+  List.iter
+    (fun f -> match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [ (fun () ->
+        ignore (Stream.sequence ~rng ~taken_rate:1.5 ~predictability:0.9 ~length:8 ()));
+      (fun () ->
+        ignore (Stream.sequence ~rng ~taken_rate:0.5 ~predictability:2.0 ~length:8 ()));
+      (fun () ->
+        ignore (Stream.sequence ~rng ~taken_rate:0.5 ~predictability:0.9 ~length:0 ()));
+      (fun () ->
+        ignore
+          (Stream.sequence ~period:0 ~rng ~taken_rate:0.5 ~predictability:0.9
+             ~length:8 ()))
+    ]
+
+let test_noise_for_bounds () =
+  Alcotest.(check (float 0.001)) "no noise at pred 1" 0.0
+    (Stream.noise_for ~taken_rate:0.6 ~predictability:1.0);
+  Alcotest.(check bool) "in [0,1]" true
+    (let q = Stream.noise_for ~taken_rate:0.5 ~predictability:0.4 in
+     q >= 0.0 && q <= 1.0)
+
+let test_generated_program_wellformed () =
+  let spec = tiny_spec () in
+  let prog = Gen.generate ~input:1 spec in
+  Bv_ir.Validate.check_exn prog;
+  Alcotest.(check int) "sites" 7 (Gen.site_count spec);
+  (* runs to completion functionally *)
+  let st = Bv_exec.Interp.run (Bv_ir.Layout.program prog) in
+  Alcotest.(check bool) "halts" true st.Bv_exec.Interp.halted;
+  Alcotest.(check bool) "does real work" true
+    (st.Bv_exec.Interp.instr_count > 1000)
+
+let test_code_is_input_independent () =
+  let spec = tiny_spec () in
+  let code input =
+    (Bv_ir.Layout.program (Gen.generate ~input spec)).Bv_ir.Layout.code
+  in
+  Alcotest.(check bool) "same static code" true (code 1 = code 2);
+  let data input =
+    Bv_ir.Program.initial_memory (Gen.generate ~input spec)
+  in
+  Alcotest.(check bool) "different data" true (data 1 <> data 2)
+
+let test_generated_determinism () =
+  let spec = tiny_spec () in
+  let d input =
+    Bv_exec.Interp.arch_digest
+      (Bv_exec.Interp.run (Bv_ir.Layout.program (Gen.generate ~input spec)))
+  in
+  Alcotest.(check int) "same input same digest" (d 1) (d 1);
+  Alcotest.(check bool) "inputs differ" true (d 1 <> d 2)
+
+let test_generated_temp_pool_free () =
+  (* the generator must leave r48-r63 for the transformation *)
+  let prog = Gen.generate (tiny_spec ()) in
+  let uses_temp i =
+    List.exists
+      (fun r -> Bv_isa.Reg.index r >= 48)
+      (Bv_isa.Instr.defs i @ Bv_isa.Instr.uses i)
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              if uses_temp i then
+                Alcotest.failf "temp register used by %s"
+                  (Bv_isa.Instr.to_string i))
+            b.Bv_ir.Block.body)
+        p.Bv_ir.Proc.blocks)
+    prog.Bv_ir.Program.procs
+
+let test_site_cap () =
+  let classes =
+    Some [ Spec.cls ~count:70 ~taken_rate:0.5 ~predictability:0.5 () ]
+  in
+  match Gen.generate (tiny_spec ~classes ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "should reject > 62 sites"
+
+let test_suites_shape () =
+  Alcotest.(check int) "2006 int" 12 (List.length Suites.int_2006);
+  Alcotest.(check int) "2006 fp" 17 (List.length Suites.fp_2006);
+  Alcotest.(check int) "2000 int" 12 (List.length Suites.int_2000);
+  Alcotest.(check int) "2000 fp" 14 (List.length Suites.fp_2000);
+  Alcotest.(check int) "all" 55 (List.length Suites.all);
+  let names = List.map (fun s -> s.Spec.name) Suites.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "find" true (Suites.find "mcf" <> None);
+  Alcotest.(check bool) "find miss" true (Suites.find "nope" = None);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Spec.name ^ " has sites")
+        true
+        (Spec.total_sites s > 0 && Spec.total_sites s <= 62))
+    Suites.all
+
+let test_all_suites_generate () =
+  (* every benchmark generates a valid program (cheap structural pass) *)
+  List.iter
+    (fun s ->
+      let prog = Gen.generate { s with Spec.inner_n = 16; reps = 2 } in
+      Bv_ir.Validate.check_exn prog)
+    Suites.all
+
+let test_all_suites_execute () =
+  (* shrunk versions of all 55 benchmarks run to completion with no
+     faults: catches addressing/calibration regressions suite-wide *)
+  List.iter
+    (fun s ->
+      let small = { s with Spec.inner_n = 16; reps = 2 } in
+      let st =
+        Bv_exec.Interp.run ~max_instrs:500_000
+          (Bv_ir.Layout.program (Gen.generate ~input:1 small))
+      in
+      Alcotest.(check bool) (s.Spec.name ^ " halts") true
+        st.Bv_exec.Interp.halted;
+      Alcotest.(check bool) (s.Spec.name ^ " stores") true
+        (st.Bv_exec.Interp.store_count > 0))
+    Suites.all
+
+let test_all_suites_transform () =
+  (* the full pipeline (profile, select, transform, equivalence) holds for
+     a shrunk version of every benchmark *)
+  List.iter
+    (fun s ->
+      let small = { s with Spec.inner_n = 32; reps = 2 } in
+      let prog = Gen.generate ~input:1 small in
+      let image = Bv_ir.Layout.program (Bv_ir.Program.copy prog) in
+      let profile =
+        Bv_profile.Profile.collect
+          ~predictor:(Bv_bpred.Kind.create Bv_bpred.Kind.Tournament)
+          image
+      in
+      let sel =
+        Vanguard.Select.select ~threshold:(-1.0) ~min_executed:1 ~profile prog
+      in
+      let result =
+        Vanguard.Transform.apply ~exit_live:Gen.live_at_exit
+          ~candidates:sel.Vanguard.Select.candidates prog
+      in
+      let want = Bv_exec.Interp.arch_digest (Bv_exec.Interp.run image) in
+      let got =
+        Bv_exec.Interp.arch_digest
+          (Bv_exec.Interp.run
+             (Bv_ir.Layout.program result.Vanguard.Transform.program))
+      in
+      Alcotest.(check int) (s.Spec.name ^ " equivalent") want got)
+    Suites.all
+
+let prop_stream_measured_predictability =
+  QCheck2.Test.make ~name:"pattern streams beat their bias under gshare"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 0 1000) (float_range 0.55 0.7))
+    (fun (seed, rate) ->
+      let rng = Rng.create ~seed in
+      let seq =
+        Stream.sequence ~rng ~taken_rate:rate ~predictability:0.97
+          ~length:8000 ()
+      in
+      let p = Bv_bpred.Gshare.create () in
+      let correct = ref 0 in
+      Array.iter
+        (fun taken ->
+          let pred, meta = p.Bv_bpred.Predictor.predict ~pc:64 ~outcome:taken in
+          if pred = taken then incr correct
+          else p.Bv_bpred.Predictor.recover meta ~taken;
+          p.Bv_bpred.Predictor.update meta ~pc:64 ~taken)
+        seq;
+      let acc = Float.of_int !correct /. 8000.0 in
+      let bias = Float.max (measured_rate seq) (1.0 -. measured_rate seq) in
+      acc > bias +. 0.05)
+
+let () =
+  Alcotest.run "bv_workloads"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes
+        ] );
+      ( "stream",
+        [ Alcotest.test_case "bias" `Quick test_stream_bias;
+          Alcotest.test_case "iid" `Quick test_stream_iid;
+          Alcotest.test_case "validation" `Quick test_stream_validation;
+          Alcotest.test_case "noise bounds" `Quick test_noise_for_bounds
+        ] );
+      ( "generator",
+        [ Alcotest.test_case "well-formed" `Quick
+            test_generated_program_wellformed;
+          Alcotest.test_case "input-independent code" `Quick
+            test_code_is_input_independent;
+          Alcotest.test_case "deterministic" `Quick test_generated_determinism;
+          Alcotest.test_case "temp pool untouched" `Quick
+            test_generated_temp_pool_free;
+          Alcotest.test_case "site cap" `Quick test_site_cap
+        ] );
+      ( "suites",
+        [ Alcotest.test_case "shape" `Quick test_suites_shape;
+          Alcotest.test_case "all generate" `Slow test_all_suites_generate;
+          Alcotest.test_case "all execute" `Slow test_all_suites_execute;
+          Alcotest.test_case "all transform" `Slow test_all_suites_transform
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_stream_measured_predictability ] )
+    ]
