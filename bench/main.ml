@@ -1,11 +1,15 @@
 (* The benchmark harness: regenerates every table and figure of the paper
    (printed as text tables/series), then runs a Bechamel micro-benchmark
-   suite over the simulator's core primitives.
+   suite over the simulator's core primitives. Per-experiment wall times
+   and the emitted tables land in results/bench_<timestamp>.json — the
+   perf-trajectory artifact successive PRs compare against.
 
    Environment knobs:
      BV_SCALE=<float>    scale workload repetitions (default 1.0)
      BV_EXPERIMENTS=ids  comma-separated subset (default: all)
-     BV_MICRO=0          skip the Bechamel micro-suite *)
+     BV_MICRO=0          skip the Bechamel micro-suite
+     BV_BENCH_JSON=path  trajectory artifact destination (default
+                         results/bench_<timestamp>.json; empty disables) *)
 
 let run_experiments () =
   let ppf = Format.std_formatter in
@@ -17,14 +21,19 @@ let run_experiments () =
   Format.fprintf ppf
     "Branch Vanguard reproduction — every table and figure (scale %.2f)@."
     (Bv_harness.Runner.scale ());
-  List.iter
+  ignore (Bv_harness.Experiments.drain_tables ());
+  List.filter_map
     (fun id ->
       match Bv_harness.Experiments.find id with
       | Some f ->
         let t0 = Unix.gettimeofday () in
         f ppf;
-        Format.fprintf ppf "(%s took %.1fs)@." id (Unix.gettimeofday () -. t0)
-      | None -> Format.fprintf ppf "unknown experiment %s@." id)
+        let seconds = Unix.gettimeofday () -. t0 in
+        Format.fprintf ppf "(%s took %.1fs)@." id seconds;
+        Some (id, seconds, Bv_harness.Experiments.drain_tables ())
+      | None ->
+        Format.fprintf ppf "unknown experiment %s@." id;
+        None)
     wanted
 
 (* ---------------------------------------------------------------- micro *)
@@ -157,17 +166,80 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Printf.printf "  %-34s %12.1f ns/run\n" name est
+      | Some [ est ] ->
+        Printf.printf "  %-34s %12.1f ns/run\n" name est;
+        estimates := (name, est) :: !estimates
       | _ -> Printf.printf "  %-34s (no estimate)\n" name)
-    results
+    results;
+  List.sort (fun (a, _) (b, _) -> compare a b) !estimates
+
+(* ------------------------------------------------------------- artifact *)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let write_artifact ~started_at ~experiments ~micro ~total_seconds =
+  let open Bv_obs.Json in
+  let path =
+    match Sys.getenv_opt "BV_BENCH_JSON" with
+    | Some p -> if p = "" then None else Some p
+    | None ->
+      let tm = Unix.gmtime started_at in
+      Some
+        (Filename.concat "results"
+           (Printf.sprintf "bench_%04d%02d%02dT%02d%02d%02dZ.json"
+              (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+              tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec))
+  in
+  match path with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obj
+        [ ("schema_version", Int 1);
+          ("generated_at", String (iso8601 started_at));
+          ("scale", float (Bv_harness.Runner.scale ()));
+          ("total_seconds", float total_seconds);
+          ( "experiments",
+            List
+              (List.map
+                 (fun (id, seconds, tables) ->
+                   Obj
+                     [ ("id", String id);
+                       ("seconds", float seconds);
+                       ( "tables",
+                         List
+                           (List.map Bv_harness.Experiments.table_to_json
+                              tables) )
+                     ])
+                 experiments) );
+          ( "micro_ns_per_run",
+            Obj (List.map (fun (name, est) -> (name, float est)) micro) )
+        ]
+    in
+    (try
+       if Filename.dirname path = "results" && not (Sys.file_exists "results")
+       then Sys.mkdir "results" 0o755;
+       Out_channel.with_open_text path (fun oc ->
+           Bv_obs.Json.to_channel ~indent:true oc doc);
+       Printf.printf "trajectory artifact: %s\n" path
+     with Sys_error e -> Printf.eprintf "artifact write failed: %s\n" e)
 
 let () =
   let t0 = Unix.gettimeofday () in
-  run_experiments ();
-  (match Sys.getenv_opt "BV_MICRO" with
-  | Some "0" -> ()
-  | _ -> run_micro ());
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let experiments = run_experiments () in
+  let micro =
+    match Sys.getenv_opt "BV_MICRO" with
+    | Some "0" -> []
+    | _ -> run_micro ()
+  in
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  write_artifact ~started_at:t0 ~experiments ~micro ~total_seconds;
+  Printf.printf "\ntotal wall time: %.1fs\n" total_seconds

@@ -41,6 +41,49 @@ let predictor_arg =
     & opt (conv (parse, print)) Kind.Tournament
     & info [ "p"; "predictor" ] ~doc)
 
+(* ------------------------------------------------------------ telemetry *)
+
+let json_arg =
+  let doc = "Write a structured JSON report to $(docv) ('-' for stdout)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+
+let trace_arg =
+  let doc =
+    "Write a Chrome/Perfetto trace of both runs to $(docv) ('-' for \
+     stdout); open it at ui.perfetto.dev or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let sample_interval_arg =
+  let doc = "Interval-sampler window in cycles (for --json)." in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some positive) None
+    & info [ "sample-interval" ] ~doc ~docv:"CYCLES")
+
+let write_json path json =
+  if path = "-" then Bv_obs.Json.to_channel ~indent:true stdout json
+  else
+    try
+      Out_channel.with_open_text path (fun oc ->
+          Bv_obs.Json.to_channel ~indent:true oc json)
+    with Sys_error e ->
+      prerr_endline ("error: cannot write " ^ e);
+      exit 1
+
+let obj_add json fields =
+  match json with
+  | Bv_obs.Json.Obj base -> Bv_obs.Json.Obj (base @ fields)
+  | other -> other
+
 (* ----------------------------------------------------------------- list *)
 
 let list_cmd =
@@ -62,28 +105,96 @@ let list_cmd =
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
-  let run name width input predictor =
+  let run name width input predictor json trace sample_interval =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
       let b = Runner.prepare ~predictor spec in
-      let pair = Runner.simulate ~predictor b ~input ~width in
+      let telemetry = json <> None || trace <> None in
+      let pair, samples, traces =
+        if telemetry then begin
+          (* The instrumented path re-simulates with samplers and (when
+             --trace) Perfetto collectors attached; pids 1/2 keep the two
+             runs side by side in one trace document. *)
+          let collector pid process_name =
+            if trace = None then None
+            else Some (Perfetto.create ~pid ~process_name ())
+          in
+          let base_tr = collector 1 "baseline" in
+          let exp_tr = collector 2 "vanguard" in
+          let tap = Option.map (fun t ev -> Perfetto.on_event t ev) in
+          let inst =
+            Runner.simulate_instrumented ~predictor ?sample_interval
+              ?on_base_event:(tap base_tr) ?on_exp_event:(tap exp_tr) b
+              ~input ~width
+          in
+          ( inst.Runner.pair,
+            Some (inst.Runner.base_samples, inst.Runner.exp_samples),
+            (match (base_tr, exp_tr) with
+            | Some bt, Some et -> Some (bt, et)
+            | _ -> None) )
+        end
+        else (Runner.simulate ~predictor b ~input ~width, None, None)
+      in
+      (* With --json - the report owns stdout; the text goes to stderr. *)
+      let ppf =
+        if json = Some "-" then Format.err_formatter else Format.std_formatter
+      in
       let show tag (r : Machine.result) =
-        Format.printf "--- %s ---@.%a@.L1-D miss rate %.3f@.@." tag Stats.pp
-          r.Machine.stats
+        Format.fprintf ppf "--- %s ---@.%a@.L1-D miss rate %.3f@.@." tag
+          Stats.pp r.Machine.stats
           (Bv_cache.Sa_cache.miss_rate (Bv_cache.Hierarchy.l1d r.Machine.hierarchy))
       in
-      Format.printf "%s, %d-wide, %s, input %d@.@." name width
+      Format.fprintf ppf "%s, %d-wide, %s, input %d@.@." name width
         (Kind.name predictor) input;
       show "baseline" pair.Runner.base;
       show "decomposed-branch (vanguard)" pair.Runner.exp;
-      Format.printf "speedup: %+.2f%%@." pair.Runner.speedup_pct;
+      Format.fprintf ppf "speedup: %+.2f%%@." pair.Runner.speedup_pct;
+      (match (json, samples) with
+      | Some path, Some (base_s, exp_s) ->
+        let report =
+          match Runner.pair_to_json pair with
+          | Bv_obs.Json.Obj fields ->
+            Bv_obs.Json.Obj
+              (List.map
+                 (function
+                   | "baseline", v ->
+                     ("baseline", obj_add v [ ("samples", Sampler.to_json base_s) ])
+                   | "experimental", v ->
+                     ( "experimental",
+                       obj_add v [ ("samples", Sampler.to_json exp_s) ] )
+                   | field -> field)
+                 fields)
+          | other -> other
+        in
+        write_json path
+          (obj_add
+             (Bv_obs.Json.Obj
+                [ ("schema_version", Bv_obs.Json.Int 1);
+                  ("benchmark", Bv_obs.Json.String name);
+                  ("suite", Bv_obs.Json.String (Spec.suite_name spec.Spec.suite));
+                  ("width", Bv_obs.Json.Int width);
+                  ("predictor", Bv_obs.Json.String (Kind.name predictor));
+                  ("input", Bv_obs.Json.Int input)
+                ])
+             (match report with Bv_obs.Json.Obj f -> f | _ -> []))
+      | _ -> ());
+      (match (trace, traces) with
+      | Some path, Some (base_tr, exp_tr) ->
+        write_json path
+          (Bv_obs.Trace_event.document
+             (Perfetto.events base_tr @ Perfetto.events exp_tr))
+      | _ -> ());
       0
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Simulate one benchmark, baseline vs transformed, and report.")
-    Term.(const run $ bench_arg $ width_arg $ input_arg $ predictor_arg)
+       ~doc:
+         "Simulate one benchmark, baseline vs transformed, and report \
+          (optionally as JSON and a Perfetto trace).")
+    Term.(
+      const run $ bench_arg $ width_arg $ input_arg $ predictor_arg
+      $ json_arg $ trace_arg $ sample_interval_arg)
 
 (* -------------------------------------------------------------- profile *)
 
@@ -150,23 +261,50 @@ let transform_cmd =
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
-  let run ids =
-    let ppf = Format.std_formatter in
+  let run ids json =
+    (* With --json - the report owns stdout; the tables go to stderr. *)
+    let ppf =
+      if json = Some "-" then Format.err_formatter else Format.std_formatter
+    in
     let ids = if ids = [ "all" ] then List.map (fun (i, _, _) -> i)
                   Experiments.all
               else ids in
+    ignore (Experiments.drain_tables ());
+    let entries = ref [] in
     let rec go = function
       | [] -> 0
       | id :: rest ->
         (match Experiments.find id with
         | Some f ->
+          let t0 = Unix.gettimeofday () in
           f ppf;
+          let seconds = Unix.gettimeofday () -. t0 in
+          entries :=
+            Bv_obs.Json.Obj
+              [ ("id", Bv_obs.Json.String id);
+                ("seconds", Bv_obs.Json.float seconds);
+                ( "tables",
+                  Bv_obs.Json.List
+                    (List.map Experiments.table_to_json
+                       (Experiments.drain_tables ())) )
+              ]
+            :: !entries;
           go rest
         | None ->
           Printf.eprintf "unknown experiment %s\n" id;
           1)
     in
-    go ids
+    let status = go ids in
+    (match json with
+    | Some path when status = 0 ->
+      write_json path
+        (Bv_obs.Json.Obj
+           [ ("schema_version", Bv_obs.Json.Int 1);
+             ("scale", Bv_obs.Json.float (Runner.scale ()));
+             ("experiments", Bv_obs.Json.List (List.rev !entries))
+           ])
+    | _ -> ());
+    status
   in
   let ids_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
@@ -175,7 +313,7 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures ('all' for every \
              one).")
-    Term.(const run $ ids_arg)
+    Term.(const run $ ids_arg $ json_arg)
 
 (* ------------------------------------------------------------------ dot *)
 

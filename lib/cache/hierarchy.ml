@@ -94,3 +94,20 @@ let reset_stats t =
   Sa_cache.reset_stats t.l1i;
   Sa_cache.reset_stats t.l2;
   Sa_cache.reset_stats t.l3
+
+let to_json t =
+  let open Bv_obs.Json in
+  Obj
+    [ ( "config",
+        Obj
+          [ ("line_bytes", Int t.cfg.line_bytes);
+            ("l1_latency", Int t.cfg.l1_latency);
+            ("l2_latency", Int t.cfg.l2_latency);
+            ("l3_latency", Int t.cfg.l3_latency);
+            ("mem_latency", Int t.cfg.mem_latency)
+          ] );
+      ("l1d", Sa_cache.to_json t.l1d);
+      ("l1i", Sa_cache.to_json t.l1i);
+      ("l2", Sa_cache.to_json t.l2);
+      ("l3", Sa_cache.to_json t.l3)
+    ]

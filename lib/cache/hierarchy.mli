@@ -48,3 +48,6 @@ val l2 : t -> Sa_cache.t
 val l3 : t -> Sa_cache.t
 
 val reset_stats : t -> unit
+
+val to_json : t -> Bv_obs.Json.t
+(** Latency configuration plus per-level {!Sa_cache.to_json} stats. *)

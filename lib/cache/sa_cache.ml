@@ -124,3 +124,18 @@ let reset_stats t =
 let miss_rate t =
   if t.accesses = 0 then 0.0
   else Float.of_int t.misses /. Float.of_int t.accesses
+
+let to_json t =
+  let open Bv_obs.Json in
+  Obj
+    [ ("name", String t.name);
+      ("sets", Int t.set_count);
+      ("ways", Int t.ways);
+      ("line_bytes", Int (1 lsl t.line_bits));
+      ("size_bytes", Int (t.set_count * t.ways * (1 lsl t.line_bits)));
+      ("accesses", Int t.accesses);
+      ("misses", Int t.misses);
+      ("evictions", Int t.evictions);
+      ("writebacks", Int t.writebacks);
+      ("miss_rate", float (miss_rate t))
+    ]

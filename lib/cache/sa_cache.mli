@@ -31,3 +31,6 @@ val invalidate_all : t -> unit
 val stats : t -> stats
 val reset_stats : t -> unit
 val miss_rate : t -> float
+
+val to_json : t -> Bv_obs.Json.t
+(** Geometry plus the current stats and miss rate. *)

@@ -34,8 +34,32 @@ let normalize text =
 
 let heading ppf title = Format.fprintf ppf "@.=== %s ===@." (normalize title)
 
+(* Every emitted table is also captured structurally (name, headers, rows)
+   so the bench harness / --json consumers get the data without scraping
+   the rendered text. *)
+let captured : (string * string list * string list list) list ref = ref []
+
+let drain_tables () =
+  let tables = List.rev !captured in
+  captured := [];
+  tables
+
+let table_to_json (name, headers, rows) =
+  let open Bv_obs.Json in
+  Obj
+    [ ("name", String name);
+      ("headers", List (List.map (fun h -> String h) headers));
+      ( "rows",
+        List
+          (List.map (fun row -> List (List.map (fun c -> String c) row)) rows)
+      )
+    ]
+
 (* Print a table; with BV_CSV set, also drop the data under results/. *)
 let emit ?csv ppf ~headers rows =
+  (match csv with
+  | Some name -> captured := (name, headers, rows) :: !captured
+  | None -> ());
   Format.fprintf ppf "%s@." (Text.render ~headers rows);
   match (csv, Sys.getenv_opt "BV_CSV") with
   | Some name, Some _ ->

@@ -11,6 +11,14 @@ val bench : Bv_workloads.Spec.t -> Runner.bench
 (** The lab's memoised prepared benchmark (tournament TRAIN profile,
     default selection threshold). *)
 
+val drain_tables : unit -> (string * string list * string list list) list
+(** The (name, headers, rows) of every table emitted since the last
+    drain, in emission order — the structured counterpart of the printed
+    output, consumed by the bench harness's JSON trajectory artifact and
+    [vanguard_cli experiment --json]. *)
+
+val table_to_json : string * string list * string list list -> Bv_obs.Json.t
+
 val table1 : Format.formatter -> unit
 val fig2 : Format.formatter -> unit
 val fig3 : Format.formatter -> unit

@@ -114,3 +114,17 @@ let table2_row bench =
     mppki = Stats.mppki base.Machine.stats;
     piscs = Runner.piscs bench
   }
+
+let row_to_json r =
+  let open Bv_obs.Json in
+  Obj
+    [ ("name", String r.name);
+      ("spd", float r.spd);
+      ("pbc", float r.pbc);
+      ("pdih", float r.pdih);
+      ("alpbb", float r.alpbb);
+      ("aspcb", float r.aspcb);
+      ("phi", float r.phi);
+      ("mppki", float r.mppki);
+      ("piscs", float r.piscs)
+    ]

@@ -39,3 +39,6 @@ type row =
 val table2_row : Runner.bench -> row
 (** Computes all Table 2 columns at the paper's 4-wide configuration,
     averaged over REF inputs. *)
+
+val row_to_json : row -> Bv_obs.Json.t
+(** The row keyed by its (lowercase) Table 2 column names. *)

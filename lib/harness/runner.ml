@@ -166,3 +166,55 @@ let best_speedup ?predictor ?cache b ~width =
     (List.map
        (fun input -> (simulate ?predictor ?cache b ~input ~width).speedup_pct)
        (input_indices ()))
+
+let pair_to_json pair =
+  let open Bv_obs.Json in
+  Obj
+    [ ("speedup_pct", float pair.speedup_pct);
+      ("baseline", Machine.result_to_json pair.base);
+      ("experimental", Machine.result_to_json pair.exp)
+    ]
+
+type instrumented =
+  { pair : sim_pair;
+    base_samples : Sampler.t;
+    exp_samples : Sampler.t
+  }
+
+let simulate_instrumented ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) ?sample_interval ?on_base_event
+    ?on_exp_event b ~input ~width =
+  let base_img, exp_img = images b ~input in
+  let dbase, dexp = reference_digests b ~input in
+  let config = Config.make ~predictor ~cache ~width () in
+  let instrumented_run ?on_event img sampler =
+    Machine.run ?on_event
+      ~on_cycle:(fun ~cycle ~stats ~dbb_occupancy ->
+        Sampler.observe sampler ~cycle ~stats ~dbb_occupancy)
+      ~config img
+  in
+  let base_samples = Sampler.create ?interval:sample_interval () in
+  let exp_samples = Sampler.create ?interval:sample_interval () in
+  let base = instrumented_run ?on_event:on_base_event base_img base_samples in
+  let exp = instrumented_run ?on_event:on_exp_event exp_img exp_samples in
+  Sampler.finish base_samples;
+  Sampler.finish exp_samples;
+  let check name want (got : Machine.result) =
+    if not got.Machine.finished then
+      failwith
+        (Printf.sprintf "%s/%s: simulation hit a run limit" b.spec.Spec.name
+           name);
+    if got.Machine.arch_digest <> want then
+      failwith
+        (Printf.sprintf "%s/%s: timing model diverged from the interpreter"
+           b.spec.Spec.name name)
+  in
+  check "baseline" dbase base;
+  check "experimental" dexp exp;
+  let speedup_pct =
+    100.0
+    *. (Float.of_int base.Machine.stats.Stats.cycles
+        /. Float.of_int (max 1 exp.Machine.stats.Stats.cycles)
+       -. 1.0)
+  in
+  { pair = { base; exp; speedup_pct }; base_samples; exp_samples }

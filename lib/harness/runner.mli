@@ -60,3 +60,28 @@ val avg_speedup :
 
 val best_speedup :
   ?predictor:Kind.t -> ?cache:Hierarchy.config -> bench -> width:int -> float
+
+val pair_to_json : sim_pair -> Bv_obs.Json.t
+(** Speedup plus both runs' {!Machine.result_to_json}. *)
+
+type instrumented =
+  { pair : sim_pair;
+    base_samples : Sampler.t;
+    exp_samples : Sampler.t
+  }
+
+val simulate_instrumented :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  ?sample_interval:int ->
+  ?on_base_event:(Machine.event -> unit) ->
+  ?on_exp_event:(Machine.event -> unit) ->
+  bench ->
+  input:int ->
+  width:int ->
+  instrumented
+(** Like {!simulate}, but with telemetry attached: interval samplers on
+    both runs (window size [sample_interval], {!Sampler.create}'s default
+    otherwise) and optional pipeline-event taps (e.g. {!Perfetto}
+    collectors). Performs the same digest checks; not memoised — hooks
+    and samplers observe a fresh simulation every call. *)

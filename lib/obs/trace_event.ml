@@ -1,0 +1,63 @@
+type t = { mutable rev_events : Json.t list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let length t = t.count
+
+let push t ev =
+  t.rev_events <- ev :: t.rev_events;
+  t.count <- t.count + 1
+
+let base ~name ~ph ?cat ~pid ~tid ~ts ?dur ?(extra = []) ?args () =
+  let field k v rest = (k, v) :: rest in
+  let opt k v rest = match v with Some v -> (k, v) :: rest | None -> rest in
+  Json.Obj
+    (field "name" (Json.String name)
+       (field "ph" (Json.String ph)
+          (opt "cat" (Option.map (fun c -> Json.String c) cat)
+             (field "pid" (Json.Int pid)
+                (field "tid" (Json.Int tid)
+                   (field "ts" (Json.float ts)
+                      (opt "dur" (Option.map Json.float dur)
+                         (extra
+                         @ opt "args"
+                             (Option.map (fun a -> Json.Obj a) args)
+                             []))))))))
+
+let metadata t ~name ~pid ~tid ~value =
+  push t
+    (base ~name ~ph:"M" ~pid ~tid ~ts:0.0
+       ~args:[ ("name", Json.String value) ]
+       ())
+
+let set_process_name t ~pid name =
+  metadata t ~name:"process_name" ~pid ~tid:0 ~value:name
+
+let set_thread_name t ~pid ~tid name =
+  metadata t ~name:"thread_name" ~pid ~tid ~value:name
+
+let span t ~name ?cat ~pid ~tid ~ts ~dur ?args () =
+  push t (base ~name ~ph:"X" ?cat ~pid ~tid ~ts ~dur ?args ())
+
+let instant t ~name ?cat ?(scope = `Thread) ~pid ~tid ~ts ?args () =
+  let s = match scope with `Global -> "g" | `Process -> "p" | `Thread -> "t" in
+  push t
+    (base ~name ~ph:"i" ?cat ~pid ~tid ~ts
+       ~extra:[ ("s", Json.String s) ]
+       ?args ())
+
+let counter t ~name ~pid ~ts series =
+  push t
+    (base ~name ~ph:"C" ~pid ~tid:0 ~ts
+       ~args:(List.map (fun (k, v) -> (k, Json.float v)) series)
+       ())
+
+let events t = List.rev t.rev_events
+
+let document evs =
+  Json.Obj
+    [ ("traceEvents", Json.List evs);
+      ("displayTimeUnit", Json.String "ms")
+    ]
+
+let to_json t = document (events t)

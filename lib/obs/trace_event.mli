@@ -1,0 +1,57 @@
+(** Chrome trace-event (JSON Array / Object format) builder, loadable by
+    Perfetto ({:https://ui.perfetto.dev}) and chrome://tracing.
+
+    An accumulator of trace events in emission order. Timestamps ([ts])
+    and durations ([dur]) are in microseconds per the format; the pipeline
+    exporters map 1 simulated cycle to 1 us so cycle numbers read directly
+    off the Perfetto ruler. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Events recorded so far (metadata included). *)
+
+val set_process_name : t -> pid:int -> string -> unit
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+
+val span :
+  t ->
+  name:string ->
+  ?cat:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  dur:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+(** A complete ("X") event. Spans on the same [pid]/[tid] nest when one
+    interval contains the other. *)
+
+val instant :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ?scope:[ `Global | `Process | `Thread ] ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+val counter :
+  t -> name:string -> pid:int -> ts:float -> (string * float) list -> unit
+(** A "C" event: one stacked counter track per series name. *)
+
+val events : t -> Json.t list
+(** The recorded events in emission order, for merging several builders
+    into one document. *)
+
+val document : Json.t list -> Json.t
+(** Wraps an event list as [{"traceEvents": [...], ...}]. *)
+
+val to_json : t -> Json.t
+(** [document (events t)]. *)

@@ -116,7 +116,9 @@ end
 let fnv_fold acc v = (acc lxor v) * 0x100000001B3 land max_int
 
 let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
-    ?(on_event = fun (_ : event) -> ()) ~config image =
+    ?(on_event = fun (_ : event) -> ())
+    ?(on_cycle = fun ~cycle:(_ : int) ~stats:(_ : Stats.t)
+                     ~dbb_occupancy:(_ : int) -> ()) ~config image =
   let cfg = config in
   let code = image.Layout.code in
   let code_len = Array.length code in
@@ -810,12 +812,14 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
       do
         if fetch_one () then incr fetched_now else go := false
       done;
+      let dbb_occupancy = Dbb.occupancy dbb in
       stats.Stats.dbb_occupancy_sum <-
-        stats.Stats.dbb_occupancy_sum + Dbb.occupancy dbb;
+        stats.Stats.dbb_occupancy_sum + dbb_occupancy;
       stats.Stats.dbb_samples <- stats.Stats.dbb_samples + 1;
       log_trim ();
       incr now;
-      stats.Stats.cycles <- !now
+      stats.Stats.cycles <- !now;
+      on_cycle ~cycle:!now ~stats ~dbb_occupancy
     end
   done;
   let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 mem in
@@ -827,3 +831,15 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
     stores_retired = !stores_retired;
     arch_digest = fnv_fold mem_digest !stores_retired
   }
+
+let result_to_json r =
+  let open Bv_obs.Json in
+  Obj
+    [ ("config", String (Config.name r.config));
+      ("width", Int r.config.Config.width);
+      ("predictor", String (Bv_bpred.Kind.name r.config.Config.predictor));
+      ("finished", Bool r.finished);
+      ("stores_retired", Int r.stores_retired);
+      ("stats", Stats.to_json r.stats);
+      ("cache", Hierarchy.to_json r.hierarchy)
+    ]

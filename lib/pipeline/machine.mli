@@ -42,9 +42,18 @@ val run :
   ?max_cycles:int ->
   ?max_retired:int ->
   ?on_event:(event -> unit) ->
+  ?on_cycle:(cycle:int -> stats:Stats.t -> dbb_occupancy:int -> unit) ->
   config:Config.t ->
   Layout.image ->
   result
 (** Simulate until [Halt] retires or a limit is hit ([max_cycles] defaults
     to 1G, [max_retired] to no limit). [on_event] streams pipeline events
-    (fetch/issue/complete/squash/redirect) — see {!Trace} for a renderer. *)
+    (fetch/issue/complete/squash/redirect) — see {!Trace} for a renderer
+    and {!Perfetto} for a Chrome-trace exporter. [on_cycle] fires once at
+    the end of every simulated cycle with the live (mutable — read, don't
+    write) counters and the DBB occupancy; {!Sampler.observe} slots in
+    directly for interval telemetry. *)
+
+val result_to_json : result -> Bv_obs.Json.t
+(** Configuration summary, {!Stats.to_json} and cache-hierarchy stats of a
+    finished run. *)

@@ -1,0 +1,169 @@
+type record =
+  { seq : int;
+    pc : int;
+    instr : Bv_isa.Instr.t;
+    fetch : int;
+    mutable issue : int option;
+    mutable complete : int option;
+    mutable squash : int option;
+    mutable mispredicted : bool
+  }
+
+type t =
+  { max_instructions : int;
+    pid : int;
+    process_name : string;
+    records : (int, record) Hashtbl.t;
+    mutable rev_order : int list;
+    mutable rev_redirects : (int * int * int) list;
+        (* cycle, after_seq, new_pc *)
+    mutable dropped : int;
+    mutable last_cycle : int
+  }
+
+let create ?(max_instructions = 100_000) ?(pid = 1)
+    ?(process_name = "pipeline") () =
+  { max_instructions;
+    pid;
+    process_name;
+    records = Hashtbl.create 1024;
+    rev_order = [];
+    rev_redirects = [];
+    dropped = 0;
+    last_cycle = 0
+  }
+
+let on_event t ev =
+  let touch cycle = if cycle > t.last_cycle then t.last_cycle <- cycle in
+  match ev with
+  | Machine.Fetched { cycle; seq; pc; instr } ->
+    touch cycle;
+    if Hashtbl.length t.records < t.max_instructions then begin
+      Hashtbl.replace t.records seq
+        { seq; pc; instr; fetch = cycle; issue = None; complete = None;
+          squash = None; mispredicted = false
+        };
+      t.rev_order <- seq :: t.rev_order
+    end
+    else t.dropped <- t.dropped + 1
+  | Machine.Issued { cycle; seq } ->
+    touch cycle;
+    (match Hashtbl.find_opt t.records seq with
+    | Some r -> r.issue <- Some cycle
+    | None -> ())
+  | Machine.Completed { cycle; seq; mispredicted } ->
+    touch cycle;
+    (match Hashtbl.find_opt t.records seq with
+    | Some r ->
+      r.complete <- Some cycle;
+      r.mispredicted <- mispredicted
+    | None -> ())
+  | Machine.Squashed { cycle; seq } ->
+    touch cycle;
+    (match Hashtbl.find_opt t.records seq with
+    | Some r -> r.squash <- Some cycle
+    | None -> ())
+  | Machine.Redirected { cycle; after_seq; new_pc } ->
+    touch cycle;
+    t.rev_redirects <- (cycle, after_seq, new_pc) :: t.rev_redirects
+
+let dropped t = t.dropped
+
+let events t =
+  let open Bv_obs in
+  let tb = Trace_event.create () in
+  Trace_event.set_process_name tb ~pid:t.pid t.process_name;
+  (* Greedy lane packing: records arrive in fetch order, so the first lane
+     whose previous span has ended can take the next instruction. *)
+  let lane_ends : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let lanes_used = ref 0 in
+  let assign_lane ~start ~stop =
+    let rec go lane =
+      if lane >= !lanes_used then begin
+        incr lanes_used;
+        Hashtbl.replace lane_ends lane stop;
+        lane
+      end
+      else if Hashtbl.find lane_ends lane <= start then begin
+        Hashtbl.replace lane_ends lane stop;
+        lane
+      end
+      else go (lane + 1)
+    in
+    go 0
+  in
+  let us c = Float.of_int c in
+  List.iter
+    (fun seq ->
+      let r = Hashtbl.find t.records seq in
+      (* The instruction's lifetime: fetch to completion, or to the squash
+         (or the end of the recorded stream for still-in-flight tails). *)
+      let exec =
+        match r.issue with
+        | None -> None
+        | Some issue ->
+          let stop =
+            match (r.complete, r.squash) with
+            | Some c, _ -> c
+            | None, Some s -> max s (issue + 1)
+            | None, None -> max t.last_cycle (issue + 1)
+          in
+          Some (issue, max stop (issue + 1))
+      in
+      let stop =
+        let basis =
+          match (r.complete, r.squash) with
+          | Some c, Some s -> max c s
+          | Some c, None -> c
+          | None, Some s -> s
+          | None, None -> t.last_cycle
+        in
+        let basis =
+          match exec with Some (_, e) -> max basis e | None -> basis
+        in
+        max basis (r.fetch + 1)
+      in
+      let tid = assign_lane ~start:r.fetch ~stop in
+      let args =
+        [ ("seq", Json.Int r.seq);
+          ("pc", Json.Int r.pc);
+          ("squashed", Json.Bool (r.squash <> None));
+          ("mispredicted", Json.Bool r.mispredicted)
+        ]
+      in
+      Trace_event.span tb
+        ~name:(Bv_isa.Instr.to_string r.instr)
+        ~cat:(if r.squash <> None then "wrong-path" else "instr")
+        ~pid:t.pid ~tid ~ts:(us r.fetch)
+        ~dur:(us (stop - r.fetch))
+        ~args ();
+      (match exec with
+      | Some (issue, e) ->
+        Trace_event.span tb ~name:"execute" ~cat:"execute" ~pid:t.pid ~tid
+          ~ts:(us issue)
+          ~dur:(us (e - issue))
+          ~args:[ ("seq", Json.Int r.seq) ]
+          ()
+      | None -> ());
+      match r.squash with
+      | Some cycle ->
+        Trace_event.instant tb ~name:"squash" ~cat:"flush" ~pid:t.pid ~tid
+          ~ts:(us cycle)
+          ~args:[ ("seq", Json.Int r.seq) ]
+          ()
+      | None -> ())
+    (List.rev t.rev_order);
+  List.iter
+    (fun (cycle, after_seq, new_pc) ->
+      Trace_event.instant tb ~name:"redirect" ~cat:"flush" ~scope:`Process
+        ~pid:t.pid ~tid:0 ~ts:(us cycle)
+        ~args:[ ("after_seq", Json.Int after_seq); ("new_pc", Json.Int new_pc) ]
+        ())
+    (List.rev t.rev_redirects);
+  for lane = 0 to !lanes_used - 1 do
+    Trace_event.set_thread_name tb ~pid:t.pid ~tid:lane
+      (Printf.sprintf "lane %02d" lane)
+  done;
+  Trace_event.events tb
+
+let to_json t = Bv_obs.Trace_event.document (events t)

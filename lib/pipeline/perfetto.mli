@@ -1,0 +1,35 @@
+(** Chrome/Perfetto trace export of the pipeline event stream.
+
+    Feed {!on_event} from {!Machine.run}'s [on_event] hook; {!to_json}
+    then renders per-instruction spans — an outer fetch→complete span per
+    instruction with an inner issue→complete "execute" span nested inside
+    it — plus instant events for squashes and fetch redirects. One
+    simulated cycle maps to 1 us, so the Perfetto ruler reads in cycles.
+
+    Instructions are laid out on greedy "lanes" (trace threads): each
+    instruction goes to the lowest-numbered lane whose previous span has
+    ended, so concurrent in-flight instructions render side by side
+    instead of as bogus nesting. Open in {:https://ui.perfetto.dev} or
+    chrome://tracing. *)
+
+type t
+
+val create : ?max_instructions:int -> ?pid:int -> ?process_name:string ->
+  unit -> t
+(** Record at most [max_instructions] (default 100_000) instructions;
+    later fetches (and their squashes) are counted in {!dropped} but not
+    recorded — redirect instants are always kept. [pid] (default 1) and
+    [process_name] label the trace process — use distinct pids to merge
+    baseline and experimental runs into one trace. *)
+
+val on_event : t -> Machine.event -> unit
+
+val dropped : t -> int
+(** Instructions beyond the [max_instructions] cap. *)
+
+val events : t -> Bv_obs.Json.t list
+(** Trace events for this run, for merging with another collector's via
+    {!Bv_obs.Trace_event.document}. *)
+
+val to_json : t -> Bv_obs.Json.t
+(** A complete single-process trace document. *)

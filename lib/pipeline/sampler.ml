@@ -1,0 +1,103 @@
+type window =
+  { start_cycle : int;
+    end_cycle : int;
+    retired : int;
+    mispredicts : int;
+    icache_misses : int;
+    ipc : float;
+    mppki : float;
+    dbb_avg_occupancy : float
+  }
+
+type t =
+  { interval : int;
+    mutable win_start : int;
+    mutable retired_at_start : int;
+    mutable mispredicts_at_start : int;
+    mutable icache_misses_at_start : int;
+    mutable dbb_sum : int;
+    mutable dbb_count : int;
+    mutable last_stats : Stats.t option;  (* for the partial tail window *)
+    mutable rev_windows : window list
+  }
+
+let create ?(interval = 10_000) () =
+  if interval <= 0 then invalid_arg "Sampler.create: interval must be > 0";
+  { interval;
+    win_start = 0;
+    retired_at_start = 0;
+    mispredicts_at_start = 0;
+    icache_misses_at_start = 0;
+    dbb_sum = 0;
+    dbb_count = 0;
+    last_stats = None;
+    rev_windows = []
+  }
+
+let interval t = t.interval
+
+let close t ~end_cycle ~(stats : Stats.t) =
+  let cycles = end_cycle - t.win_start in
+  if cycles > 0 then begin
+    let retired = Stats.retired stats - t.retired_at_start in
+    let mispredicts = Stats.mispredicts stats - t.mispredicts_at_start in
+    let icache_misses = stats.Stats.icache_misses - t.icache_misses_at_start in
+    let w =
+      { start_cycle = t.win_start;
+        end_cycle;
+        retired;
+        mispredicts;
+        icache_misses;
+        ipc = Float.of_int retired /. Float.of_int cycles;
+        mppki =
+          (if retired = 0 then 0.0
+           else 1000.0 *. Float.of_int mispredicts /. Float.of_int retired);
+        dbb_avg_occupancy =
+          (if t.dbb_count = 0 then 0.0
+           else Float.of_int t.dbb_sum /. Float.of_int t.dbb_count)
+      }
+    in
+    t.rev_windows <- w :: t.rev_windows;
+    t.win_start <- end_cycle;
+    t.retired_at_start <- Stats.retired stats;
+    t.mispredicts_at_start <- Stats.mispredicts stats;
+    t.icache_misses_at_start <- stats.Stats.icache_misses;
+    t.dbb_sum <- 0;
+    t.dbb_count <- 0
+  end
+
+let observe t ~cycle ~stats ~dbb_occupancy =
+  t.dbb_sum <- t.dbb_sum + dbb_occupancy;
+  t.dbb_count <- t.dbb_count + 1;
+  t.last_stats <- Some stats;
+  if cycle - t.win_start >= t.interval then close t ~end_cycle:cycle ~stats
+
+let finish t =
+  match t.last_stats with
+  | Some stats when t.dbb_count > 0 ->
+    close t ~end_cycle:(t.win_start + t.dbb_count) ~stats
+  | _ -> ()
+
+let windows t = List.rev t.rev_windows
+
+let to_json t =
+  finish t;
+  let open Bv_obs.Json in
+  Obj
+    [ ("interval", Int t.interval);
+      ( "windows",
+        List
+          (List.map
+             (fun w ->
+               Obj
+                 [ ("start_cycle", Int w.start_cycle);
+                   ("end_cycle", Int w.end_cycle);
+                   ("retired", Int w.retired);
+                   ("mispredicts", Int w.mispredicts);
+                   ("icache_misses", Int w.icache_misses);
+                   ("ipc", float w.ipc);
+                   ("mppki", float w.mppki);
+                   ("dbb_avg_occupancy", float w.dbb_avg_occupancy)
+                 ])
+             (windows t)) )
+    ]

@@ -1,0 +1,40 @@
+(** Interval telemetry: per-window IPC, MPPKI and DBB occupancy.
+
+    Aggregate stats say *whether* the decomposition wins; the sampler says
+    *when*. Feed {!observe} from {!Machine.run}'s [on_cycle] hook and it
+    closes a window every [interval] cycles, recording the deltas of the
+    relevant counters over that window. *)
+
+type window =
+  { start_cycle : int;
+    end_cycle : int;  (** exclusive *)
+    retired : int;  (** retired within the window *)
+    mispredicts : int;  (** direction mispredicts within the window *)
+    icache_misses : int;
+    ipc : float;
+    mppki : float;  (** per 1000 instructions retired in this window *)
+    dbb_avg_occupancy : float
+  }
+
+type t
+
+val create : ?interval:int -> unit -> t
+(** [interval] defaults to 10_000 cycles. Raises [Invalid_argument] when
+    not positive. *)
+
+val interval : t -> int
+
+val observe : t -> cycle:int -> stats:Stats.t -> dbb_occupancy:int -> unit
+(** Call once per cycle (the signature matches [Machine.run]'s [on_cycle]
+    hook exactly). Closes a window whenever [interval] cycles have
+    elapsed since the last boundary. *)
+
+val finish : t -> unit
+(** Flush the final partial window, if any cycles are outstanding. Safe to
+    call repeatedly. *)
+
+val windows : t -> window list
+(** Closed windows in time order ({!finish} first to include the tail). *)
+
+val to_json : t -> Bv_obs.Json.t
+(** [{ "interval": n, "windows": [...] }]; implies {!finish}. *)

@@ -97,15 +97,92 @@ let site_wait_avg t site =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>cycles %d, retired %d (IPC %.3f)@,\
-     fetched %d, issued %d (%d squashed after issue, %d before)@,\
+     fetched %d, issued %d (%d squashed after issue, %d before), \
+     predicts fetched %d@,\
      branches %d (%d miss), resolves %d (%d miss), rets %d (%d miss), \
-     %.2f MPPKI@,\
+     %.2f MPPKI, %d redirects@,\
      stalls: head %d (operand %d, fu %d, mem %d), empty frontend %d, \
      icache %d@,\
+     icache: %d misses (%d in redirect shadow), %d runahead prefetches@,\
      dbb: avg occ %.2f, max %d, full-stalls %d@]"
     t.cycles (retired t) (ipc t) t.fetched t.issued t.squashed_issued
-    t.squashed_fetched t.branch_execs t.branch_mispredicts t.resolve_execs
-    t.resolve_mispredicts t.ret_execs t.ret_mispredicts (mppki t)
-    t.head_stall_cycles t.operand_stall_cycles t.fu_stall_cycles
-    t.mem_struct_stall_cycles t.frontend_empty_cycles t.icache_stall_cycles
-    (dbb_avg_occupancy t) t.dbb_max_occupancy t.dbb_full_stalls
+    t.squashed_fetched t.predicts_fetched t.branch_execs t.branch_mispredicts
+    t.resolve_execs t.resolve_mispredicts t.ret_execs t.ret_mispredicts
+    (mppki t) t.redirects t.head_stall_cycles t.operand_stall_cycles
+    t.fu_stall_cycles t.mem_struct_stall_cycles t.frontend_empty_cycles
+    t.icache_stall_cycles t.icache_misses t.icache_misses_in_shadow
+    t.runahead_prefetches (dbb_avg_occupancy t) t.dbb_max_occupancy
+    t.dbb_full_stalls
+
+(* The JSON mirror of [pp]: every raw counter plus the derived rates, so
+   machine consumers never have to re-derive or scrape text. Tables are
+   sorted by site id for deterministic output. *)
+let to_json t =
+  let open Bv_obs.Json in
+  let sorted tbl =
+    List.sort (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let site_stalls =
+    List.map
+      (fun (site, cycles) ->
+        Obj [ ("site", Int site); ("stall_cycles", Int cycles) ])
+      (sorted t.site_stalls)
+  in
+  let site_waits =
+    List.map
+      (fun (site, (n, sum)) ->
+        Obj
+          [ ("site", Int site);
+            ("execs", Int n);
+            ("backlog_cycles", Int sum);
+            ("avg_backlog", float (site_wait_avg t site))
+          ])
+      (sorted t.site_waits)
+  in
+  Obj
+    [ ("cycles", Int t.cycles);
+      ("fetched", Int t.fetched);
+      ("issued", Int t.issued);
+      ("retired", Int (retired t));
+      ("squashed_issued", Int t.squashed_issued);
+      ("squashed_fetched", Int t.squashed_fetched);
+      ("predicts_fetched", Int t.predicts_fetched);
+      ("branch_execs", Int t.branch_execs);
+      ("branch_mispredicts", Int t.branch_mispredicts);
+      ("resolve_execs", Int t.resolve_execs);
+      ("resolve_mispredicts", Int t.resolve_mispredicts);
+      ("ret_execs", Int t.ret_execs);
+      ("ret_mispredicts", Int t.ret_mispredicts);
+      ("mispredicts", Int (mispredicts t));
+      ("redirects", Int t.redirects);
+      ("loads_issued", Int t.loads_issued);
+      ("stores_issued", Int t.stores_issued);
+      ("ipc", float (ipc t));
+      ("mppki", float (mppki t));
+      ( "stalls",
+        Obj
+          [ ("head", Int t.head_stall_cycles);
+            ("operand", Int t.operand_stall_cycles);
+            ("fu", Int t.fu_stall_cycles);
+            ("mem_struct", Int t.mem_struct_stall_cycles);
+            ("frontend_empty", Int t.frontend_empty_cycles);
+            ("icache", Int t.icache_stall_cycles)
+          ] );
+      ( "icache",
+        Obj
+          [ ("misses", Int t.icache_misses);
+            ("misses_in_shadow", Int t.icache_misses_in_shadow);
+            ("runahead_prefetches", Int t.runahead_prefetches)
+          ] );
+      ( "dbb",
+        Obj
+          [ ("full_stalls", Int t.dbb_full_stalls);
+            ("occupancy_sum", Int t.dbb_occupancy_sum);
+            ("samples", Int t.dbb_samples);
+            ("avg_occupancy", float (dbb_avg_occupancy t));
+            ("max_occupancy", Int t.dbb_max_occupancy)
+          ] );
+      ("site_stalls", List site_stalls);
+      ("site_waits", List site_waits)
+    ]

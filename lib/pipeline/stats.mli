@@ -64,3 +64,8 @@ val site_wait_avg : t -> int -> float
 (** Average backlog cycles for a site (0 if never executed). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Bv_obs.Json.t
+(** Every counter of [t] (raw and derived: [retired], [ipc], [mppki],
+    [dbb.avg_occupancy]) plus the per-site stall/wait tables, sorted by
+    site id. The machine-readable mirror of [pp]. *)

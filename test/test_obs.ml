@@ -1,0 +1,310 @@
+open Bv_obs
+open Bv_pipeline
+
+let json =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Json.to_string j))
+    ( = )
+
+(* --------------------------------------------------------------- emitter *)
+
+let test_escaping () =
+  Alcotest.(check string)
+    "specials" {|"a\"b\\c\nd\te\u0001f"|}
+    (Json.to_string (Json.String "a\"b\\c\nd\te\001f"));
+  Alcotest.(check string)
+    "utf8 passthrough" "\"h\xc3\xa9llo\""
+    (Json.to_string (Json.String "h\xc3\xa9llo"))
+
+let test_nonfinite () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.check json "smart constructor" Json.Null
+    (Json.float Float.neg_infinity);
+  Alcotest.check json "finite kept" (Json.Float 2.5) (Json.float 2.5)
+
+let test_roundtrip () =
+  let values =
+    Json.
+      [ Null;
+        Bool true;
+        Bool false;
+        Int 0;
+        Int max_int;
+        Int min_int;
+        Float 0.5;
+        Float 0.1;
+        Float 1.5e-30;
+        Float (-2.75e10);
+        Float Float.max_float;
+        String "";
+        String "plain";
+        String "a\"b\\c\nd\te\001f\127\xc3\xa9";
+        List [];
+        Obj [];
+        List [ Int 1; List []; Obj [ ("k", Null) ] ];
+        Obj
+          [ ("empty_list", List []);
+            ("empty_obj", Obj []);
+            ("nested", Obj [ ("xs", List [ Bool false; Float 3.0 ]) ])
+          ]
+      ]
+  in
+  List.iter
+    (fun v ->
+      let compact = Json.to_string v in
+      (match Json.of_string compact with
+      | Ok v' -> Alcotest.check json ("compact: " ^ compact) v v'
+      | Error e -> Alcotest.fail e);
+      match Json.of_string (Json.to_string ~indent:true v) with
+      | Ok v' -> Alcotest.check json ("indented: " ^ compact) v v'
+      | Error e -> Alcotest.fail e)
+    values
+
+let test_unicode_escapes () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.fail e in
+  Alcotest.check json "bmp escape" (Json.String "\xc3\xa9") (ok {|"\u00e9"|});
+  Alcotest.check json "surrogate pair"
+    (Json.String "\xf0\x9f\x98\x80")
+    (ok {|"\ud83d\ude00"|});
+  Alcotest.check json "control escape" (Json.String "\001") (ok {|"\u0001"|})
+
+let test_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [ ""; "{"; "["; "tru"; "1 2"; {|{"a":}|}; {|"unterminated|};
+      {|"bad \q escape"|}; "[1,]"; "nulll" ]
+
+let test_accessors () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Null ]) ] in
+  Alcotest.(check bool) "member hit" true (Json.member "a" v = Some (Json.Int 1));
+  Alcotest.(check bool) "member miss" true (Json.member "z" v = None);
+  Alcotest.(check int) "to_list" 1
+    (List.length (Json.to_list (Option.get (Json.member "b" v))));
+  Alcotest.(check int) "to_list non-list" 0 (List.length (Json.to_list v))
+
+(* --------------------------------------------------------- stats golden *)
+
+let test_stats_golden () =
+  let s = Stats.create () in
+  s.Stats.cycles <- 100;
+  s.Stats.fetched <- 60;
+  s.Stats.issued <- 54;
+  s.Stats.squashed_issued <- 4;
+  s.Stats.squashed_fetched <- 2;
+  s.Stats.predicts_fetched <- 3;
+  s.Stats.branch_execs <- 10;
+  s.Stats.branch_mispredicts <- 2;
+  s.Stats.resolve_execs <- 5;
+  s.Stats.resolve_mispredicts <- 1;
+  s.Stats.ret_execs <- 1;
+  s.Stats.redirects <- 3;
+  s.Stats.loads_issued <- 20;
+  s.Stats.stores_issued <- 10;
+  s.Stats.head_stall_cycles <- 40;
+  s.Stats.operand_stall_cycles <- 30;
+  s.Stats.fu_stall_cycles <- 6;
+  s.Stats.mem_struct_stall_cycles <- 4;
+  s.Stats.frontend_empty_cycles <- 5;
+  s.Stats.icache_stall_cycles <- 12;
+  s.Stats.icache_misses <- 7;
+  s.Stats.icache_misses_in_shadow <- 2;
+  s.Stats.runahead_prefetches <- 1;
+  s.Stats.dbb_full_stalls <- 1;
+  s.Stats.dbb_occupancy_sum <- 30;
+  s.Stats.dbb_samples <- 10;
+  s.Stats.dbb_max_occupancy <- 4;
+  Stats.add_site_stall s ~site:7;
+  Stats.add_site_stall s ~site:7;
+  Stats.add_site_wait s ~site:7 ~cycles:3;
+  Stats.add_site_wait s ~site:7 ~cycles:5;
+  (* The schema contract consumed by external tooling: field names, order
+     and derived-value formatting must stay stable across refactors. *)
+  let expected =
+    String.concat ""
+      [ {|{"cycles":100,"fetched":60,"issued":54,"retired":50,|};
+        {|"squashed_issued":4,"squashed_fetched":2,"predicts_fetched":3,|};
+        {|"branch_execs":10,"branch_mispredicts":2,"resolve_execs":5,|};
+        {|"resolve_mispredicts":1,"ret_execs":1,"ret_mispredicts":0,|};
+        {|"mispredicts":3,"redirects":3,"loads_issued":20,"stores_issued":10,|};
+        {|"ipc":0.5,"mppki":60.0,|};
+        {|"stalls":{"head":40,"operand":30,"fu":6,"mem_struct":4,|};
+        {|"frontend_empty":5,"icache":12},|};
+        {|"icache":{"misses":7,"misses_in_shadow":2,"runahead_prefetches":1},|};
+        {|"dbb":{"full_stalls":1,"occupancy_sum":30,"samples":10,|};
+        {|"avg_occupancy":3.0,"max_occupancy":4},|};
+        {|"site_stalls":[{"site":7,"stall_cycles":2}],|};
+        {|"site_waits":[{"site":7,"execs":2,"backlog_cycles":8,|};
+        {|"avg_backlog":4.0}]}|}
+      ]
+  in
+  Alcotest.(check string) "golden" expected (Json.to_string (Stats.to_json s))
+
+(* ---------------------------------------------------- machine-level runs *)
+
+let tiny_image ?(seed = 11) () =
+  let spec =
+    Bv_workloads.Spec.make ~name:"obs" ~suite:Bv_workloads.Spec.Int_2006 ~seed
+      ~branch_classes:
+        [ Bv_workloads.Spec.cls ~count:3 ~taken_rate:0.6 ~predictability:0.9 ();
+          Bv_workloads.Spec.cls ~iid:true ~count:1 ~taken_rate:0.5
+            ~predictability:0.5 ()
+        ]
+      ~inner_n:64 ~reps:2 ()
+  in
+  Bv_ir.Layout.program (Bv_workloads.Gen.generate ~input:1 spec)
+
+let num = function
+  | Json.Int i -> Float.of_int i
+  | Json.Float f -> f
+  | _ -> Alcotest.fail "expected number"
+
+let get k ev =
+  match Json.member k ev with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s" k
+
+let test_trace_nesting () =
+  let tr = Perfetto.create () in
+  let result =
+    Machine.run ~config:Config.four_wide ~on_event:(Perfetto.on_event tr)
+      (tiny_image ())
+  in
+  Alcotest.(check int) "nothing dropped" 0 (Perfetto.dropped tr);
+  let evs = Perfetto.events tr in
+  let spans =
+    List.filter (fun ev -> Json.member "ph" ev = Some (Json.String "X")) evs
+  in
+  (* instruction spans indexed by seq; every "execute" span must nest
+     inside its instruction's span on the same lane *)
+  let instr_spans = Hashtbl.create 256 and execs = ref [] in
+  List.iter
+    (fun ev ->
+      let seq =
+        match get "args" ev |> Json.member "seq" with
+        | Some (Json.Int s) -> s
+        | _ -> Alcotest.fail "span without args.seq"
+      in
+      let ts = num (get "ts" ev) and dur = num (get "dur" ev) in
+      let tid = num (get "tid" ev) in
+      Alcotest.(check bool) "positive duration" true (dur > 0.);
+      match get "name" ev with
+      | Json.String "execute" -> execs := (seq, tid, ts, dur) :: !execs
+      | _ -> Hashtbl.replace instr_spans seq (tid, ts, dur))
+    spans;
+  let stats = result.Machine.stats in
+  Alcotest.(check int) "one span per fetched instruction"
+    stats.Stats.fetched (Hashtbl.length instr_spans);
+  Alcotest.(check bool) "some instructions issued" true (!execs <> []);
+  List.iter
+    (fun (seq, tid, ts, dur) ->
+      match Hashtbl.find_opt instr_spans seq with
+      | None -> Alcotest.failf "execute span for unknown seq %d" seq
+      | Some (ptid, pts, pdur) ->
+        Alcotest.(check (float 0.)) "same lane" ptid tid;
+        Alcotest.(check bool)
+          (Printf.sprintf "issue span of seq %d nests in fetch span" seq)
+          true
+          (ts >= pts && ts +. dur <= pts +. pdur))
+    !execs;
+  (* the workload has a coin-flip branch class, so squashes and redirects
+     must show up as instants *)
+  let instants name =
+    List.filter
+      (fun ev ->
+        Json.member "ph" ev = Some (Json.String "i")
+        && Json.member "name" ev = Some (Json.String name))
+      evs
+  in
+  Alcotest.(check bool) "squash instants" true (instants "squash" <> []);
+  Alcotest.(check int) "redirect instants"
+    stats.Stats.redirects
+    (List.length (instants "redirect"));
+  match Json.member "traceEvents" (Perfetto.to_json tr) with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "document wraps all events" (List.length evs)
+      (List.length l)
+  | _ -> Alcotest.fail "document missing traceEvents"
+
+let test_trace_cap () =
+  let tr = Perfetto.create ~max_instructions:10 () in
+  ignore
+    (Machine.run ~config:Config.four_wide ~on_event:(Perfetto.on_event tr)
+       (tiny_image ()));
+  Alcotest.(check bool) "drops counted" true (Perfetto.dropped tr > 0);
+  let spans =
+    List.filter
+      (fun ev ->
+        Json.member "ph" ev = Some (Json.String "X")
+        && Json.member "name" ev <> Some (Json.String "execute"))
+      (Perfetto.events tr)
+  in
+  Alcotest.(check int) "cap respected" 10 (List.length spans)
+
+let test_sampler () =
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Sampler.create: interval must be > 0") (fun () ->
+      ignore (Sampler.create ~interval:0 ()));
+  let smp = Sampler.create ~interval:100 () in
+  let result =
+    Machine.run ~config:Config.four_wide ~on_cycle:(Sampler.observe smp)
+      (tiny_image ())
+  in
+  Sampler.finish smp;
+  let ws = Sampler.windows smp in
+  Alcotest.(check bool) "windows recorded" true (List.length ws > 1);
+  let stats = result.Machine.stats in
+  Alcotest.(check int) "retired partitioned exactly"
+    (Stats.retired stats)
+    (List.fold_left (fun acc w -> acc + w.Sampler.retired) 0 ws);
+  Alcotest.(check int) "mispredicts partitioned exactly"
+    (Stats.mispredicts stats)
+    (List.fold_left (fun acc w -> acc + w.Sampler.mispredicts) 0 ws);
+  let rec check_contiguous = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check int) "contiguous" a.Sampler.end_cycle b.Sampler.start_cycle;
+      Alcotest.(check int) "full window" 100
+        (a.Sampler.end_cycle - a.Sampler.start_cycle);
+      check_contiguous rest
+    | [ last ] ->
+      Alcotest.(check int) "tail reaches final cycle" stats.Stats.cycles
+        last.Sampler.end_cycle
+    | [] -> ()
+  in
+  check_contiguous ws;
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "ipc within issue width" true
+        (w.Sampler.ipc >= 0. && w.Sampler.ipc <= 4.))
+    ws;
+  match Json.member "windows" (Sampler.to_json smp) with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "json mirrors windows" (List.length ws)
+      (List.length l)
+  | _ -> Alcotest.fail "sampler json missing windows"
+
+let () =
+  Alcotest.run "bv_obs"
+    [ ( "json",
+        [ Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "non-finite" `Quick test_nonfinite;
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_accessors
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "golden to_json" `Quick test_stats_golden ] );
+      ( "trace",
+        [ Alcotest.test_case "span nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "instruction cap" `Quick test_trace_cap
+        ] );
+      ( "sampler",
+        [ Alcotest.test_case "windows" `Quick test_sampler ] )
+    ]
