@@ -370,6 +370,140 @@ let trace_cmd =
        ~doc:"Per-instruction pipeline trace (fetch/issue/complete cycles).")
     Term.(const run $ bench_arg $ width_arg $ rows_arg $ transformed_arg)
 
+(* ----------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let module Diagnostic = Bv_analysis.Diagnostic in
+  let run files bench suites dbb_entries json =
+    let targets = ref [] in
+    let failed = ref false in
+    let add name prog = targets := (name, prog) :: !targets in
+    List.iter
+      (fun path ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e ->
+          prerr_endline e;
+          failed := true
+        | text -> (
+          match Bv_ir.Asm.program text with
+          | exception Bv_ir.Asm.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" path line msg;
+            failed := true
+          | prog -> add path prog))
+      files;
+    (match bench with
+    | None -> ()
+    | Some name -> (
+      match spec_of_name name with
+      | Error e ->
+        prerr_endline e;
+        failed := true
+      | Ok spec ->
+        add (name ^ ":baseline") (Gen.generate ~input:1 spec);
+        add (name ^ ":transformed")
+          (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program));
+    if suites then
+      List.iter
+        (fun suite ->
+          match Suites.of_suite suite with
+          | [] -> ()
+          | spec :: _ ->
+            add
+              (Printf.sprintf "%s:%s:transformed" (Spec.suite_name suite)
+                 spec.Spec.name)
+              (Runner.transform (Runner.prepare spec))
+                .Vanguard.Transform.program)
+        [ Spec.Int_2006; Spec.Fp_2006; Spec.Int_2000; Spec.Fp_2000 ];
+    let targets = List.rev !targets in
+    if targets = [] && not !failed then begin
+      prerr_endline
+        "nothing to lint: pass FILE arguments, -b BENCH, or --suites";
+      failed := true
+    end;
+    let results =
+      List.map
+        (fun (name, prog) ->
+          ( name,
+            Bv_analysis.Speculation.verify ~dbb_entries
+              ~scratch:Vanguard.Transform.default_temp_pool prog ))
+        targets
+    in
+    let count sev =
+      List.fold_left
+        (fun n (_, ds) -> n + Diagnostic.count sev ds)
+        0 results
+    in
+    let errors = count Diagnostic.Error in
+    (match json with
+    | Some path ->
+      write_json path
+        (Bv_obs.Json.Obj
+           [ ("schema_version", Bv_obs.Json.Int 1);
+             ("dbb_entries", Bv_obs.Json.Int dbb_entries);
+             ( "targets",
+               Bv_obs.Json.List
+                 (List.map
+                    (fun (name, diags) ->
+                      obj_add
+                        (Bv_obs.Json.Obj
+                           [ ("target", Bv_obs.Json.String name) ])
+                        (match Diagnostic.report_to_json diags with
+                        | Bv_obs.Json.Obj fields -> fields
+                        | _ -> []))
+                    results) )
+           ])
+    | None ->
+      List.iter
+        (fun (name, diags) ->
+          if diags = [] then Format.printf "%s: clean@." name
+          else
+            List.iter
+              (fun d -> Format.printf "%s: %a@." name Diagnostic.pp d)
+              (Diagnostic.sort diags))
+        results;
+      Format.printf "%d target(s): %d error(s), %d warning(s), %d info(s)@."
+        (List.length results) errors
+        (count Diagnostic.Warning)
+        (count Diagnostic.Info));
+    if !failed || errors > 0 then 1 else 0
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Hidden-ISA source files (see `vanguard_cli assemble`).")
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ]
+          ~doc:
+            "Lint a benchmark's baseline and decomposed-branch programs \
+             (see `vanguard_cli list`).")
+  in
+  let suites_arg =
+    Arg.(
+      value & flag
+      & info [ "suites" ]
+          ~doc:
+            "Lint the transformed program of one workload per benchmark \
+             suite.")
+  in
+  let dbb_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "dbb" ] ~docv:"ENTRIES"
+          ~doc:"Decoupled-branch-buffer capacity for the occupancy check.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify predict/resolve speculation safety; exits \
+          non-zero on any error-severity diagnostic.")
+    Term.(
+      const run $ files_arg $ bench_opt_arg $ suites_arg $ dbb_arg $ json_arg)
+
 (* ------------------------------------------------------------- assemble *)
 
 let assemble_cmd =
@@ -426,7 +560,7 @@ let main =
   in
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
     [ list_cmd; run_cmd; profile_cmd; transform_cmd; experiment_cmd;
-      disasm_cmd; dot_cmd; assemble_cmd; trace_cmd
+      disasm_cmd; dot_cmd; lint_cmd; assemble_cmd; trace_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,72 @@
+open Bv_isa
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t =
+  { severity : severity;
+    pass : string;
+    proc : Label.t;
+    block : Label.t option;
+    site : int option;
+    message : string
+  }
+
+let make severity ?block ?site ~pass ~proc fmt =
+  Printf.ksprintf
+    (fun message -> { severity; pass; proc; block; site; message })
+    fmt
+
+let error ?block ?site ~pass ~proc fmt = make Error ?block ?site ~pass ~proc fmt
+let warning ?block ?site ~pass ~proc fmt =
+  make Warning ?block ?site ~pass ~proc fmt
+let info ?block ?site ~pass ~proc fmt = make Info ?block ?site ~pass ~proc fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let is_error d = d.severity = Error
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let has_errors diags = List.exists is_error diags
+
+let sort diags =
+  List.stable_sort
+    (fun a b -> Int.compare (severity_rank a.severity) (severity_rank b.severity))
+    diags
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] proc %a" (severity_name d.severity) d.pass
+    Label.pp d.proc;
+  Option.iter (fun b -> Format.fprintf ppf ", block %a" Label.pp b) d.block;
+  Option.iter (fun s -> Format.fprintf ppf ", site %d" s) d.site;
+  Format.fprintf ppf ": %s" d.message
+
+let to_json d =
+  let open Bv_obs.Json in
+  Obj
+    [ ("severity", String (severity_name d.severity));
+      ("pass", String d.pass);
+      ("proc", String d.proc);
+      ("block", match d.block with Some b -> String b | None -> Null);
+      ("site", match d.site with Some s -> Int s | None -> Null);
+      ("message", String d.message)
+    ]
+
+let report_to_json diags =
+  let open Bv_obs.Json in
+  Obj
+    [ ("schema_version", Int 1);
+      ("errors", Int (count Error diags));
+      ("warnings", Int (count Warning diags));
+      ("infos", Int (count Info diags));
+      ("diagnostics", List (List.map to_json (sort diags)))
+    ]

@@ -1,0 +1,63 @@
+(** Structured findings emitted by the static analyses.
+
+    Each diagnostic carries enough location to act on it — procedure,
+    block, decomposed-branch site — plus a severity and a stable pass
+    name. [to_json] mirrors the record through {!Bv_obs.Json} so reports
+    can be consumed by tooling (and by the CI lint step). *)
+
+open Bv_isa
+
+type severity =
+  | Error  (** a violated invariant: the program is unsafe to run *)
+  | Warning  (** suspicious but not provably wrong *)
+  | Info  (** notable structure, e.g. an assert-style resolve *)
+
+type t =
+  { severity : severity;
+    pass : string;  (** stable pass identifier, e.g. ["pairing"] *)
+    proc : Label.t;
+    block : Label.t option;
+    site : int option;  (** decomposed-branch site id, when one applies *)
+    message : string
+  }
+
+val error :
+  ?block:Label.t ->
+  ?site:int ->
+  pass:string ->
+  proc:Label.t ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val warning :
+  ?block:Label.t ->
+  ?site:int ->
+  pass:string ->
+  proc:Label.t ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val info :
+  ?block:Label.t ->
+  ?site:int ->
+  pass:string ->
+  proc:Label.t ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val severity_name : severity -> string
+val is_error : t -> bool
+
+val count : severity -> t list -> int
+
+val has_errors : t list -> bool
+
+val sort : t list -> t list
+(** Stable sort, errors first, then warnings, then infos. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Bv_obs.Json.t
+
+val report_to_json : t list -> Bv_obs.Json.t
+(** [{schema_version; errors; warnings; infos; diagnostics}]. *)

@@ -1,0 +1,67 @@
+(** Speculation-safety verifier for decomposed-branch programs.
+
+    Statically proves, per procedure, the invariants that the Decomposed
+    Branch Transformation must preserve for the machine (DBB allocation at
+    fetch, no rollback of architectural registers on mispredict) and for
+    the functional semantics to agree with the original program. Built on
+    {!Dataflow}; every violation becomes a {!Diagnostic.t}.
+
+    The passes, by stable name:
+
+    - ["pairing"]: tracks the set of outstanding predict sites at every
+      block boundary (a may-analysis with union join, and a must-analysis
+      with intersection join, both forward). Errors: a [Resolve] not
+      dominated by its [Predict] (absent from the must-set), a resolve of
+      a site with no outstanding predict (double resolve, or resolve
+      before predict), a re-predict of a still-outstanding site, more
+      outstanding sites than DBB entries at a predict point, and
+      outstanding sites live across a [Call]/[Ret] (the DBB does not
+      survive procedure changes). A lone resolve whose id has no predict
+      anywhere in the procedure is the legal assert-style form produced by
+      {e assert-conversion} and is reported as [Info]; two or more
+      predictless resolve arms for one id are an error.
+    - ["spec-window"]: inside a speculative window (any block whose
+      may-set of outstanding sites is non-empty), a [Store] is an error —
+      stores must not retire speculatively — and a load not marked
+      speculative (non-faulting) is a warning.
+    - ["correction"]: correction-block idempotence. For each paired
+      resolve, the registers that may hold speculative values on its
+      mispredict edge are everything written inside the window minus the
+      resolve block's own condition slice (which is path-independent by
+      construction). A correction block that stores, or whose
+      upward-exposed uses meet that danger set, is an error.
+    - ["scratch-uninit"] (only with a non-empty [scratch] set): scratch
+      registers — the transformation's rename pool — hold no program
+      values, so a read of one not dominated by a write (a must-defined
+      forward analysis) is an error. This is the static signature of a
+      mis-renamed partial write, e.g. a conditional move whose destination
+      was renamed to a fresh temporary without seeding it.
+    - ["reachability"]: blocks unreachable from the procedure entry are
+      warnings.
+
+    The checks are per-procedure; inter-procedural effects are excluded by
+    the pairing pass's [Call]/[Ret] rule. *)
+
+open Bv_isa
+open Bv_ir
+
+val pass_names : string list
+(** In the order the passes run. *)
+
+val verify_proc :
+  ?dbb_entries:int -> ?scratch:Reg.t list -> Proc.t -> Diagnostic.t list
+(** [dbb_entries] defaults to {!Bv_pipeline.Config.dbb_entries}'s value
+    (16), kept literal here to avoid a dependency on the pipeline.
+    [scratch] (default empty, disabling the ["scratch-uninit"] pass) is
+    the rename pool — {!Vanguard.Transform.default_temp_pool} for
+    transformed programs. *)
+
+val verify :
+  ?dbb_entries:int -> ?scratch:Reg.t list -> Program.t -> Diagnostic.t list
+(** Every procedure, diagnostics sorted errors-first. *)
+
+val check_exn :
+  ?dbb_entries:int -> ?scratch:Reg.t list -> Program.t -> unit
+(** Raises [Invalid_argument] listing every error-severity diagnostic, if
+    any. Warnings and infos are ignored. Used as a debug post-pass by the
+    transformation drivers. *)

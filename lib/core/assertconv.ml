@@ -76,7 +76,7 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program
   | _ -> raise (Skip "terminator is not a conditional branch")
 
 let apply ?(max_hoist = 16) ?(temp_pool = Transform.default_temp_pool)
-    ?(schedule = true) ?exit_live ~candidates program =
+    ?(schedule = true) ?(verify = true) ?exit_live ~candidates program =
   let program = Program.copy program in
   let exit_live = Option.map Liveness.Regset.of_list exit_live in
   let reports = ref [] in
@@ -90,4 +90,5 @@ let apply ?(max_hoist = 16) ?(temp_pool = Transform.default_temp_pool)
     candidates;
   if schedule then Bv_sched.Sched.schedule_program program;
   Validate.check_exn program;
+  if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
   { program; reports = List.rev !reports; skipped = List.rev !skipped }

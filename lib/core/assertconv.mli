@@ -40,10 +40,12 @@ val apply :
   ?max_hoist:int ->
   ?temp_pool:Reg.t list ->
   ?schedule:bool ->
+  ?verify:bool ->
   ?exit_live:Reg.t list ->
   candidates:(Select.candidate * bool) list ->
   Program.t ->
   result
 (** Each candidate carries [likely_taken], usually
     [taken_rate >= 0.5] from the profile. Preconditions match
-    {!Transform.apply} (hammock shape, sinkable slice). *)
+    {!Transform.apply} (hammock shape, sinkable slice), as do [verify] and
+    the other options. *)

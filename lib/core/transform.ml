@@ -158,8 +158,23 @@ let hoistable_prefix ~max_hoist ~temp_pool ~must_rename body =
         let cond = subst_reg c.cond and src = subst_operand c.src in
         (* dst is also a source of a conditional move *)
         let prior = subst_reg c.dst in
-        if Reg.equal prior c.dst then
-          continue c.dst (fun t -> Instr.Cmov { c with cond; dst = t; src })
+        if Reg.equal prior c.dst then (
+          match fresh_for c.dst with
+          | None -> (List.rev orig, List.rev spec, instr :: rest)
+          | Some t when Reg.equal t c.dst ->
+            (* not renamed: a dead dst can take the partial write in place *)
+            go (taken + 1) (instr :: orig)
+              (Instr.Cmov { c with cond; src } :: spec)
+              rest
+          | Some t ->
+            (* A fresh temp must first be seeded with the running value:
+               a not-taken cmov keeps its dst, and the commit move would
+               otherwise publish the uninitialised temp. *)
+            go (taken + 1) (instr :: orig)
+              (Instr.Cmov { c with cond; dst = t; src }
+               :: Instr.Mov { dst = t; src = Instr.Reg c.dst }
+               :: spec)
+              rest)
         else
           (* the running value already lives in a temp: keep writing it *)
           go (taken + 1) (instr :: orig)
@@ -301,7 +316,7 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
   | _ -> raise (Skip "terminator is not a conditional branch")
 
 let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
-    ?exit_live ~candidates program =
+    ?(verify = true) ?exit_live ~candidates program =
   let exit_live = Option.map Liveness.Regset.of_list exit_live in
   if temp_pool_clash program temp_pool then
     invalid_arg "Transform.apply: program already uses the temporary pool";
@@ -318,6 +333,7 @@ let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
     candidates;
   if schedule then Bv_sched.Sched.schedule_program program;
   Validate.check_exn program;
+  if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
   { program;
     reports = List.rev !reports;
     skipped = List.rev !skipped;

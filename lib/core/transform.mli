@@ -84,13 +84,17 @@ val apply :
   ?max_hoist:int ->
   ?temp_pool:Reg.t list ->
   ?schedule:bool ->
+  ?verify:bool ->
   ?exit_live:Reg.t list ->
   candidates:Select.candidate list ->
   Program.t ->
   result
 (** [max_hoist] caps the hoisted prefix per successor (default 16).
     [schedule] (default true) re-runs the list scheduler on the program
-    afterwards. [exit_live] is the calling convention: registers assumed
+    afterwards. [verify] (default true) runs the speculation-safety
+    verifier ({!Bv_analysis.Speculation}) as a debug post-pass and raises
+    [Invalid_argument] on any error-severity diagnostic.
+    [exit_live] is the calling convention: registers assumed
     live at procedure exits for the renaming analysis (default: every
     register — safe, but renames more than a compiler with knowledge of
     the convention would). Sites violating a safety precondition at

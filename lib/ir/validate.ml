@@ -52,11 +52,27 @@ let check program =
           | Term.Predict { taken; not_taken; id } ->
             check_local b taken;
             check_local b not_taken;
+            if Hashtbl.mem predict_ids id then
+              error "duplicate predict site id %d (block %s)" id b.Block.label;
             Hashtbl.replace predict_ids id ()
-          | Term.Resolve { mispredict; fallthrough; id; _ } ->
+          | Term.Resolve { mispredict; fallthrough; predicted_taken; id; _ }
+            ->
             check_local b mispredict;
             check_local b fallthrough;
-            Hashtbl.replace resolve_ids id ()
+            (* One resolve per predicted direction: the transformation emits
+               a predicted-taken and a predicted-not-taken arm per site, so
+               only a repeated (id, predicted_taken) pair is a duplicate. *)
+            let arms =
+              Option.value (Hashtbl.find_opt resolve_ids id) ~default:[]
+            in
+            if List.mem predicted_taken arms then
+              error
+                "duplicate resolve site id %d for the predicted-%s arm \
+                 (block %s)"
+                id
+                (if predicted_taken then "taken" else "not-taken")
+                b.Block.label;
+            Hashtbl.replace resolve_ids id (predicted_taken :: arms)
           | Term.Call { target; return_to } ->
             if not (Hashtbl.mem proc_names target) then
               error "block %s calls unknown procedure %s" b.Block.label target;
@@ -78,6 +94,16 @@ let check program =
       if Hashtbl.mem branch_ids id then
         error "site id %d used by both a branch and a predict" id)
     predict_ids;
+  Hashtbl.iter
+    (fun id arms ->
+      if Hashtbl.mem branch_ids id then
+        error "site id %d used by both a branch and a resolve" id;
+      (* A lone predictless resolve is the assert-style form produced by
+         assert-conversion; two arms only make sense below a predict. *)
+      if (not (Hashtbl.mem predict_ids id)) && List.length arms > 1 then
+        error "resolve site id %d has %d arms but no matching predict" id
+          (List.length arms))
+    resolve_ids;
   match !errors with
   | [] -> Ok ()
   | es -> Error (List.rev es)

@@ -9,9 +9,15 @@
       immediately after the calling block (the machine returns to the
       instruction after the [call]);
     - every procedure's entry is its first block;
-    - branch-site ids of [Branch] terminators are unique program-wide;
+    - branch-site ids of [Branch] terminators are unique program-wide, as
+      are [Predict] site ids and (per predicted direction) [Resolve] site
+      ids — a site may carry one predicted-taken and one predicted-not-taken
+      resolve arm, but not two of the same direction;
     - each [Predict] site id is matched by at least one [Resolve] with the
-      same id, and predict/resolve ids do not collide with branch ids. *)
+      same id, and neither predict nor resolve ids collide with branch ids;
+    - a [Resolve] id with no matching [Predict] is allowed only in the lone,
+      single-arm assert-style form produced by assert-conversion; two or
+      more predictless arms for one id are an error. *)
 
 val check : Program.t -> (unit, string list) result
 (** [check p] is [Ok ()] or [Error messages]. *)

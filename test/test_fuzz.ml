@@ -242,6 +242,25 @@ let prop_transform_all_sites =
       res.Bv_pipeline.Machine.finished
       && res.Bv_pipeline.Machine.arch_digest = want)
 
+let prop_transformed_lint_clean =
+  QCheck2.Test.make
+    ~name:"transformed programs pass the speculation-safety linter"
+    ~count:60 seeds
+    (fun seed ->
+      let prog = gen_program seed in
+      let candidates = shape_valid_candidates prog in
+      let transformed =
+        (Vanguard.Transform.apply ~candidates prog).Vanguard.Transform.program
+      in
+      let lints_clean p =
+        not
+          (Bv_analysis.Diagnostic.has_errors
+             (Bv_analysis.Speculation.verify
+                ~scratch:Vanguard.Transform.default_temp_pool p))
+      in
+      lints_clean transformed
+      && lints_clean (Recover.image (Layout.program transformed)))
+
 let prop_encoding_whole_images =
   QCheck2.Test.make ~name:"whole images encode and decode losslessly"
     ~count:60 seeds
@@ -274,6 +293,7 @@ let () =
             prop_scheduler_preserves_programs;
             prop_recover_roundtrip;
             prop_transform_all_sites;
+            prop_transformed_lint_clean;
             prop_encoding_whole_images
           ] )
     ]
