@@ -7,6 +7,10 @@
    Environment knobs:
      BV_SCALE=<float>    scale workload repetitions (default 1.0)
      BV_EXPERIMENTS=ids  comma-separated subset (default: all)
+     BV_JOBS=<n>         worker processes for row-level parallelism
+                         (default 1; output is identical at any n)
+     BV_CACHE=<dir>      compile-artifact cache (default .bv-cache;
+                         'none' disables)
      BV_MICRO=0          skip the Bechamel micro-suite
      BV_BENCH_JSON=path  trajectory artifact destination (default
                          results/bench_<timestamp>.json; empty disables) *)
@@ -19,8 +23,11 @@ let run_experiments () =
     | None -> List.map (fun (id, _, _) -> id) Bv_harness.Experiments.all
   in
   Format.fprintf ppf
-    "Branch Vanguard reproduction — every table and figure (scale %.2f)@."
-    (Bv_harness.Runner.scale ());
+    "Branch Vanguard reproduction — every table and figure (scale %.2f, \
+     %d job%s)@."
+    (Bv_harness.Runner.scale ())
+    (Bv_harness.Sim.jobs (Bv_harness.Sim.the ()))
+    (if Bv_harness.Sim.jobs (Bv_harness.Sim.the ()) = 1 then "" else "s");
   ignore (Bv_harness.Experiments.drain_tables ());
   List.filter_map
     (fun id ->

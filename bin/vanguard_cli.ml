@@ -175,7 +175,8 @@ let run_cmd =
                   ("suite", Bv_obs.Json.String (Spec.suite_name spec.Spec.suite));
                   ("width", Bv_obs.Json.Int width);
                   ("predictor", Bv_obs.Json.String (Kind.name predictor));
-                  ("input", Bv_obs.Json.Int input)
+                  ("input", Bv_obs.Json.Int input);
+                  ("scale", Bv_obs.Json.float (Runner.scale ()))
                 ])
              (match report with Bv_obs.Json.Obj f -> f | _ -> []))
       | _ -> ());
@@ -261,7 +262,10 @@ let transform_cmd =
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
-  let run ids json =
+  let run ids json jobs =
+    (match jobs with
+    | Some n -> Sim.set_jobs (Sim.the ()) n
+    | None -> ());
     (* With --json - the report owns stdout; the tables go to stderr. *)
     let ppf =
       if json = Some "-" then Format.err_formatter else Format.std_formatter
@@ -309,11 +313,18 @@ let experiment_cmd =
   let ids_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+           & info [ "j"; "jobs" ] ~docv:"N"
+               ~doc:"Worker processes for row-level parallelism (default \
+                     \\$(b,BV_JOBS) or 1). Output is byte-identical to a \
+                     serial run.")
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures ('all' for every \
              one).")
-    Term.(const run $ ids_arg $ json_arg)
+    Term.(const run $ ids_arg $ json_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ dot *)
 

@@ -11,18 +11,17 @@ let progress fmt =
 
 (* ------------------------------------------------------------------ lab *)
 
-let lab : (string, Runner.bench) Hashtbl.t = Hashtbl.create 64
+(* All prepare/simulate traffic goes through the shared default session:
+   prepared benches are memoised there, compile artifacts hit the
+   content-hashed disk cache, and [pmap] fans row-level work out across
+   the session's workers (BV_JOBS / --jobs). Worker results are
+   reassembled by index, so a parallel run emits byte-identical tables
+   to a serial one. *)
+let sim = lazy (Sim.the ())
 
-let bench spec =
-  match Hashtbl.find_opt lab spec.Spec.name with
-  | Some b -> b
-  | None ->
-    progress "prepare %s" spec.Spec.name;
-    let b = Runner.prepare spec in
-    Hashtbl.replace lab spec.Spec.name b;
-    b
+let bench spec = Sim.bench (Lazy.force sim) spec
 
-let suite_benches suite = List.map bench (Suites.of_suite suite)
+let pmap f items = Sim.map (Lazy.force sim) f items
 
 (* Collapse whitespace runs so multi-line string literals render cleanly. *)
 let normalize text =
@@ -88,9 +87,9 @@ let table1 ppf =
 let bias_predictability_curve suite =
   let points = 40 in
   let curves =
-    List.map
-      (fun b ->
-        let profile = Runner.profile b in
+    pmap
+      (fun spec ->
+        let profile = Runner.profile (bench spec) in
         let sites =
           List.filter
             (fun s -> s.Bv_profile.Profile.id < 900_000)
@@ -108,7 +107,7 @@ let bias_predictability_curve suite =
              (fun s ->
                (Bv_profile.Profile.bias s, Bv_profile.Profile.predictability s))
              sorted))
-      (suite_benches suite)
+      (Suites.of_suite suite)
   in
   Array.init points (fun i ->
       let at curve =
@@ -152,7 +151,7 @@ let fig3 ppf =
 let table2 ppf =
   heading ppf "Table 2: SPEC 2006 Int and FP metrics (4-wide), sorted by SPD";
   let rows =
-    List.map
+    pmap
       (fun spec ->
         progress "table2 %s" spec.Spec.name;
         Metrics.table2_row (bench spec))
@@ -186,29 +185,30 @@ let widths = [ 2; 4; 8 ]
 
 let speedup_figure ?csv ppf ~title ~suite ~pick =
   heading ppf title;
-  let benches = suite_benches suite in
+  (* One work item per benchmark: each returns its per-width speedups, so
+     workers carry only (name, floats) back and the parent renders. *)
+  let data =
+    pmap
+      (fun spec ->
+        progress "%s %s" title spec.Spec.name;
+        let b = bench spec in
+        (spec.Spec.name, List.map (fun w -> pick b ~width:w) widths))
+      (Suites.of_suite suite)
+  in
+  let s4 speedups = List.nth speedups 1 (* widths = [2; 4; 8] *) in
   let rows =
     List.map
-      (fun b ->
-        let spec = Runner.spec b in
-        progress "%s %s" title spec.Spec.name;
-        let cells =
-          List.map
-            (fun w ->
-              let s = pick b ~width:w in
-              Text.f1 s)
-            widths
-        in
-        let s4 = pick b ~width:4 in
-        (spec.Spec.name :: cells) @ [ Text.bar s4 ~width:35 ~scale:1.0 ])
-      benches
+      (fun (name, speedups) ->
+        (name :: List.map Text.f1 speedups)
+        @ [ Text.bar (s4 speedups) ~width:35 ~scale:1.0 ])
+      data
   in
   let geos =
-    List.map
-      (fun w ->
+    List.mapi
+      (fun i _ ->
         Text.f1
           (Agg.geomean_speedup_pct
-             (List.map (fun b -> pick b ~width:w) benches)))
+             (List.map (fun (_, speedups) -> List.nth speedups i) data)))
       widths
   in
   emit ?csv ppf
@@ -264,7 +264,7 @@ let fig14 ppf =
     "Figure 14: % increase in instructions issued, 4-wide experimental vs \
      baseline, SPEC 2006";
   let rows =
-    List.map
+    pmap
       (fun spec ->
         progress "fig14 %s" spec.Spec.name;
         let v = issued_increase (bench spec) in
@@ -281,13 +281,14 @@ let sensitivity ppf =
      benchmarks";
   let names = [ "astar"; "sjeng"; "gobmk"; "mcf" ] in
   let rows =
-    List.concat_map
-      (fun name ->
-        let spec = Option.get (Suites.find name) in
-        let b = bench spec in
-        List.map
-          (fun kind ->
-            progress "sensitivity %s/%s" name (Kind.name kind);
+    List.concat
+      (pmap
+         (fun name ->
+           let spec = Option.get (Suites.find name) in
+           let b = bench spec in
+           List.map
+             (fun kind ->
+               progress "sensitivity %s/%s" name (Kind.name kind);
             let pair = Runner.simulate ~predictor:kind b ~input:1 ~width:4 in
             let mr =
               let s = pair.Runner.base.Machine.stats in
@@ -300,8 +301,8 @@ let sensitivity ppf =
               Text.f2 mr;
               Text.f2 pair.Runner.speedup_pct
             ])
-          Kind.sensitivity_ladder)
-      names
+             Kind.sensitivity_ladder)
+         names)
   in
   emit ~csv:"sensitivity" ppf
     ~headers:[ "Benchmark"; "Predictor"; "mispredict%"; "speedup%" ]
@@ -320,7 +321,7 @@ let icache ppf =
   in
   let specs = Suites.int_2006 @ Suites.fp_2006 in
   let rows =
-    List.map
+    pmap
       (fun spec ->
         progress "icache %s" spec.Spec.name;
         let b = bench spec in
@@ -362,39 +363,47 @@ let dbb ppf =
   heading ppf "DBB sizing (4): occupancy and entry-count sweep";
   let names = [ "h264ref"; "perlbench"; "mcf"; "wrf" ] in
   List.iter
-    (fun name ->
-      let spec = Option.get (Suites.find name) in
-      let b = bench spec in
-      let pair = Runner.simulate b ~input:1 ~width:4 in
-      let s = pair.Runner.exp.Machine.stats in
+    (fun (name, avg_occ, max_occ, full) ->
       Format.fprintf ppf
         "%-10s avg occupancy %.2f, max %d, full-stall cycles %d@." name
-        (Stats.dbb_avg_occupancy s) s.Stats.dbb_max_occupancy
-        s.Stats.dbb_full_stalls)
-    names;
+        avg_occ max_occ full)
+    (pmap
+       (fun name ->
+         let spec = Option.get (Suites.find name) in
+         let b = bench spec in
+         let pair = Runner.simulate b ~input:1 ~width:4 in
+         let s = pair.Runner.exp.Machine.stats in
+         ( name,
+           Stats.dbb_avg_occupancy s,
+           s.Stats.dbb_max_occupancy,
+           s.Stats.dbb_full_stalls ))
+       names);
   Format.fprintf ppf "@.Entry-count sweep (h264ref, 4-wide):@.";
   let spec = Option.get (Suites.find "h264ref") in
   let b = bench spec in
   let base_img = Runner.baseline_program b ~input:1 in
   let exp_img = Runner.experimental_program b ~input:1 in
   List.iter
-    (fun entries ->
-      progress "dbb sweep %d entries" entries;
-      let config =
-        { (Config.make ~width:4 ()) with Config.dbb_entries = entries }
-      in
-      let base = Machine.run ~config base_img in
-      let exp = Machine.run ~config exp_img in
-      let spd =
-        100.0
-        *. (Float.of_int base.Machine.stats.Stats.cycles
-            /. Float.of_int (max 1 exp.Machine.stats.Stats.cycles)
-           -. 1.0)
-      in
+    (fun (entries, spd, full) ->
       Format.fprintf ppf
         "  %2d entries: speedup %+6.2f%%, full-stall cycles %d@." entries spd
-        exp.Machine.stats.Stats.dbb_full_stalls)
-    [ 1; 2; 4; 8; 16; 32 ]
+        full)
+    (pmap
+       (fun entries ->
+         progress "dbb sweep %d entries" entries;
+         let config =
+           { (Config.make ~width:4 ()) with Config.dbb_entries = entries }
+         in
+         let base = Machine.run ~config base_img in
+         let exp = Machine.run ~config exp_img in
+         let spd =
+           100.0
+           *. (Float.of_int base.Machine.stats.Stats.cycles
+               /. Float.of_int (max 1 exp.Machine.stats.Stats.cycles)
+              -. 1.0)
+         in
+         (entries, spd, exp.Machine.stats.Stats.dbb_full_stalls))
+       [ 1; 2; 4; 8; 16; 32 ])
 
 (* ------------------------------------------------------------ ablations *)
 
@@ -402,17 +411,23 @@ let ablation_hoist ppf =
   heading ppf "Ablation: hoist-depth cap (4-wide, avg over REF inputs)";
   let names = [ "h264ref"; "perlbench"; "omnetpp"; "wrf" ] in
   let caps = [ 2; 4; 8; 16; 32 ] in
-  let rows =
-    List.map
-      (fun name ->
+  (* Every (benchmark, cap) cell is an independent prepare+simulate: fan
+     them all out, then fold back into one row per benchmark. *)
+  let cells =
+    pmap
+      (fun (name, cap) ->
+        progress "abl-hoist %s cap=%d" name cap;
         let spec = Option.get (Suites.find name) in
-        name
-        :: List.map
-             (fun cap ->
-               progress "abl-hoist %s cap=%d" name cap;
-               let b = Runner.prepare ~max_hoist:cap spec in
-               Text.f1 (Runner.avg_speedup b ~width:4))
-             caps)
+        let b = Sim.prepare ~max_hoist:cap (Lazy.force sim) spec in
+        Text.f1 (Runner.avg_speedup b ~width:4))
+      (List.concat_map
+         (fun name -> List.map (fun cap -> (name, cap)) caps)
+         names)
+  in
+  let ncaps = List.length caps in
+  let rows =
+    List.mapi
+      (fun i name -> name :: List.filteri (fun j _ -> j / ncaps = i) cells)
       names
   in
   emit ~csv:"abl_hoist" ppf
@@ -426,14 +441,14 @@ let ablation_select ppf =
      2006 Int geomean";
   let thresholds = [ 0.0; 0.02; 0.05; 0.10; 0.20 ] in
   let rows =
-    List.map
+    pmap
       (fun th ->
         progress "abl-select threshold=%.2f" th;
         let speedups, pbcs =
           List.split
             (List.map
                (fun spec ->
-                 let b = Runner.prepare ~threshold:th spec in
+                 let b = Sim.prepare ~threshold:th (Lazy.force sim) spec in
                  ( Runner.avg_speedup b ~width:4,
                    Vanguard.Select.pbc (Runner.selection b) ))
                Suites.int_2006)
@@ -519,34 +534,37 @@ let ablation_predication ppf =
     in
     (stat predicated, stat vanguard, stat asserted)
   in
-  let rows =
+  let grid =
     List.concat_map
       (fun rate ->
         List.filter_map
           (fun pred ->
             if pred +. 0.001 < Float.max rate (1.0 -. rate) then None
-            else begin
-              progress "abl-pred bias=%.2f pred=%.2f" rate pred;
-              let (p, pi), (v, vi), (a, _) = cell ~rate ~pred in
-              let winner =
-                if Float.max (Float.max p v) a < 1.0 then "neither"
-                else if p > v && p > a then "predication"
-                else if a > v then "superblock"
-                else "decomposition"
-              in
-              Some
-                [ Printf.sprintf "%.2f" (Float.max rate (1.0 -. rate));
-                  Printf.sprintf "%.2f" pred;
-                  Text.f1 p;
-                  Text.f1 v;
-                  Text.f1 a;
-                  winner;
-                  Text.f1 pi;
-                  Text.f1 vi
-                ]
-            end)
+            else Some (rate, pred))
           [ 0.55; 0.80; 0.97 ])
       [ 0.55; 0.70; 0.95 ]
+  in
+  let rows =
+    pmap
+      (fun (rate, pred) ->
+        progress "abl-pred bias=%.2f pred=%.2f" rate pred;
+        let (p, pi), (v, vi), (a, _) = cell ~rate ~pred in
+        let winner =
+          if Float.max (Float.max p v) a < 1.0 then "neither"
+          else if p > v && p > a then "predication"
+          else if a > v then "superblock"
+          else "decomposition"
+        in
+        [ Printf.sprintf "%.2f" (Float.max rate (1.0 -. rate));
+          Printf.sprintf "%.2f" pred;
+          Text.f1 p;
+          Text.f1 v;
+          Text.f1 a;
+          winner;
+          Text.f1 pi;
+          Text.f1 vi
+        ])
+      grid
   in
   emit ~csv:"abl_pred" ppf
     ~headers:
@@ -573,7 +591,7 @@ let runahead ppf =
     "Extension: runahead-style prefetch-under-stall x decomposition      (4-wide, memory-bound benchmarks)";
   let names = [ "mcf"; "omnetpp"; "soplex"; "milc" ] in
   let rows =
-    List.map
+    pmap
       (fun name ->
         progress "runahead %s" name;
         let b = bench (Option.get (Suites.find name)) in

@@ -1,0 +1,74 @@
+exception Worker_failure of string
+
+let jobs_env () =
+  match Sys.getenv_opt "BV_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* Deterministic fork/join map: item [i] is handled by worker [i mod jobs]
+   and every worker streams [(index, result)] pairs back over its own
+   pipe, so reassembly is by index and the output order never depends on
+   scheduling. With [jobs <= 1] (or a single item) this is [List.map] in
+   the current process — same semantics, and in-process memo tables keep
+   accumulating. *)
+let map ?(jobs = 1) f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let jobs = min jobs n in
+    (* Anything buffered before the fork would be flushed once per child. *)
+    flush stdout;
+    flush stderr;
+    let spawn w =
+      let rd, wr = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        let oc = Unix.out_channel_of_descr wr in
+        let k = ref w in
+        (try
+           while !k < n do
+             let r =
+               try Ok (f items.(!k))
+               with e -> Error (Printexc.to_string e)
+             in
+             Marshal.to_channel oc (!k, r) [];
+             k := !k + jobs
+           done;
+           flush oc
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        (pid, rd)
+    in
+    let workers = List.init jobs spawn in
+    let results = Array.make n None in
+    (* Read each pipe to EOF before reaping its worker: a still-writing
+       child must never block on a full pipe while we wait on it. *)
+    List.iter
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        (try
+           while true do
+             let idx, r = (Marshal.from_channel ic : int * (_, string) result) in
+             results.(idx) <- Some r
+           done
+         with End_of_file -> ());
+        close_in ic;
+        ignore (Unix.waitpid [] pid))
+      workers;
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some (Ok v) -> v
+           | Some (Error msg) ->
+             raise (Worker_failure (Printf.sprintf "item %d: %s" i msg))
+           | None ->
+             raise
+               (Worker_failure
+                  (Printf.sprintf "worker died before finishing item %d" i)))
+         results)
+  end

@@ -1,0 +1,23 @@
+(** Fork-based worker pool for embarrassingly parallel harness work.
+
+    [map ~jobs f items] behaves exactly like [List.map f items] — same
+    results, same order — but with [jobs > 1] the work is spread over
+    forked worker processes (item [i] goes to worker [i mod jobs]) and
+    the results come back marshalled over pipes. Because assignment and
+    reassembly are both by index, output is deterministic: a [jobs:4]
+    run produces byte-identical results to a [jobs:1] run of the same
+    deterministic [f].
+
+    Constraints: [f]'s results must be marshallable (no closures — plain
+    strings, numbers, records); side effects of [f] (memo-table fills,
+    prints to buffered channels) stay in the child, except writes to
+    stderr/files which interleave. Exceptions in a worker are carried
+    back as {!Worker_failure}. *)
+
+exception Worker_failure of string
+
+val jobs_env : unit -> int
+(** Worker count from [BV_JOBS] (default 1). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs] defaults to 1 (plain in-process [List.map]). *)

@@ -24,10 +24,22 @@ type bench =
     memo : (string, sim_pair) Hashtbl.t
   }
 
-let scale () =
-  match Sys.getenv_opt "BV_SCALE" with
-  | Some s -> (try Float.of_string s with _ -> 1.0)
-  | None -> 1.0
+(* Read BV_SCALE once: every artifact-cache key and every scaled spec in
+   the process must agree on the factor, even if the environment is
+   mutated mid-run. *)
+let scale =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some s -> s
+    | None ->
+      let s =
+        match Sys.getenv_opt "BV_SCALE" with
+        | Some s -> ( try Float.of_string s with _ -> 1.0)
+        | None -> 1.0
+      in
+      memo := Some s;
+      s
 
 let scaled_spec spec =
   let reps =
@@ -70,6 +82,42 @@ let prepare ?(predictor = Kind.Tournament) ?(threshold = 0.05) ?max_hoist
     }
   in
   bench
+
+(* The pure, closure-free payload of a prepared bench — what {!Sim}
+   persists to the on-disk artifact cache. The memo hashtables are
+   rebuilt empty on import. *)
+type artifact =
+  { a_spec : Spec.t;
+    a_profile : Bv_profile.Profile.t;
+    a_selection : Vanguard.Select.t;
+    a_transform : Vanguard.Transform.result;
+    a_max_hoist : int option;
+    a_baseline_static : int;
+    a_experimental_static : int
+  }
+
+let export b =
+  { a_spec = b.spec;
+    a_profile = b.profile;
+    a_selection = b.selection;
+    a_transform = b.transform;
+    a_max_hoist = b.max_hoist;
+    a_baseline_static = b.baseline_static;
+    a_experimental_static = b.experimental_static
+  }
+
+let import a =
+  { spec = a.a_spec;
+    profile = a.a_profile;
+    selection = a.a_selection;
+    transform = a.a_transform;
+    max_hoist = a.a_max_hoist;
+    baseline_static = a.a_baseline_static;
+    experimental_static = a.a_experimental_static;
+    images = Hashtbl.create 8;
+    digests = Hashtbl.create 8;
+    memo = Hashtbl.create 32
+  }
 
 let spec b = b.spec
 let profile b = b.profile

@@ -12,7 +12,17 @@ type bench
 val scale : unit -> float
 (** Workload scale factor from the [BV_SCALE] environment variable
     (default 1.0): multiplies each spec's outer repetitions. Use e.g.
-    [BV_SCALE=0.5] for quick runs. *)
+    [BV_SCALE=0.5] for quick runs. Read once and memoised, so a single
+    run never mixes factors. *)
+
+type artifact
+(** The pure (marshal-safe) payload of a prepared bench: spec, profile,
+    selection, transform and static sizes — everything except the memo
+    tables. Persisted by {!Sim}'s artifact cache. *)
+
+val export : bench -> artifact
+val import : artifact -> bench
+(** [import (export b)] is an equivalent bench with empty memo tables. *)
 
 val prepare :
   ?predictor:Kind.t -> ?threshold:float -> ?max_hoist:int -> Spec.t -> bench

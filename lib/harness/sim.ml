@@ -1,0 +1,101 @@
+open Bv_bpred
+open Bv_workloads
+
+(* Bump whenever the profile/select/transform pipeline changes meaning:
+   cached artifacts from older formats are then ignored. *)
+let cache_format = 1
+
+type t =
+  { mutable jobs : int;
+    mutable cache_dir : string option;
+    lab : (string, Runner.bench) Hashtbl.t
+  }
+
+let create ?(jobs = 1) ?cache_dir () =
+  { jobs = max 1 jobs; cache_dir; lab = Hashtbl.create 64 }
+
+let default =
+  lazy
+    (let cache_dir =
+       match Sys.getenv_opt "BV_CACHE" with
+       | Some "" | Some "0" | Some "none" -> None
+       | Some dir -> Some dir
+       | None -> Some ".bv-cache"
+     in
+     { jobs = Pool.jobs_env (); cache_dir; lab = Hashtbl.create 64 })
+
+let the () = Lazy.force default
+
+let jobs t = t.jobs
+let set_jobs t jobs = t.jobs <- max 1 jobs
+let cache_dir t = t.cache_dir
+
+(* ---- artifact cache --------------------------------------------------- *)
+
+(* Content-hashed key: everything [Runner.prepare] depends on. Spec.t is
+   pure data, so its marshalled bytes are a stable fingerprint. *)
+let artifact_key ~predictor ~threshold ~max_hoist spec =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( spec,
+            Kind.name predictor,
+            threshold,
+            max_hoist,
+            Runner.scale (),
+            cache_format,
+            Sys.ocaml_version )
+          []))
+
+let load_artifact path =
+  if Sys.file_exists path then
+    try
+      In_channel.with_open_bin path (fun ic ->
+          Some (Runner.import (Marshal.from_channel ic)))
+    with _ -> None
+  else None
+
+let store_artifact dir path b =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    (* Write-then-rename so concurrent workers never read a torn file. *)
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Marshal.to_channel oc (Runner.export b) []);
+    Sys.rename tmp path
+  with _ -> ()
+
+let prepare ?(predictor = Kind.Tournament) ?(threshold = 0.05) ?max_hoist t
+    spec =
+  match t.cache_dir with
+  | None -> Runner.prepare ~predictor ~threshold ?max_hoist spec
+  | Some dir ->
+    let key = artifact_key ~predictor ~threshold ~max_hoist spec in
+    let path = Filename.concat dir (key ^ ".bench") in
+    (match load_artifact path with
+    | Some b -> b
+    | None ->
+      let b = Runner.prepare ~predictor ~threshold ?max_hoist spec in
+      store_artifact dir path b;
+      b)
+
+let bench t spec =
+  match Hashtbl.find_opt t.lab spec.Spec.name with
+  | Some b -> b
+  | None ->
+    let b = prepare t spec in
+    Hashtbl.replace t.lab spec.Spec.name b;
+    b
+
+(* ---- simulation ------------------------------------------------------- *)
+
+let simulate ?predictor ?cache (_ : t) b ~input ~width =
+  Runner.simulate ?predictor ?cache b ~input ~width
+
+let avg_speedup ?predictor ?cache (_ : t) b ~width =
+  Runner.avg_speedup ?predictor ?cache b ~width
+
+let best_speedup ?predictor ?cache (_ : t) b ~width =
+  Runner.best_speedup ?predictor ?cache b ~width
+
+let map t f items = Pool.map ~jobs:t.jobs f items

@@ -1,0 +1,60 @@
+(** The unified simulation engine: one session object carrying the
+    run-path policy — worker count, artifact cache, prepared-bench memo —
+    that {!Experiments}, the CLI and the bench harness all share instead
+    of each re-implementing prepare/memoise/simulate plumbing.
+
+    A session's pipeline is prepare (profile → select → transform, disk
+    cached by content hash) → simulate (cross-checked timing runs,
+    memoised per bench in {!Runner}) → {!map} for fanning row-level work
+    out across forked workers. A [jobs:n] session produces byte-identical
+    results to a [jobs:1] session: work assignment is by index
+    ({!Pool.map}) and every computation is deterministic. *)
+
+open Bv_bpred
+open Bv_cache
+open Bv_workloads
+
+type t
+
+val create : ?jobs:int -> ?cache_dir:string -> unit -> t
+(** Fresh session: [jobs] workers (default 1), artifact cache at
+    [cache_dir] (default none). *)
+
+val the : unit -> t
+(** The process-wide default session, configured from the environment on
+    first use: [BV_JOBS] workers, artifact cache at [BV_CACHE] (default
+    [.bv-cache]; set [BV_CACHE=none] to disable). *)
+
+val jobs : t -> int
+val set_jobs : t -> int -> unit
+val cache_dir : t -> string option
+
+val prepare :
+  ?predictor:Kind.t -> ?threshold:float -> ?max_hoist:int -> t ->
+  Spec.t -> Runner.bench
+(** {!Runner.prepare} behind the content-hashed artifact cache: the key
+    digests the spec, profile predictor, threshold, hoist cap, workload
+    scale and cache format, so any input change misses cleanly. A hit
+    deserialises the profile/selection/transform instead of recomputing
+    them. Bump [cache_format] in [sim.ml] when the compile pipeline's
+    semantics change. *)
+
+val bench : t -> Spec.t -> Runner.bench
+(** Default-parameter {!prepare}, memoised per spec name for the life of
+    the session (the lab notebook {!Experiments} used to keep). *)
+
+val simulate :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->
+  Runner.bench -> input:int -> width:int -> Runner.sim_pair
+
+val avg_speedup :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->
+  Runner.bench -> width:int -> float
+
+val best_speedup :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->
+  Runner.bench -> width:int -> float
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!Pool.map} with the session's worker count. Results must be
+    marshal-safe when [jobs > 1]. *)

@@ -1,0 +1,71 @@
+open Bv_isa
+open Bv_bpred
+open Machine_state
+
+(* ---- completion ------------------------------------------------------- *)
+
+let handle_completion st inst =
+  match inst.ctrl with
+  | None -> if inst.instr = Instr.Halt then st.finished <- true
+  | Some c ->
+    (match c.kind with
+    | Ck_branch ->
+      st.stats.Stats.branch_execs <- st.stats.Stats.branch_execs + 1;
+      (match c.meta with
+      | Some meta ->
+        st.predictor.Predictor.update meta ~pc:c.meta_pc ~taken:c.actual_taken;
+        if c.mispredict then
+          st.predictor.Predictor.recover meta ~taken:c.actual_taken
+      | None -> ());
+      if c.mispredict then begin
+        st.stats.Stats.branch_mispredicts <-
+          st.stats.Stats.branch_mispredicts + 1;
+        Spec_state.mispredict_flush st inst c
+      end
+    | Ck_resolve ->
+      st.stats.Stats.resolve_execs <- st.stats.Stats.resolve_execs + 1;
+      (match c.meta with
+      | Some meta ->
+        st.predictor.Predictor.update meta ~pc:c.meta_pc ~taken:c.actual_taken;
+        if c.mispredict then
+          st.predictor.Predictor.recover meta ~taken:c.actual_taken
+      | None -> ());
+      if c.mispredict then begin
+        st.stats.Stats.resolve_mispredicts <-
+          st.stats.Stats.resolve_mispredicts + 1;
+        Spec_state.mispredict_flush st inst c
+      end;
+      (* Free after any flush: the restored DBB snapshot (taken at this
+         resolve's fetch) still holds the entry, so freeing first would
+         let the restore resurrect it. *)
+      if c.dbb_slot >= 0 then Dbb.free st.dbb c.dbb_slot
+    | Ck_ret ->
+      st.stats.Stats.ret_execs <- st.stats.Stats.ret_execs + 1;
+      if c.mispredict then begin
+        st.stats.Stats.ret_mispredicts <- st.stats.Stats.ret_mispredicts + 1;
+        Spec_state.mispredict_flush st inst c
+      end)
+
+let process_completions st =
+  merge_pending st;
+  let completing =
+    List.filter (fun i -> i.complete_cycle <= st.now) st.pending
+  in
+  List.iter
+    (fun i ->
+      if not i.squashed then begin
+        st.on_event
+          (Completed
+             { cycle = st.now;
+               seq = i.seq;
+               mispredicted =
+                 (match i.ctrl with Some c -> c.mispredict | None -> false)
+             });
+        handle_completion st i
+      end)
+    completing;
+  merge_pending st;
+  st.pending <-
+    List.filter
+      (fun i -> not (i.squashed || i.complete_cycle <= st.now))
+      st.pending

@@ -1,0 +1,17 @@
+(** Completion stage: retire finished instructions, train the predictor,
+    and trigger mispredict recovery.
+
+    Control-instruction completion is where speculation resolves — the
+    predictor is trained, mispredicts invoke {!Spec_state.flush}, and
+    resolves free their DBB slot (after any flush, so the restored
+    snapshot cannot resurrect the entry). *)
+
+open Machine_state
+
+val process_completions : t -> unit
+(** Complete every pending instruction whose [complete_cycle] has
+    arrived, in seq order; drop them from the pending list. *)
+
+val handle_completion : t -> inflight -> unit
+(** The per-instruction completion action (predictor training, stats,
+    mispredict flush). Exposed for stage-level tests. *)

@@ -1,0 +1,312 @@
+open Bv_isa
+open Bv_ir
+open Bv_bpred
+open Bv_cache
+open Machine_state
+
+(* What will the decomposed branch actually do? Interpret the fall-through
+   resolution block (condition slice + speculative loads; no stores) on
+   scratch registers up to its resolve. Oracle hint for the perfect
+   predictor; real predictors ignore it. *)
+let predict_outcome_oracle st pc =
+  let scratch = Array.copy st.regs in
+  let value = function
+    | Instr.Reg r -> scratch.(Reg.index r)
+    | Instr.Imm i -> i
+  in
+  let rec walk pc steps =
+    if steps > 256 || pc < 0 || pc >= st.code_len then false
+    else
+      match st.code.(pc) with
+      | Instr.Resolve { on; src; _ } -> (scratch.(Reg.index src) <> 0) = on
+      | Instr.Alu { op; dst; src1; src2 }
+      | Instr.Fpu { op; dst; src1; src2 } ->
+        scratch.(Reg.index dst) <-
+          Instr.eval_alu op scratch.(Reg.index src1) (value src2);
+        walk (pc + 1) (steps + 1)
+      | Instr.Mov { dst; src } ->
+        scratch.(Reg.index dst) <- value src;
+        walk (pc + 1) (steps + 1)
+      | Instr.Cmp { op; dst; src1; src2 } ->
+        scratch.(Reg.index dst) <-
+          Bool.to_int (Instr.eval_cmp op scratch.(Reg.index src1) (value src2));
+        walk (pc + 1) (steps + 1)
+      | Instr.Cmov { on; cond; dst; src } ->
+        if (scratch.(Reg.index cond) <> 0) = on then
+          scratch.(Reg.index dst) <- value src;
+        walk (pc + 1) (steps + 1)
+      | Instr.Load { dst; base; offset; _ } ->
+        scratch.(Reg.index dst) <-
+          Spec_state.spec_load st ~addr:(scratch.(Reg.index base) + offset);
+        walk (pc + 1) (steps + 1)
+      | Instr.Jump l -> walk (Layout.resolve st.image l) (steps + 1)
+      | Instr.Nop -> walk (pc + 1) (steps + 1)
+      | Instr.Store _ | Instr.Branch _ | Instr.Call _ | Instr.Ret
+      | Instr.Predict _ | Instr.Halt ->
+        false
+  in
+  walk (pc + 1) 0
+
+let enqueue st ?(latency = 1) ?(addr = 0) ?ctrl pc instr =
+  let dst = match Instr.defs instr with r :: _ -> Reg.index r | [] -> -1 in
+  let inst =
+    { seq = st.seq;
+      pc;
+      instr;
+      fetch_cycle = st.now;
+      fu = Instr.fu_class instr;
+      dst;
+      uses = List.map Reg.index (Instr.uses instr);
+      addr;
+      latency;
+      issue_cycle = -1;
+      complete_cycle = max_int;
+      squashed = false;
+      prefetch_arrival = -1;
+      ctrl
+    }
+  in
+  st.seq <- st.seq + 1;
+  Ring.push st.fbuf inst;
+  st.on_event (Fetched { cycle = st.now; seq = inst.seq; pc; instr });
+  st.stats.Stats.fetched <- st.stats.Stats.fetched + 1;
+  if st.shadow_fetches > 0 then st.shadow_fetches <- st.shadow_fetches - 1
+
+(* Shared timing for taken control transfers at fetch. *)
+let steer_taken st ~pc ~target =
+  let bubble =
+    match Btb.lookup st.btb ~pc with
+    | Some t when t = target -> st.cfg.Config.taken_bubble
+    | Some _ | None ->
+      Btb.update st.btb ~pc ~target;
+      st.cfg.Config.taken_bubble + st.cfg.Config.btb_miss_penalty
+  in
+  st.fetch_pc <- target;
+  st.fetch_stall_until <- st.now + bubble;
+  st.current_line <- -1
+
+(* Fetch one instruction at [pc]; returns false to end this cycle's
+   fetch group. *)
+let fetch_exec st pc =
+  let cfg = st.cfg in
+  let next = pc + 1 in
+  match st.code.(pc) with
+  | Instr.Nop as i ->
+    enqueue st pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Alu { op; dst; src1; src2 } as i ->
+    st.regs.(Reg.index dst) <-
+      Instr.eval_alu op st.regs.(Reg.index src1) (operand_value st src2);
+    enqueue st
+      ~latency:
+        (if op = Instr.Mul then cfg.Config.mul_latency
+         else cfg.Config.alu_latency)
+      pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Fpu { op; dst; src1; src2 } as i ->
+    st.regs.(Reg.index dst) <-
+      Instr.eval_alu op st.regs.(Reg.index src1) (operand_value st src2);
+    enqueue st ~latency:cfg.Config.fpu_latency pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Mov { dst; src } as i ->
+    st.regs.(Reg.index dst) <- operand_value st src;
+    enqueue st pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Cmp { op; dst; src1; src2 } as i ->
+    st.regs.(Reg.index dst) <-
+      Bool.to_int
+        (Instr.eval_cmp op st.regs.(Reg.index src1) (operand_value st src2));
+    enqueue st pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Cmov { on; cond; dst; src } as i ->
+    if (st.regs.(Reg.index cond) <> 0) = on then
+      st.regs.(Reg.index dst) <- operand_value st src;
+    enqueue st pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Load { dst; base; offset; _ } as i ->
+    let addr = st.regs.(Reg.index base) + offset in
+    st.regs.(Reg.index dst) <- Spec_state.spec_load st ~addr;
+    enqueue st ~addr pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Store { src; base; offset } as i ->
+    let addr = st.regs.(Reg.index base) + offset in
+    Spec_state.spec_store st ~addr st.regs.(Reg.index src);
+    enqueue st ~addr pc i;
+    st.fetch_pc <- next;
+    true
+  | Instr.Jump target as i ->
+    enqueue st pc i;
+    steer_taken st ~pc ~target:(Layout.resolve st.image target);
+    false
+  | Instr.Call target as i ->
+    st.call_stack <- next :: st.call_stack;
+    Ras.push st.ras next;
+    enqueue st pc i;
+    steer_taken st ~pc ~target:(Layout.resolve st.image target);
+    false
+  | Instr.Ret as i ->
+    (match st.call_stack with
+    | [] ->
+      (* wrong-path underflow: park fetch until the flush arrives *)
+      st.fetch_pc <- -1;
+      false
+    | ra :: rest ->
+      st.call_stack <- rest;
+      let predicted = Option.value (Ras.pop st.ras) ~default:ra in
+      let mispredict = predicted <> ra in
+      let checkpoint =
+        if mispredict then Some (Spec_state.make_checkpoint st) else None
+      in
+      let ctrl =
+        { kind = Ck_ret;
+          mispredict;
+          redirect_pc = ra;
+          checkpoint;
+          site = -1;
+          meta = None;
+          meta_pc = pc;
+          actual_taken = true;
+          dbb_slot = -1
+        }
+      in
+      enqueue st ~ctrl pc i;
+      steer_taken st ~pc ~target:predicted;
+      false)
+  | Instr.Branch { on; src; target; id } as i ->
+    let actual_taken = (st.regs.(Reg.index src) <> 0) = on in
+    let pred, meta =
+      st.predictor.Predictor.predict ~pc ~outcome:actual_taken
+    in
+    let target_pc = Layout.resolve st.image target in
+    let mispredict = pred <> actual_taken in
+    let checkpoint =
+      if mispredict then Some (Spec_state.make_checkpoint st) else None
+    in
+    let ctrl =
+      { kind = Ck_branch;
+        mispredict;
+        redirect_pc = (if actual_taken then target_pc else next);
+        checkpoint;
+        site = id;
+        meta = Some meta;
+        meta_pc = pc;
+        actual_taken;
+        dbb_slot = -1
+      }
+    in
+    enqueue st ~ctrl pc i;
+    if pred then begin
+      steer_taken st ~pc ~target:target_pc;
+      false
+    end
+    else begin
+      st.fetch_pc <- next;
+      true
+    end
+  | Instr.Predict { target; id = _ } ->
+    if Dbb.is_full st.dbb then begin
+      st.stats.Stats.dbb_full_stalls <- st.stats.Stats.dbb_full_stalls + 1;
+      st.fetch_stall_until <- st.now + 1;
+      false
+    end
+    else begin
+      let outcome = predict_outcome_oracle st pc in
+      let pred, meta = st.predictor.Predictor.predict ~pc ~outcome in
+      (match
+         Dbb.allocate st.dbb
+           { Dbb.predict_pc = pc; meta; predicted_taken = pred }
+       with
+      | None -> assert false
+      | Some _slot -> ());
+      st.stats.Stats.predicts_fetched <- st.stats.Stats.predicts_fetched + 1;
+      st.stats.Stats.dbb_max_occupancy <-
+        max st.stats.Stats.dbb_max_occupancy (Dbb.occupancy st.dbb);
+      (* The predict is dropped after steering: no fetch-buffer entry,
+         no issue slot. *)
+      if pred then begin
+        steer_taken st ~pc ~target:(Layout.resolve st.image target);
+        false
+      end
+      else begin
+        st.fetch_pc <- next;
+        true
+      end
+    end
+  | Instr.Resolve { on; src; target; predicted_taken; id } as i ->
+    let actual_taken = (st.regs.(Reg.index src) <> 0) = on in
+    let mispredict = actual_taken <> predicted_taken in
+    let slot, meta, meta_pc =
+      match Dbb.claim_newest st.dbb with
+      | Some (slot, entry) -> (slot, Some entry.Dbb.meta, entry.Dbb.predict_pc)
+      | None -> (-1, None, pc)
+    in
+    let checkpoint =
+      if mispredict then Some (Spec_state.make_checkpoint st) else None
+    in
+    let ctrl =
+      { kind = Ck_resolve;
+        mispredict;
+        redirect_pc =
+          (if mispredict then Layout.resolve st.image target else next);
+        checkpoint;
+        site = id;
+        meta;
+        meta_pc;
+        actual_taken;
+        dbb_slot = slot
+      }
+    in
+    enqueue st ~ctrl pc i;
+    (* always predicted not-taken by the front end *)
+    st.fetch_pc <- next;
+    true
+  | Instr.Halt as i ->
+    st.spec_halted <- true;
+    enqueue st pc i;
+    false
+
+let fetch_one st =
+  let pc = st.fetch_pc in
+  if pc < 0 || pc >= st.code_len then false
+  else begin
+    let line = line_of st pc in
+    if line <> st.current_line then begin
+      let lat, _lvl = Hierarchy.inst_access st.hier ~addr:(pc * 4) in
+      st.current_line <- line;
+      if lat > 0 then begin
+        st.stats.Stats.icache_misses <- st.stats.Stats.icache_misses + 1;
+        if st.shadow_fetches > 0 then
+          st.stats.Stats.icache_misses_in_shadow <-
+            st.stats.Stats.icache_misses_in_shadow + 1;
+        st.stats.Stats.icache_stall_cycles <-
+          st.stats.Stats.icache_stall_cycles + lat;
+        st.fetch_stall_until <- st.now + lat;
+        false
+      end
+      else fetch_exec st pc
+    end
+    else fetch_exec st pc
+  end
+
+(* Fetch up to [width] instructions this cycle; stops on taken steer,
+   stall, halt, or a full fetch buffer. *)
+let fetch_group st =
+  let cfg = st.cfg in
+  let fetched_now = ref 0 in
+  let go = ref true in
+  while
+    !go
+    && !fetched_now < cfg.Config.width
+    && (not st.spec_halted)
+    && st.fetch_stall_until <= st.now
+    && not (Ring.is_full st.fbuf)
+  do
+    if fetch_one st then incr fetched_now else go := false
+  done

@@ -1,0 +1,21 @@
+(** Fetch stage: instruction supply, architectural execution at fetch,
+    branch prediction and steering.
+
+    Each fetched instruction executes architecturally against the
+    speculative state in {!Machine_state.t} (registers, undo-logged
+    memory) and is enqueued into the fetch buffer for timing. Control
+    instructions steer fetch through the BTB/RAS; [Predict]s allocate
+    DBB entries and vanish; [Resolve]s claim the newest DBB entry and
+    fall through. *)
+
+open Machine_state
+
+val fetch_group : t -> unit
+(** Fetch up to [width] instructions this cycle. Stops early on a taken
+    steer, an I-cache stall, a speculative halt, or a full fetch
+    buffer. *)
+
+val fetch_one : t -> bool
+(** Fetch a single instruction at the current pc (I-cache access
+    included); [false] ends the cycle's fetch group. Exposed for
+    stage-level tests. *)

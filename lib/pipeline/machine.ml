@@ -1,50 +1,7 @@
-open Bv_isa
-open Bv_ir
-open Bv_bpred
 open Bv_cache
 
-type ctrl_kind = Ck_branch | Ck_resolve | Ck_ret
-
-type checkpoint =
-  { ck_regs : int array;
-    ck_undo : int;  (* absolute undo-log position *)
-    ck_stack : int list;
-    ck_ras_depth : int;
-    ck_dbb : Dbb.snapshot;
-    ck_halted : bool
-  }
-
-type ctrl =
-  { kind : ctrl_kind;
-    mispredict : bool;
-    redirect_pc : int;  (* correct-path pc, used on mispredict *)
-    checkpoint : checkpoint option;  (* present iff mispredict *)
-    site : int;  (* branch/resolve site id, -1 otherwise *)
-    meta : Predictor.meta option;
-    meta_pc : int;  (* pc whose predictor entry to train *)
-    actual_taken : bool;
-    dbb_slot : int  (* -1 when none *)
-  }
-
-type inflight =
-  { seq : int;
-    pc : int;
-    instr : Instr.t;
-    fetch_cycle : int;
-    fu : Instr.fu_class;
-    dst : int;  (* register index, -1 if none *)
-    uses : int list;
-    addr : int;  (* effective address of loads/stores, captured at fetch *)
-    mutable latency : int;
-    mutable issue_cycle : int;  (* -1 before issue *)
-    mutable complete_cycle : int;
-    mutable squashed : bool;
-    mutable prefetch_arrival : int;  (* -1: not prefetched *)
-    ctrl : ctrl option
-  }
-
-type event =
-  | Fetched of { cycle : int; seq : int; pc : int; instr : Instr.t }
+type event = Machine_state.event =
+  | Fetched of { cycle : int; seq : int; pc : int; instr : Bv_isa.Instr.t }
   | Issued of { cycle : int; seq : int }
   | Completed of { cycle : int; seq : int; mispredicted : bool }
   | Squashed of { cycle : int; seq : int }
@@ -60,776 +17,44 @@ type result =
     arch_digest : int
   }
 
-(* Fixed-capacity ring used as the fetch buffer: push at tail, pop at head,
-   truncate at tail on flush. *)
-module Ring = struct
-  type 'a t =
-    { buf : 'a option array;
-      mutable head : int;
-      mutable len : int
-    }
-
-  let create capacity = { buf = Array.make capacity None; head = 0; len = 0 }
-  let length t = t.len
-  let capacity t = Array.length t.buf
-  let is_full t = t.len = capacity t
-
-  let push t x =
-    assert (not (is_full t));
-    t.buf.((t.head + t.len) mod capacity t) <- Some x;
-    t.len <- t.len + 1
-
-  let peek t = if t.len = 0 then None else t.buf.(t.head)
-
-  let pop t =
-    match peek t with
-    | None -> None
-    | some ->
-      t.buf.(t.head) <- None;
-      t.head <- (t.head + 1) mod capacity t;
-      t.len <- t.len - 1;
-      some
-
-  let iter t f =
-    for k = 0 to t.len - 1 do
-      match t.buf.((t.head + k) mod capacity t) with
-      | Some x -> f x
-      | None -> ()
-    done
-
-  (* Remove tail entries failing [keep]; returns the removed entries. *)
-  let truncate_tail t ~keep =
-    let removed = ref [] in
-    let continue = ref true in
-    while t.len > 0 && !continue do
-      let tail_idx = (t.head + t.len - 1) mod capacity t in
-      match t.buf.(tail_idx) with
-      | Some x when not (keep x) ->
-        removed := x :: !removed;
-        t.buf.(tail_idx) <- None;
-        t.len <- t.len - 1
-      | _ -> continue := false
-    done;
-    !removed
-end
-
 let fnv_fold acc v = (acc lxor v) * 0x100000001B3 land max_int
 
+(* The cycle loop. Stage order within a cycle: complete (which may flush),
+   issue, fetch — an instruction fetched this cycle cannot issue this
+   cycle (the front-stage delay enforces that anyway). *)
 let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
     ?(on_event = fun (_ : event) -> ())
     ?(on_cycle = fun ~cycle:(_ : int) ~stats:(_ : Stats.t)
                      ~dbb_occupancy:(_ : int) -> ()) ~config image =
-  let cfg = config in
-  let code = image.Layout.code in
-  let code_len = Array.length code in
-  let stats = Stats.create () in
-  let hier = Hierarchy.create ~config:cfg.Config.cache () in
-  let predictor = Kind.create cfg.Config.predictor in
-  let btb = Btb.create ~entries:cfg.Config.btb_entries () in
-  let ras = Ras.create ~entries:cfg.Config.ras_entries () in
-  let dbb = Dbb.create ~entries:cfg.Config.dbb_entries in
-  (* --- speculative architectural state -------------------------------- *)
-  let regs = Array.make Reg.count 0 in
-  let mem = Program.initial_memory image.Layout.program in
-  let mem_words = Array.length mem in
-  let call_stack = ref [] in
-  let spec_halted = ref false in
-  (* Undo log for speculative stores; positions are absolute counts. *)
-  let log_addr = ref (Array.make 1024 0) in
-  let log_val = ref (Array.make 1024 0) in
-  let log_len = ref 0 in
-  let log_base = ref 0 in
-  let live_checkpoints = ref 0 in
-  let log_push w old =
-    if !log_len = Array.length !log_addr then begin
-      let grow a = Array.append a (Array.make (Array.length a) 0) in
-      log_addr := grow !log_addr;
-      log_val := grow !log_val
-    end;
-    !log_addr.(!log_len) <- w;
-    !log_val.(!log_len) <- old;
-    incr log_len
-  in
-  let log_undo_to abs_pos =
-    while !log_base + !log_len > abs_pos do
-      decr log_len;
-      mem.(!log_addr.(!log_len)) <- !log_val.(!log_len)
-    done
-  in
-  let log_trim () =
-    if !live_checkpoints = 0 then begin
-      log_base := !log_base + !log_len;
-      log_len := 0
-    end
-  in
-  (* --- timing state ---------------------------------------------------- *)
-  let now = ref 0 in
-  let fbuf : inflight Ring.t = Ring.create cfg.Config.fetch_buffer in
-  (* Issued-but-incomplete instructions, kept in seq order; appends go to
-     the reversed tail accumulator. *)
-  let pending = ref [] in
-  let pending_tail = ref [] in
-  let merge_pending () =
-    if !pending_tail <> [] then begin
-      pending := !pending @ List.rev !pending_tail;
-      pending_tail := []
-    end
-  in
-  let ready = Array.make Reg.count 0 in
-  let fetch_pc = ref image.Layout.entry in
-  let fetch_stall_until = ref 0 in
-  let current_line = ref (-1) in
-  let mshr_release = ref [] in
-  let store_release = ref [] in
-  let seq = ref 0 in
-  let finished = ref false in
-  let stores_retired = ref 0 in
-  let shadow_fetches = ref 0 in
-  let line_of pc = pc * 4 / cfg.Config.cache.Hierarchy.line_bytes in
-  let operand_value = function
-    | Instr.Reg r -> regs.(Reg.index r)
-    | Instr.Imm i -> i
-  in
-  (* Wrong-path-safe memory helpers. *)
-  let spec_load ~addr =
-    if addr land 7 <> 0 || addr < 0 || addr / 8 >= mem_words then 0
-    else mem.(addr / 8)
-  in
-  let spec_store ~addr v =
-    if addr land 7 = 0 && addr >= 0 && addr / 8 < mem_words then begin
-      let w = addr / 8 in
-      log_push w mem.(w);
-      mem.(w) <- v
-    end
-  in
-  let make_checkpoint () =
-    incr live_checkpoints;
-    { ck_regs = Array.copy regs;
-      ck_undo = !log_base + !log_len;
-      ck_stack = !call_stack;
-      ck_ras_depth = Ras.depth ras;
-      ck_dbb = Dbb.snapshot dbb;
-      ck_halted = !spec_halted
-    }
-  in
-  let release_checkpoint inst =
-    match inst.ctrl with
-    | Some { checkpoint = Some _; _ } -> decr live_checkpoints
-    | _ -> ()
-  in
-  (* What will the decomposed branch actually do? Interpret the fall-through
-     resolution block (condition slice + speculative loads; no stores) on
-     scratch registers up to its resolve. Oracle hint for the perfect
-     predictor; real predictors ignore it. *)
-  let predict_outcome_oracle pc =
-    let scratch = Array.copy regs in
-    let value = function
-      | Instr.Reg r -> scratch.(Reg.index r)
-      | Instr.Imm i -> i
-    in
-    let rec walk pc steps =
-      if steps > 256 || pc < 0 || pc >= code_len then false
-      else
-        match code.(pc) with
-        | Instr.Resolve { on; src; _ } -> (scratch.(Reg.index src) <> 0) = on
-        | Instr.Alu { op; dst; src1; src2 }
-        | Instr.Fpu { op; dst; src1; src2 } ->
-          scratch.(Reg.index dst) <-
-            Instr.eval_alu op scratch.(Reg.index src1) (value src2);
-          walk (pc + 1) (steps + 1)
-        | Instr.Mov { dst; src } ->
-          scratch.(Reg.index dst) <- value src;
-          walk (pc + 1) (steps + 1)
-        | Instr.Cmp { op; dst; src1; src2 } ->
-          scratch.(Reg.index dst) <-
-            Bool.to_int
-              (Instr.eval_cmp op scratch.(Reg.index src1) (value src2));
-          walk (pc + 1) (steps + 1)
-        | Instr.Cmov { on; cond; dst; src } ->
-          if (scratch.(Reg.index cond) <> 0) = on then
-            scratch.(Reg.index dst) <- value src;
-          walk (pc + 1) (steps + 1)
-        | Instr.Load { dst; base; offset; _ } ->
-          scratch.(Reg.index dst) <-
-            spec_load ~addr:(scratch.(Reg.index base) + offset);
-          walk (pc + 1) (steps + 1)
-        | Instr.Jump l -> walk (Layout.resolve image l) (steps + 1)
-        | Instr.Nop -> walk (pc + 1) (steps + 1)
-        | Instr.Store _ | Instr.Branch _ | Instr.Call _ | Instr.Ret
-        | Instr.Predict _ | Instr.Halt ->
-          false
-    in
-    walk (pc + 1) 0
-  in
-  let enqueue ?(latency = 1) ?(addr = 0) ?ctrl pc instr =
-    let dst =
-      match Instr.defs instr with r :: _ -> Reg.index r | [] -> -1
-    in
-    let inst =
-      { seq = !seq;
-        pc;
-        instr;
-        fetch_cycle = !now;
-        fu = Instr.fu_class instr;
-        dst;
-        uses = List.map Reg.index (Instr.uses instr);
-        addr;
-        latency;
-        issue_cycle = -1;
-        complete_cycle = max_int;
-        squashed = false;
-        prefetch_arrival = -1;
-        ctrl
-      }
-    in
-    incr seq;
-    Ring.push fbuf inst;
-    on_event (Fetched { cycle = !now; seq = inst.seq; pc; instr });
-    stats.Stats.fetched <- stats.Stats.fetched + 1;
-    if !shadow_fetches > 0 then decr shadow_fetches
-  in
-  (* Shared timing for taken control transfers at fetch. *)
-  let steer_taken ~pc ~target =
-    let bubble =
-      match Btb.lookup btb ~pc with
-      | Some t when t = target -> cfg.Config.taken_bubble
-      | Some _ | None ->
-        Btb.update btb ~pc ~target;
-        cfg.Config.taken_bubble + cfg.Config.btb_miss_penalty
-    in
-    fetch_pc := target;
-    fetch_stall_until := !now + bubble;
-    current_line := -1
-  in
-  (* Fetch one instruction at [pc]; returns false to end this cycle's
-     fetch group. *)
-  let fetch_exec pc =
-    let next = pc + 1 in
-    match code.(pc) with
-    | Instr.Nop as i ->
-      enqueue pc i;
-      fetch_pc := next;
-      true
-    | Instr.Alu { op; dst; src1; src2 } as i ->
-      regs.(Reg.index dst) <-
-        Instr.eval_alu op regs.(Reg.index src1) (operand_value src2);
-      enqueue
-        ~latency:
-          (if op = Instr.Mul then cfg.Config.mul_latency
-           else cfg.Config.alu_latency)
-        pc i;
-      fetch_pc := next;
-      true
-    | Instr.Fpu { op; dst; src1; src2 } as i ->
-      regs.(Reg.index dst) <-
-        Instr.eval_alu op regs.(Reg.index src1) (operand_value src2);
-      enqueue ~latency:cfg.Config.fpu_latency pc i;
-      fetch_pc := next;
-      true
-    | Instr.Mov { dst; src } as i ->
-      regs.(Reg.index dst) <- operand_value src;
-      enqueue pc i;
-      fetch_pc := next;
-      true
-    | Instr.Cmp { op; dst; src1; src2 } as i ->
-      regs.(Reg.index dst) <-
-        Bool.to_int
-          (Instr.eval_cmp op regs.(Reg.index src1) (operand_value src2));
-      enqueue pc i;
-      fetch_pc := next;
-      true
-    | Instr.Cmov { on; cond; dst; src } as i ->
-      if (regs.(Reg.index cond) <> 0) = on then
-        regs.(Reg.index dst) <- operand_value src;
-      enqueue pc i;
-      fetch_pc := next;
-      true
-    | Instr.Load { dst; base; offset; _ } as i ->
-      let addr = regs.(Reg.index base) + offset in
-      regs.(Reg.index dst) <- spec_load ~addr;
-      enqueue ~addr pc i;
-      fetch_pc := next;
-      true
-    | Instr.Store { src; base; offset } as i ->
-      let addr = regs.(Reg.index base) + offset in
-      spec_store ~addr regs.(Reg.index src);
-      enqueue ~addr pc i;
-      fetch_pc := next;
-      true
-    | Instr.Jump target as i ->
-      enqueue pc i;
-      steer_taken ~pc ~target:(Layout.resolve image target);
-      false
-    | Instr.Call target as i ->
-      call_stack := next :: !call_stack;
-      Ras.push ras next;
-      enqueue pc i;
-      steer_taken ~pc ~target:(Layout.resolve image target);
-      false
-    | Instr.Ret as i ->
-      (match !call_stack with
-      | [] ->
-        (* wrong-path underflow: park fetch until the flush arrives *)
-        fetch_pc := -1;
-        false
-      | ra :: rest ->
-        call_stack := rest;
-        let predicted = Option.value (Ras.pop ras) ~default:ra in
-        let mispredict = predicted <> ra in
-        let checkpoint =
-          if mispredict then Some (make_checkpoint ()) else None
-        in
-        let ctrl =
-          { kind = Ck_ret;
-            mispredict;
-            redirect_pc = ra;
-            checkpoint;
-            site = -1;
-            meta = None;
-            meta_pc = pc;
-            actual_taken = true;
-            dbb_slot = -1
-          }
-        in
-        enqueue ~ctrl pc i;
-        steer_taken ~pc ~target:predicted;
-        false)
-    | Instr.Branch { on; src; target; id } as i ->
-      let actual_taken = (regs.(Reg.index src) <> 0) = on in
-      let pred, meta =
-        predictor.Predictor.predict ~pc ~outcome:actual_taken
-      in
-      let target_pc = Layout.resolve image target in
-      let mispredict = pred <> actual_taken in
-      let checkpoint = if mispredict then Some (make_checkpoint ()) else None in
-      let ctrl =
-        { kind = Ck_branch;
-          mispredict;
-          redirect_pc = (if actual_taken then target_pc else next);
-          checkpoint;
-          site = id;
-          meta = Some meta;
-          meta_pc = pc;
-          actual_taken;
-          dbb_slot = -1
-        }
-      in
-      enqueue ~ctrl pc i;
-      if pred then begin
-        steer_taken ~pc ~target:target_pc;
-        false
-      end
-      else begin
-        fetch_pc := next;
-        true
-      end
-    | Instr.Predict { target; id = _ } ->
-      if Dbb.is_full dbb then begin
-        stats.Stats.dbb_full_stalls <- stats.Stats.dbb_full_stalls + 1;
-        fetch_stall_until := !now + 1;
-        false
-      end
-      else begin
-        let outcome = predict_outcome_oracle pc in
-        let pred, meta = predictor.Predictor.predict ~pc ~outcome in
-        (match
-           Dbb.allocate dbb
-             { Dbb.predict_pc = pc; meta; predicted_taken = pred }
-         with
-        | None -> assert false
-        | Some _slot -> ());
-        stats.Stats.predicts_fetched <- stats.Stats.predicts_fetched + 1;
-        stats.Stats.dbb_max_occupancy <-
-          max stats.Stats.dbb_max_occupancy (Dbb.occupancy dbb);
-        (* The predict is dropped after steering: no fetch-buffer entry,
-           no issue slot. *)
-        if pred then begin
-          steer_taken ~pc ~target:(Layout.resolve image target);
-          false
-        end
-        else begin
-          fetch_pc := next;
-          true
-        end
-      end
-    | Instr.Resolve { on; src; target; predicted_taken; id } as i ->
-      let actual_taken = (regs.(Reg.index src) <> 0) = on in
-      let mispredict = actual_taken <> predicted_taken in
-      let slot, meta, meta_pc =
-        match Dbb.claim_newest dbb with
-        | Some (slot, entry) ->
-          (slot, Some entry.Dbb.meta, entry.Dbb.predict_pc)
-        | None -> (-1, None, pc)
-      in
-      let checkpoint = if mispredict then Some (make_checkpoint ()) else None in
-      let ctrl =
-        { kind = Ck_resolve;
-          mispredict;
-          redirect_pc =
-            (if mispredict then Layout.resolve image target else next);
-          checkpoint;
-          site = id;
-          meta;
-          meta_pc;
-          actual_taken;
-          dbb_slot = slot
-        }
-      in
-      enqueue ~ctrl pc i;
-      (* always predicted not-taken by the front end *)
-      fetch_pc := next;
-      true
-    | Instr.Halt as i ->
-      spec_halted := true;
-      enqueue pc i;
-      false
-  in
-  let fetch_one () =
-    let pc = !fetch_pc in
-    if pc < 0 || pc >= code_len then false
-    else begin
-      let line = line_of pc in
-      if line <> !current_line then begin
-        let lat, _lvl = Hierarchy.inst_access hier ~addr:(pc * 4) in
-        current_line := line;
-        if lat > 0 then begin
-          stats.Stats.icache_misses <- stats.Stats.icache_misses + 1;
-          if !shadow_fetches > 0 then
-            stats.Stats.icache_misses_in_shadow <-
-              stats.Stats.icache_misses_in_shadow + 1;
-          stats.Stats.icache_stall_cycles <-
-            stats.Stats.icache_stall_cycles + lat;
-          fetch_stall_until := !now + lat;
-          false
-        end
-        else fetch_exec pc
-      end
-      else fetch_exec pc
-    end
-  in
-  (* ---- misprediction flush -------------------------------------------- *)
-  let rebuild_scoreboard () =
-    Array.fill ready 0 Reg.count 0;
-    List.iter
-      (fun inst ->
-        if (not inst.squashed) && inst.dst >= 0 then
-          ready.(inst.dst) <- max ready.(inst.dst) inst.complete_cycle)
-      !pending
-  in
-  let flush ~from_seq ~checkpoint ~new_pc =
-    stats.Stats.redirects <- stats.Stats.redirects + 1;
-    Array.blit checkpoint.ck_regs 0 regs 0 Reg.count;
-    log_undo_to checkpoint.ck_undo;
-    call_stack := checkpoint.ck_stack;
-    (* RAS repair: recover the stack depth (entries pushed on the wrong
-       path are popped; deeper corruption is accepted, as in hardware). *)
-    while Ras.depth ras > checkpoint.ck_ras_depth do
-      ignore (Ras.pop ras)
-    done;
-    Dbb.restore dbb checkpoint.ck_dbb;
-    spec_halted := checkpoint.ck_halted;
-    on_event (Redirected { cycle = !now; after_seq = from_seq; new_pc });
-    let removed = Ring.truncate_tail fbuf ~keep:(fun i -> i.seq <= from_seq) in
-    List.iter
-      (fun i ->
-        stats.Stats.squashed_fetched <- stats.Stats.squashed_fetched + 1;
-        on_event (Squashed { cycle = !now; seq = i.seq });
-        release_checkpoint i)
-      removed;
-    merge_pending ();
-    List.iter
-      (fun i ->
-        if (not i.squashed) && i.seq > from_seq then begin
-          i.squashed <- true;
-          on_event (Squashed { cycle = !now; seq = i.seq });
-          stats.Stats.squashed_issued <- stats.Stats.squashed_issued + 1;
-          (match i.instr with
-          | Instr.Store _ -> decr stores_retired
-          | _ -> ());
-          release_checkpoint i
-        end)
-      !pending;
-    pending := List.filter (fun i -> not i.squashed) !pending;
-    rebuild_scoreboard ();
-    fetch_pc := new_pc;
-    fetch_stall_until := !now + 1;
-    current_line := -1;
-    shadow_fetches := 16
-  in
-  (* ---- completion ------------------------------------------------------ *)
-  let mispredict_flush inst c =
-    match c.checkpoint with
-    | Some ck ->
-      decr live_checkpoints;
-      flush ~from_seq:inst.seq ~checkpoint:ck ~new_pc:c.redirect_pc
-    | None -> assert false
-  in
-  let handle_completion inst =
-    match inst.ctrl with
-    | None -> if inst.instr = Instr.Halt then finished := true
-    | Some c ->
-      (match c.kind with
-      | Ck_branch ->
-        stats.Stats.branch_execs <- stats.Stats.branch_execs + 1;
-        (match c.meta with
-        | Some meta ->
-          predictor.Predictor.update meta ~pc:c.meta_pc ~taken:c.actual_taken;
-          if c.mispredict then
-            predictor.Predictor.recover meta ~taken:c.actual_taken
-        | None -> ());
-        if c.mispredict then begin
-          stats.Stats.branch_mispredicts <-
-            stats.Stats.branch_mispredicts + 1;
-          mispredict_flush inst c
-        end
-      | Ck_resolve ->
-        stats.Stats.resolve_execs <- stats.Stats.resolve_execs + 1;
-        (match c.meta with
-        | Some meta ->
-          predictor.Predictor.update meta ~pc:c.meta_pc ~taken:c.actual_taken;
-          if c.mispredict then
-            predictor.Predictor.recover meta ~taken:c.actual_taken
-        | None -> ());
-        if c.mispredict then begin
-          stats.Stats.resolve_mispredicts <-
-            stats.Stats.resolve_mispredicts + 1;
-          mispredict_flush inst c
-        end;
-        (* Free after any flush: the restored DBB snapshot (taken at this
-           resolve's fetch) still holds the entry, so freeing first would
-           let the restore resurrect it. *)
-        if c.dbb_slot >= 0 then Dbb.free dbb c.dbb_slot
-      | Ck_ret ->
-        stats.Stats.ret_execs <- stats.Stats.ret_execs + 1;
-        if c.mispredict then begin
-          stats.Stats.ret_mispredicts <- stats.Stats.ret_mispredicts + 1;
-          mispredict_flush inst c
-        end)
-  in
-  let process_completions () =
-    merge_pending ();
-    let completing =
-      List.filter (fun i -> i.complete_cycle <= !now) !pending
-    in
-    List.iter
-      (fun i ->
-        if not i.squashed then begin
-          on_event
-            (Completed
-               { cycle = !now;
-                 seq = i.seq;
-                 mispredicted =
-                   (match i.ctrl with
-                   | Some c -> c.mispredict
-                   | None -> false)
-               });
-          handle_completion i
-        end)
-      completing;
-    merge_pending ();
-    pending :=
-      List.filter
-        (fun i -> not (i.squashed || i.complete_cycle <= !now))
-        !pending
-  in
-  (* ---- issue ----------------------------------------------------------- *)
-  let int_left = ref 0
-  and fp_left = ref 0
-  and mem_left = ref 0
-  and br_left = ref 0
-  and none_left = ref 0 in
-  let issue () =
-    int_left := cfg.Config.int_units;
-    fp_left := cfg.Config.fp_units;
-    mem_left := cfg.Config.mem_units;
-    br_left := cfg.Config.branch_units;
-    none_left := max_int;
-    let issued_now = ref 0 in
-    mshr_release := List.filter (fun c -> c > !now) !mshr_release;
-    store_release := List.filter (fun c -> c > !now) !store_release;
-    let blocked = ref false in
-    while (not !blocked) && !issued_now < cfg.Config.width do
-      match Ring.peek fbuf with
-      | None ->
-        if !issued_now = 0 then
-          stats.Stats.frontend_empty_cycles <-
-            stats.Stats.frontend_empty_cycles + 1;
-        blocked := true
-      | Some inst ->
-        if inst.fetch_cycle + cfg.Config.front_stages > !now then begin
-          if !issued_now = 0 then
-            stats.Stats.frontend_empty_cycles <-
-              stats.Stats.frontend_empty_cycles + 1;
-          blocked := true
-        end
-        else begin
-          let operands_ready =
-            List.for_all (fun r -> ready.(r) <= !now) inst.uses
-          in
-          let fu_slot =
-            match inst.fu with
-            | Instr.Fu_int -> int_left
-            | Instr.Fu_fp -> fp_left
-            | Instr.Fu_mem -> mem_left
-            | Instr.Fu_branch -> br_left
-            | Instr.Fu_none -> none_left
-          in
-          let fu_ok = !fu_slot > 0 in
-          let mem_ok =
-            match inst.instr with
-            | Instr.Load _ ->
-              Sa_cache.probe (Hierarchy.l1d hier) ~addr:inst.addr
-              || List.length !mshr_release < cfg.Config.mshrs
-            | Instr.Store _ ->
-              List.length !store_release < cfg.Config.store_buffer
-            | _ -> true
-          in
-          if operands_ready && fu_ok && mem_ok then begin
-            ignore (Ring.pop fbuf);
-            if inst.fu <> Instr.Fu_none then decr fu_slot;
-            inst.issue_cycle <- !now;
-            (match inst.ctrl with
-            | Some c when c.site >= 0 ->
-              (* how long the condition kept this control instruction from
-                 resolving, past the front-end minimum: the measured
-                 per-site ASPCB (operand readiness, not queueing delay) *)
-              let readiness =
-                List.fold_left (fun a u -> max a ready.(u)) 0 inst.uses
-              in
-              Stats.add_site_wait stats ~site:c.site
-                ~cycles:
-                  (max 0
-                     (readiness - (inst.fetch_cycle + cfg.Config.front_stages)))
-            | _ -> ());
-            let latency =
-              match inst.instr with
-              | Instr.Load _ ->
-                let lat, _ =
-                  Hierarchy.data_access hier ~addr:inst.addr ~write:false
-                in
-                (* a runahead prefetch in flight caps the latency at its
-                   arrival (the fill was already initiated) *)
-                let lat =
-                  if inst.prefetch_arrival >= 0 then
-                    max cfg.Config.cache.Hierarchy.l1_latency
-                      (min lat (inst.prefetch_arrival - !now))
-                  else lat
-                in
-                if lat > cfg.Config.cache.Hierarchy.l1_latency then
-                  mshr_release := (!now + lat) :: !mshr_release;
-                stats.Stats.loads_issued <- stats.Stats.loads_issued + 1;
-                lat
-              | Instr.Store _ ->
-                let lat, _ =
-                  Hierarchy.data_access hier ~addr:inst.addr ~write:true
-                in
-                store_release := (!now + lat) :: !store_release;
-                stats.Stats.stores_issued <- stats.Stats.stores_issued + 1;
-                incr stores_retired;
-                1
-              | _ -> inst.latency
-            in
-            inst.latency <- latency;
-            inst.complete_cycle <- !now + latency;
-            if inst.dst >= 0 then
-              ready.(inst.dst) <- max ready.(inst.dst) inst.complete_cycle;
-            pending_tail := inst :: !pending_tail;
-            on_event (Issued { cycle = !now; seq = inst.seq });
-            stats.Stats.issued <- stats.Stats.issued + 1;
-            incr issued_now
-          end
-          else begin
-            if !issued_now = 0 then begin
-              stats.Stats.head_stall_cycles <-
-                stats.Stats.head_stall_cycles + 1;
-              if not operands_ready then begin
-                stats.Stats.operand_stall_cycles <-
-                  stats.Stats.operand_stall_cycles + 1;
-                match inst.ctrl with
-                | Some c when c.site >= 0 ->
-                  Stats.add_site_stall stats ~site:c.site
-                | _ -> ()
-              end
-              else if not fu_ok then
-                stats.Stats.fu_stall_cycles <-
-                  stats.Stats.fu_stall_cycles + 1
-              else
-                stats.Stats.mem_struct_stall_cycles <-
-                  stats.Stats.mem_struct_stall_cycles + 1
-            end;
-            blocked := true
-          end
-        end
-    done;
-    (* Runahead-style prefetch under a full stall: walk younger loads and
-       stores whose addresses are known (captured at fetch) and start
-       their fills. *)
-    if cfg.Config.runahead && !issued_now = 0 && Ring.length fbuf > 0 then begin
-      let budget = ref 2 in
-      Ring.iter fbuf (fun inst ->
-          if !budget > 0 && inst.prefetch_arrival < 0 then
-            match inst.instr with
-            | Instr.Load _ | Instr.Store _
-              when List.for_all (fun u -> ready.(u) <= !now) inst.uses ->
-              (* real runahead can only compute addresses whose inputs are
-                 available; chases behind pending loads stay opaque *)
-              if
-                (not (Sa_cache.probe (Hierarchy.l1d hier) ~addr:inst.addr))
-                && List.length !mshr_release < cfg.Config.mshrs
-              then begin
-                let lat, _ =
-                  Hierarchy.data_access hier ~addr:inst.addr ~write:false
-                in
-                inst.prefetch_arrival <- !now + lat;
-                mshr_release := (!now + lat) :: !mshr_release;
-                stats.Stats.runahead_prefetches <-
-                  stats.Stats.runahead_prefetches + 1;
-                decr budget
-              end
-              else inst.prefetch_arrival <- !now
-            | _ -> ())
-    end
-  in
-  (* ---- main loop ------------------------------------------------------- *)
+  let st = Machine_state.create ~config ~on_event image in
+  let stats = st.Machine_state.stats in
   while
-    (not !finished)
-    && !now < max_cycles
+    (not st.Machine_state.finished)
+    && st.Machine_state.now < max_cycles
     && Stats.retired stats < max_retired
   do
-    process_completions ();
-    if not !finished then begin
-      issue ();
-      (* Fetch after issue: an instruction fetched this cycle cannot issue
-         this cycle (the front-stage delay enforces that anyway). *)
-      let fetched_now = ref 0 in
-      let go = ref true in
-      while
-        !go
-        && !fetched_now < cfg.Config.width
-        && (not !spec_halted)
-        && !fetch_stall_until <= !now
-        && not (Ring.is_full fbuf)
-      do
-        if fetch_one () then incr fetched_now else go := false
-      done;
-      let dbb_occupancy = Dbb.occupancy dbb in
+    Backend.process_completions st;
+    if not st.Machine_state.finished then begin
+      Scoreboard.issue st;
+      Frontend.fetch_group st;
+      let dbb_occupancy = Dbb.occupancy st.Machine_state.dbb in
       stats.Stats.dbb_occupancy_sum <-
         stats.Stats.dbb_occupancy_sum + dbb_occupancy;
       stats.Stats.dbb_samples <- stats.Stats.dbb_samples + 1;
-      log_trim ();
-      incr now;
-      stats.Stats.cycles <- !now;
-      on_cycle ~cycle:!now ~stats ~dbb_occupancy
+      Spec_state.log_trim st;
+      st.Machine_state.now <- st.Machine_state.now + 1;
+      stats.Stats.cycles <- st.Machine_state.now;
+      on_cycle ~cycle:st.Machine_state.now ~stats ~dbb_occupancy
     end
   done;
-  let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 mem in
+  let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 st.Machine_state.mem in
   { stats;
-    hierarchy = hier;
-    config = cfg;
-    finished = !finished;
+    hierarchy = st.Machine_state.hier;
+    config = st.Machine_state.cfg;
+    finished = st.Machine_state.finished;
     mem_digest;
-    stores_retired = !stores_retired;
-    arch_digest = fnv_fold mem_digest !stores_retired
+    stores_retired = st.Machine_state.stores_retired;
+    arch_digest = fnv_fold mem_digest st.Machine_state.stores_retired
   }
 
 let result_to_json r =

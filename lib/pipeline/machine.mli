@@ -15,11 +15,18 @@
     issue stops at the first instruction that cannot issue), per-class
     functional units, an MSHR-limited non-blocking data cache, a store
     buffer, the branch predictor + BTB + RAS front end, and the paper's
-    Decomposed Branch Buffer for predict/resolve pairs. *)
+    Decomposed Branch Buffer for predict/resolve pairs.
+
+    The implementation is split into stage modules over a shared
+    {!Machine_state.t} record — {!Frontend} (fetch/predict/steer),
+    {!Scoreboard} (in-order issue), {!Backend} (completion/recovery
+    dispatch) and {!Spec_state} (checkpoints, undo log, flush) — with
+    [run] owning only the cycle loop. This module remains the sole
+    public entry point. *)
 
 open Bv_ir
 
-type event =
+type event = Machine_state.event =
   | Fetched of { cycle : int; seq : int; pc : int; instr : Bv_isa.Instr.t }
   | Issued of { cycle : int; seq : int }
   | Completed of { cycle : int; seq : int; mispredicted : bool }

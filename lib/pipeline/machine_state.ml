@@ -1,0 +1,210 @@
+open Bv_isa
+open Bv_ir
+open Bv_bpred
+open Bv_cache
+
+type ctrl_kind = Ck_branch | Ck_resolve | Ck_ret
+
+type checkpoint =
+  { ck_regs : int array;
+    ck_undo : int;  (* absolute undo-log position *)
+    ck_stack : int list;
+    ck_ras_depth : int;
+    ck_dbb : Dbb.snapshot;
+    ck_halted : bool
+  }
+
+type ctrl =
+  { kind : ctrl_kind;
+    mispredict : bool;
+    redirect_pc : int;  (* correct-path pc, used on mispredict *)
+    checkpoint : checkpoint option;  (* present iff mispredict *)
+    site : int;  (* branch/resolve site id, -1 otherwise *)
+    meta : Predictor.meta option;
+    meta_pc : int;  (* pc whose predictor entry to train *)
+    actual_taken : bool;
+    dbb_slot : int  (* -1 when none *)
+  }
+
+type inflight =
+  { seq : int;
+    pc : int;
+    instr : Instr.t;
+    fetch_cycle : int;
+    fu : Instr.fu_class;
+    dst : int;  (* register index, -1 if none *)
+    uses : int list;
+    addr : int;  (* effective address of loads/stores, captured at fetch *)
+    mutable latency : int;
+    mutable issue_cycle : int;  (* -1 before issue *)
+    mutable complete_cycle : int;
+    mutable squashed : bool;
+    mutable prefetch_arrival : int;  (* -1: not prefetched *)
+    ctrl : ctrl option
+  }
+
+type event =
+  | Fetched of { cycle : int; seq : int; pc : int; instr : Instr.t }
+  | Issued of { cycle : int; seq : int }
+  | Completed of { cycle : int; seq : int; mispredicted : bool }
+  | Squashed of { cycle : int; seq : int }
+  | Redirected of { cycle : int; after_seq : int; new_pc : int }
+
+(* Fixed-capacity ring used as the fetch buffer: push at tail, pop at head,
+   truncate at tail on flush. *)
+module Ring = struct
+  type 'a t =
+    { buf : 'a option array;
+      mutable head : int;
+      mutable len : int
+    }
+
+  let create capacity = { buf = Array.make capacity None; head = 0; len = 0 }
+  let length t = t.len
+  let capacity t = Array.length t.buf
+  let is_full t = t.len = capacity t
+
+  let push t x =
+    assert (not (is_full t));
+    t.buf.((t.head + t.len) mod capacity t) <- Some x;
+    t.len <- t.len + 1
+
+  let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+  let pop t =
+    match peek t with
+    | None -> None
+    | some ->
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod capacity t;
+      t.len <- t.len - 1;
+      some
+
+  let iter t f =
+    for k = 0 to t.len - 1 do
+      match t.buf.((t.head + k) mod capacity t) with
+      | Some x -> f x
+      | None -> ()
+    done
+
+  (* Remove tail entries failing [keep]; returns the removed entries. *)
+  let truncate_tail t ~keep =
+    let removed = ref [] in
+    let continue = ref true in
+    while t.len > 0 && !continue do
+      let tail_idx = (t.head + t.len - 1) mod capacity t in
+      match t.buf.(tail_idx) with
+      | Some x when not (keep x) ->
+        removed := x :: !removed;
+        t.buf.(tail_idx) <- None;
+        t.len <- t.len - 1
+      | _ -> continue := false
+    done;
+    !removed
+end
+
+type t =
+  { cfg : Config.t;
+    image : Layout.image;
+    code : Instr.t array;
+    code_len : int;
+    stats : Stats.t;
+    hier : Hierarchy.t;
+    predictor : Predictor.t;
+    btb : Btb.t;
+    ras : Ras.t;
+    dbb : Dbb.t;
+    (* --- speculative architectural state ------------------------------ *)
+    regs : int array;
+    mem : int array;
+    mem_words : int;
+    mutable call_stack : int list;
+    mutable spec_halted : bool;
+    (* Undo log for speculative stores; positions are absolute counts. *)
+    mutable log_addr : int array;
+    mutable log_val : int array;
+    mutable log_len : int;
+    mutable log_base : int;
+    mutable live_checkpoints : int;
+    (* --- timing state ------------------------------------------------- *)
+    mutable now : int;
+    fbuf : inflight Ring.t;
+    (* Issued-but-incomplete instructions, kept in seq order; appends go
+       to the reversed tail accumulator. *)
+    mutable pending : inflight list;
+    mutable pending_tail : inflight list;
+    ready : int array;
+    mutable fetch_pc : int;
+    mutable fetch_stall_until : int;
+    mutable current_line : int;
+    mutable mshr_release : int list;
+    mutable store_release : int list;
+    mutable seq : int;
+    mutable finished : bool;
+    mutable stores_retired : int;
+    mutable shadow_fetches : int;
+    on_event : event -> unit
+  }
+
+let create ~config ~on_event image =
+  let cfg : Config.t = config in
+  let code = image.Layout.code in
+  let mem = Program.initial_memory image.Layout.program in
+  { cfg;
+    image;
+    code;
+    code_len = Array.length code;
+    stats = Stats.create ();
+    hier = Hierarchy.create ~config:cfg.Config.cache ();
+    predictor = Kind.create cfg.Config.predictor;
+    btb = Btb.create ~entries:cfg.Config.btb_entries ();
+    ras = Ras.create ~entries:cfg.Config.ras_entries ();
+    dbb = Dbb.create ~entries:cfg.Config.dbb_entries;
+    regs = Array.make Reg.count 0;
+    mem;
+    mem_words = Array.length mem;
+    call_stack = [];
+    spec_halted = false;
+    log_addr = Array.make 1024 0;
+    log_val = Array.make 1024 0;
+    log_len = 0;
+    log_base = 0;
+    live_checkpoints = 0;
+    now = 0;
+    fbuf = Ring.create cfg.Config.fetch_buffer;
+    pending = [];
+    pending_tail = [];
+    ready = Array.make Reg.count 0;
+    fetch_pc = image.Layout.entry;
+    fetch_stall_until = 0;
+    current_line = -1;
+    mshr_release = [];
+    store_release = [];
+    seq = 0;
+    finished = false;
+    stores_retired = 0;
+    shadow_fetches = 0;
+    on_event
+  }
+
+let merge_pending st =
+  if st.pending_tail <> [] then begin
+    st.pending <- st.pending @ List.rev st.pending_tail;
+    st.pending_tail <- []
+  end
+
+(* Scoreboard repair after a squash: recompute every register's ready
+   cycle from the surviving in-flight producers. *)
+let rebuild_scoreboard st =
+  Array.fill st.ready 0 Reg.count 0;
+  List.iter
+    (fun inst ->
+      if (not inst.squashed) && inst.dst >= 0 then
+        st.ready.(inst.dst) <- max st.ready.(inst.dst) inst.complete_cycle)
+    st.pending
+
+let line_of st pc = pc * 4 / st.cfg.Config.cache.Hierarchy.line_bytes
+
+let operand_value st = function
+  | Instr.Reg r -> st.regs.(Reg.index r)
+  | Instr.Imm i -> i

@@ -1,0 +1,137 @@
+(** Shared mutable state of the staged timing model.
+
+    One record carries everything the pipeline stages touch — speculative
+    architectural state (registers, memory + undo log, call stack),
+    front-end steering state, the fetch buffer, the scoreboard, in-flight
+    instructions and the telemetry sinks. Stage modules ({!Frontend},
+    {!Scoreboard}, {!Backend}, {!Spec_state}) are sets of functions over
+    this record; {!Machine.run} owns only the cycle loop.
+
+    The record is deliberately transparent: stages (and the per-stage unit
+    tests) read and write fields directly, and the narrow surface of each
+    stage lives in that stage's [.mli], not here. *)
+
+open Bv_isa
+open Bv_ir
+open Bv_bpred
+open Bv_cache
+
+type ctrl_kind = Ck_branch | Ck_resolve | Ck_ret
+
+type checkpoint =
+  { ck_regs : int array;
+    ck_undo : int;  (** absolute undo-log position *)
+    ck_stack : int list;
+    ck_ras_depth : int;
+    ck_dbb : Dbb.snapshot;
+    ck_halted : bool
+  }
+
+type ctrl =
+  { kind : ctrl_kind;
+    mispredict : bool;
+    redirect_pc : int;  (** correct-path pc, used on mispredict *)
+    checkpoint : checkpoint option;  (** present iff mispredict *)
+    site : int;  (** branch/resolve site id, -1 otherwise *)
+    meta : Predictor.meta option;
+    meta_pc : int;  (** pc whose predictor entry to train *)
+    actual_taken : bool;
+    dbb_slot : int  (** -1 when none *)
+  }
+
+type inflight =
+  { seq : int;
+    pc : int;
+    instr : Instr.t;
+    fetch_cycle : int;
+    fu : Instr.fu_class;
+    dst : int;  (** register index, -1 if none *)
+    uses : int list;
+    addr : int;  (** effective address of loads/stores, captured at fetch *)
+    mutable latency : int;
+    mutable issue_cycle : int;  (** -1 before issue *)
+    mutable complete_cycle : int;
+    mutable squashed : bool;
+    mutable prefetch_arrival : int;  (** -1: not prefetched *)
+    ctrl : ctrl option
+  }
+
+type event =
+  | Fetched of { cycle : int; seq : int; pc : int; instr : Instr.t }
+  | Issued of { cycle : int; seq : int }
+  | Completed of { cycle : int; seq : int; mispredicted : bool }
+  | Squashed of { cycle : int; seq : int }
+  | Redirected of { cycle : int; after_seq : int; new_pc : int }
+
+(** Fixed-capacity ring used as the fetch buffer: push at tail, pop at
+    head, truncate at tail on flush. *)
+module Ring : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+  val is_full : 'a t -> bool
+  val push : 'a t -> 'a -> unit
+  val peek : 'a t -> 'a option
+  val pop : 'a t -> 'a option
+  val iter : 'a t -> ('a -> unit) -> unit
+
+  val truncate_tail : 'a t -> keep:('a -> bool) -> 'a list
+  (** Remove tail entries failing [keep]; returns the removed entries. *)
+end
+
+type t =
+  { cfg : Config.t;
+    image : Layout.image;
+    code : Instr.t array;
+    code_len : int;
+    stats : Stats.t;
+    hier : Hierarchy.t;
+    predictor : Predictor.t;
+    btb : Btb.t;
+    ras : Ras.t;
+    dbb : Dbb.t;
+    regs : int array;
+    mem : int array;
+    mem_words : int;
+    mutable call_stack : int list;
+    mutable spec_halted : bool;
+    mutable log_addr : int array;
+    mutable log_val : int array;
+    mutable log_len : int;
+    mutable log_base : int;
+    mutable live_checkpoints : int;
+    mutable now : int;
+    fbuf : inflight Ring.t;
+    mutable pending : inflight list;
+    mutable pending_tail : inflight list;
+    ready : int array;
+    mutable fetch_pc : int;
+    mutable fetch_stall_until : int;
+    mutable current_line : int;
+    mutable mshr_release : int list;
+    mutable store_release : int list;
+    mutable seq : int;
+    mutable finished : bool;
+    mutable stores_retired : int;
+    mutable shadow_fetches : int;
+    on_event : event -> unit
+  }
+
+val create : config:Config.t -> on_event:(event -> unit) -> Layout.image -> t
+(** Fresh machine state at cycle 0, fetch steered at the image entry. *)
+
+val merge_pending : t -> unit
+(** Fold the reversed append accumulator into [pending] (kept in seq
+    order). Call before any traversal of [pending]. *)
+
+val rebuild_scoreboard : t -> unit
+(** Recompute every register's ready cycle from the surviving in-flight
+    producers (squash repair). *)
+
+val line_of : t -> int -> int
+(** I-cache line index of a pc. *)
+
+val operand_value : t -> Instr.operand -> int
+(** Read an operand against the speculative register file. *)

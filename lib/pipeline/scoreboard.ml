@@ -1,0 +1,157 @@
+open Bv_isa
+open Bv_cache
+open Machine_state
+
+(* In-order issue from the fetch-buffer head: head-of-line blocking on
+   operands, FU slots and memory structures (MSHRs / store buffer). *)
+let issue st =
+  let cfg = st.cfg in
+  let int_left = ref cfg.Config.int_units
+  and fp_left = ref cfg.Config.fp_units
+  and mem_left = ref cfg.Config.mem_units
+  and br_left = ref cfg.Config.branch_units
+  and none_left = ref max_int in
+  let issued_now = ref 0 in
+  st.mshr_release <- List.filter (fun c -> c > st.now) st.mshr_release;
+  st.store_release <- List.filter (fun c -> c > st.now) st.store_release;
+  let blocked = ref false in
+  while (not !blocked) && !issued_now < cfg.Config.width do
+    match Ring.peek st.fbuf with
+    | None ->
+      if !issued_now = 0 then
+        st.stats.Stats.frontend_empty_cycles <-
+          st.stats.Stats.frontend_empty_cycles + 1;
+      blocked := true
+    | Some inst ->
+      if inst.fetch_cycle + cfg.Config.front_stages > st.now then begin
+        if !issued_now = 0 then
+          st.stats.Stats.frontend_empty_cycles <-
+            st.stats.Stats.frontend_empty_cycles + 1;
+        blocked := true
+      end
+      else begin
+        let operands_ready =
+          List.for_all (fun r -> st.ready.(r) <= st.now) inst.uses
+        in
+        let fu_slot =
+          match inst.fu with
+          | Instr.Fu_int -> int_left
+          | Instr.Fu_fp -> fp_left
+          | Instr.Fu_mem -> mem_left
+          | Instr.Fu_branch -> br_left
+          | Instr.Fu_none -> none_left
+        in
+        let fu_ok = !fu_slot > 0 in
+        let mem_ok =
+          match inst.instr with
+          | Instr.Load _ ->
+            Sa_cache.probe (Hierarchy.l1d st.hier) ~addr:inst.addr
+            || List.length st.mshr_release < cfg.Config.mshrs
+          | Instr.Store _ ->
+            List.length st.store_release < cfg.Config.store_buffer
+          | _ -> true
+        in
+        if operands_ready && fu_ok && mem_ok then begin
+          ignore (Ring.pop st.fbuf);
+          if inst.fu <> Instr.Fu_none then decr fu_slot;
+          inst.issue_cycle <- st.now;
+          (match inst.ctrl with
+          | Some c when c.site >= 0 ->
+            (* how long the condition kept this control instruction from
+               resolving, past the front-end minimum: the measured
+               per-site ASPCB (operand readiness, not queueing delay) *)
+            let readiness =
+              List.fold_left (fun a u -> max a st.ready.(u)) 0 inst.uses
+            in
+            Stats.add_site_wait st.stats ~site:c.site
+              ~cycles:
+                (max 0
+                   (readiness - (inst.fetch_cycle + cfg.Config.front_stages)))
+          | _ -> ());
+          let latency =
+            match inst.instr with
+            | Instr.Load _ ->
+              let lat, _ =
+                Hierarchy.data_access st.hier ~addr:inst.addr ~write:false
+              in
+              (* a runahead prefetch in flight caps the latency at its
+                 arrival (the fill was already initiated) *)
+              let lat =
+                if inst.prefetch_arrival >= 0 then
+                  max cfg.Config.cache.Hierarchy.l1_latency
+                    (min lat (inst.prefetch_arrival - st.now))
+                else lat
+              in
+              if lat > cfg.Config.cache.Hierarchy.l1_latency then
+                st.mshr_release <- (st.now + lat) :: st.mshr_release;
+              st.stats.Stats.loads_issued <- st.stats.Stats.loads_issued + 1;
+              lat
+            | Instr.Store _ ->
+              let lat, _ =
+                Hierarchy.data_access st.hier ~addr:inst.addr ~write:true
+              in
+              st.store_release <- (st.now + lat) :: st.store_release;
+              st.stats.Stats.stores_issued <- st.stats.Stats.stores_issued + 1;
+              st.stores_retired <- st.stores_retired + 1;
+              1
+            | _ -> inst.latency
+          in
+          inst.latency <- latency;
+          inst.complete_cycle <- st.now + latency;
+          if inst.dst >= 0 then
+            st.ready.(inst.dst) <- max st.ready.(inst.dst) inst.complete_cycle;
+          st.pending_tail <- inst :: st.pending_tail;
+          st.on_event (Issued { cycle = st.now; seq = inst.seq });
+          st.stats.Stats.issued <- st.stats.Stats.issued + 1;
+          incr issued_now
+        end
+        else begin
+          if !issued_now = 0 then begin
+            st.stats.Stats.head_stall_cycles <-
+              st.stats.Stats.head_stall_cycles + 1;
+            if not operands_ready then begin
+              st.stats.Stats.operand_stall_cycles <-
+                st.stats.Stats.operand_stall_cycles + 1;
+              match inst.ctrl with
+              | Some c when c.site >= 0 -> Stats.add_site_stall st.stats ~site:c.site
+              | _ -> ()
+            end
+            else if not fu_ok then
+              st.stats.Stats.fu_stall_cycles <-
+                st.stats.Stats.fu_stall_cycles + 1
+            else
+              st.stats.Stats.mem_struct_stall_cycles <-
+                st.stats.Stats.mem_struct_stall_cycles + 1
+          end;
+          blocked := true
+        end
+      end
+  done;
+  (* Runahead-style prefetch under a full stall: walk younger loads and
+     stores whose addresses are known (captured at fetch) and start
+     their fills. *)
+  if cfg.Config.runahead && !issued_now = 0 && Ring.length st.fbuf > 0 then begin
+    let budget = ref 2 in
+    Ring.iter st.fbuf (fun inst ->
+        if !budget > 0 && inst.prefetch_arrival < 0 then
+          match inst.instr with
+          | Instr.Load _ | Instr.Store _
+            when List.for_all (fun u -> st.ready.(u) <= st.now) inst.uses ->
+            (* real runahead can only compute addresses whose inputs are
+               available; chases behind pending loads stay opaque *)
+            if
+              (not (Sa_cache.probe (Hierarchy.l1d st.hier) ~addr:inst.addr))
+              && List.length st.mshr_release < cfg.Config.mshrs
+            then begin
+              let lat, _ =
+                Hierarchy.data_access st.hier ~addr:inst.addr ~write:false
+              in
+              inst.prefetch_arrival <- st.now + lat;
+              st.mshr_release <- (st.now + lat) :: st.mshr_release;
+              st.stats.Stats.runahead_prefetches <-
+                st.stats.Stats.runahead_prefetches + 1;
+              decr budget
+            end
+            else inst.prefetch_arrival <- st.now
+          | _ -> ())
+  end

@@ -1,0 +1,12 @@
+(** Issue stage: in-order issue from the fetch-buffer head with
+    head-of-line blocking.
+
+    Up to [width] instructions issue per cycle, gated on operand
+    readiness (the register scoreboard), functional-unit slots, and
+    memory structural resources (MSHRs, store buffer). Stall causes are
+    classified into the [Stats] head-stall counters, and per-site
+    condition-wait (ASPCB) is measured at issue. When runahead is
+    enabled, a fully-stalled cycle walks the fetch buffer and prefetches
+    ready addresses. *)
+
+val issue : Machine_state.t -> unit

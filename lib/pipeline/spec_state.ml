@@ -1,0 +1,107 @@
+open Bv_isa
+open Machine_state
+
+(* ---- speculative memory (wrong-path safe) ----------------------------- *)
+
+let log_push st w old =
+  if st.log_len = Array.length st.log_addr then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    st.log_addr <- grow st.log_addr;
+    st.log_val <- grow st.log_val
+  end;
+  st.log_addr.(st.log_len) <- w;
+  st.log_val.(st.log_len) <- old;
+  st.log_len <- st.log_len + 1
+
+let log_undo_to st abs_pos =
+  while st.log_base + st.log_len > abs_pos do
+    st.log_len <- st.log_len - 1;
+    st.mem.(st.log_addr.(st.log_len)) <- st.log_val.(st.log_len)
+  done
+
+let log_trim st =
+  if st.live_checkpoints = 0 then begin
+    st.log_base <- st.log_base + st.log_len;
+    st.log_len <- 0
+  end
+
+let log_depth st = st.log_len
+
+let spec_load st ~addr =
+  if addr land 7 <> 0 || addr < 0 || addr / 8 >= st.mem_words then 0
+  else st.mem.(addr / 8)
+
+let spec_store st ~addr v =
+  if addr land 7 = 0 && addr >= 0 && addr / 8 < st.mem_words then begin
+    let w = addr / 8 in
+    log_push st w st.mem.(w);
+    st.mem.(w) <- v
+  end
+
+(* ---- checkpoints ------------------------------------------------------ *)
+
+let make_checkpoint st =
+  st.live_checkpoints <- st.live_checkpoints + 1;
+  { ck_regs = Array.copy st.regs;
+    ck_undo = st.log_base + st.log_len;
+    ck_stack = st.call_stack;
+    ck_ras_depth = Bv_bpred.Ras.depth st.ras;
+    ck_dbb = Dbb.snapshot st.dbb;
+    ck_halted = st.spec_halted
+  }
+
+let release_checkpoint st inst =
+  match inst.ctrl with
+  | Some { checkpoint = Some _; _ } -> st.live_checkpoints <- st.live_checkpoints - 1
+  | _ -> ()
+
+(* ---- misprediction flush ---------------------------------------------- *)
+
+let flush st ~from_seq ~checkpoint ~new_pc =
+  st.stats.Stats.redirects <- st.stats.Stats.redirects + 1;
+  Array.blit checkpoint.ck_regs 0 st.regs 0 Reg.count;
+  log_undo_to st checkpoint.ck_undo;
+  st.call_stack <- checkpoint.ck_stack;
+  (* RAS repair: recover the stack depth (entries pushed on the wrong
+     path are popped; deeper corruption is accepted, as in hardware). *)
+  while Bv_bpred.Ras.depth st.ras > checkpoint.ck_ras_depth do
+    ignore (Bv_bpred.Ras.pop st.ras)
+  done;
+  Dbb.restore st.dbb checkpoint.ck_dbb;
+  st.spec_halted <- checkpoint.ck_halted;
+  st.on_event (Redirected { cycle = st.now; after_seq = from_seq; new_pc });
+  let removed =
+    Ring.truncate_tail st.fbuf ~keep:(fun (i : inflight) -> i.seq <= from_seq)
+  in
+  List.iter
+    (fun (i : inflight) ->
+      st.stats.Stats.squashed_fetched <- st.stats.Stats.squashed_fetched + 1;
+      st.on_event (Squashed { cycle = st.now; seq = i.seq });
+      release_checkpoint st i)
+    removed;
+  merge_pending st;
+  List.iter
+    (fun (i : inflight) ->
+      if (not i.squashed) && i.seq > from_seq then begin
+        i.squashed <- true;
+        st.on_event (Squashed { cycle = st.now; seq = i.seq });
+        st.stats.Stats.squashed_issued <- st.stats.Stats.squashed_issued + 1;
+        (match i.instr with
+        | Instr.Store _ -> st.stores_retired <- st.stores_retired - 1
+        | _ -> ());
+        release_checkpoint st i
+      end)
+    st.pending;
+  st.pending <- List.filter (fun i -> not i.squashed) st.pending;
+  rebuild_scoreboard st;
+  st.fetch_pc <- new_pc;
+  st.fetch_stall_until <- st.now + 1;
+  st.current_line <- -1;
+  st.shadow_fetches <- 16
+
+let mispredict_flush st (inst : inflight) c =
+  match c.checkpoint with
+  | Some ck ->
+    st.live_checkpoints <- st.live_checkpoints - 1;
+    flush st ~from_seq:inst.seq ~checkpoint:ck ~new_pc:c.redirect_pc
+  | None -> assert false

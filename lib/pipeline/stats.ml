@@ -94,31 +94,87 @@ let site_wait_avg t site =
   | Some (n, sum) when n > 0 -> Float.of_int sum /. Float.of_int n
   | _ -> 0.0
 
+(* ---- field descriptors ------------------------------------------------ *)
+
+(* Single source of truth for every scalar the model reports: [pp] and
+   [to_json] are both derived from these lists, so a counter added here
+   shows up in the text report and the JSON automatically, under the
+   same name. List order is emission order (and therefore part of the
+   JSON golden contract — append, don't reorder). *)
+type field =
+  | I of string * (t -> int)
+  | F of string * (t -> float)
+
+let scalar_fields =
+  [ I ("cycles", fun t -> t.cycles);
+    I ("fetched", fun t -> t.fetched);
+    I ("issued", fun t -> t.issued);
+    I ("retired", retired);
+    I ("squashed_issued", fun t -> t.squashed_issued);
+    I ("squashed_fetched", fun t -> t.squashed_fetched);
+    I ("predicts_fetched", fun t -> t.predicts_fetched);
+    I ("branch_execs", fun t -> t.branch_execs);
+    I ("branch_mispredicts", fun t -> t.branch_mispredicts);
+    I ("resolve_execs", fun t -> t.resolve_execs);
+    I ("resolve_mispredicts", fun t -> t.resolve_mispredicts);
+    I ("ret_execs", fun t -> t.ret_execs);
+    I ("ret_mispredicts", fun t -> t.ret_mispredicts);
+    I ("mispredicts", mispredicts);
+    I ("redirects", fun t -> t.redirects);
+    I ("loads_issued", fun t -> t.loads_issued);
+    I ("stores_issued", fun t -> t.stores_issued);
+    F ("ipc", ipc);
+    F ("mppki", mppki)
+  ]
+
+let stall_fields =
+  [ I ("head", fun t -> t.head_stall_cycles);
+    I ("operand", fun t -> t.operand_stall_cycles);
+    I ("fu", fun t -> t.fu_stall_cycles);
+    I ("mem_struct", fun t -> t.mem_struct_stall_cycles);
+    I ("frontend_empty", fun t -> t.frontend_empty_cycles);
+    I ("icache", fun t -> t.icache_stall_cycles)
+  ]
+
+let icache_fields =
+  [ I ("misses", fun t -> t.icache_misses);
+    I ("misses_in_shadow", fun t -> t.icache_misses_in_shadow);
+    I ("runahead_prefetches", fun t -> t.runahead_prefetches)
+  ]
+
+let dbb_fields =
+  [ I ("full_stalls", fun t -> t.dbb_full_stalls);
+    I ("occupancy_sum", fun t -> t.dbb_occupancy_sum);
+    I ("samples", fun t -> t.dbb_samples);
+    F ("avg_occupancy", dbb_avg_occupancy);
+    I ("max_occupancy", fun t -> t.dbb_max_occupancy)
+  ]
+
 let pp ppf t =
+  let pp_field ppf = function
+    | I (name, get) -> Format.fprintf ppf "%s %d" name (get t)
+    | F (name, get) -> Format.fprintf ppf "%s %.3f" name (get t)
+  in
+  let pp_fields =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+      pp_field
+  in
   Format.fprintf ppf
-    "@[<v>cycles %d, retired %d (IPC %.3f)@,\
-     fetched %d, issued %d (%d squashed after issue, %d before), \
-     predicts fetched %d@,\
-     branches %d (%d miss), resolves %d (%d miss), rets %d (%d miss), \
-     %.2f MPPKI, %d redirects@,\
-     stalls: head %d (operand %d, fu %d, mem %d), empty frontend %d, \
-     icache %d@,\
-     icache: %d misses (%d in redirect shadow), %d runahead prefetches@,\
-     dbb: avg occ %.2f, max %d, full-stalls %d@]"
-    t.cycles (retired t) (ipc t) t.fetched t.issued t.squashed_issued
-    t.squashed_fetched t.predicts_fetched t.branch_execs t.branch_mispredicts
-    t.resolve_execs t.resolve_mispredicts t.ret_execs t.ret_mispredicts
-    (mppki t) t.redirects t.head_stall_cycles t.operand_stall_cycles
-    t.fu_stall_cycles t.mem_struct_stall_cycles t.frontend_empty_cycles
-    t.icache_stall_cycles t.icache_misses t.icache_misses_in_shadow
-    t.runahead_prefetches (dbb_avg_occupancy t) t.dbb_max_occupancy
-    t.dbb_full_stalls
+    "@[<v>@[<hov 2>%a@]@,@[<hov 2>stalls: %a@]@,@[<hov 2>icache: %a@]@,\
+     @[<hov 2>dbb: %a@]@]"
+    pp_fields scalar_fields pp_fields stall_fields pp_fields icache_fields
+    pp_fields dbb_fields
 
 (* The JSON mirror of [pp]: every raw counter plus the derived rates, so
    machine consumers never have to re-derive or scrape text. Tables are
    sorted by site id for deterministic output. *)
 let to_json t =
   let open Bv_obs.Json in
+  let field = function
+    | I (name, get) -> (name, Int (get t))
+    | F (name, get) -> (name, float (get t))
+  in
   let sorted tbl =
     List.sort (fun (a, _) (b, _) -> compare a b)
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
@@ -141,48 +197,10 @@ let to_json t =
       (sorted t.site_waits)
   in
   Obj
-    [ ("cycles", Int t.cycles);
-      ("fetched", Int t.fetched);
-      ("issued", Int t.issued);
-      ("retired", Int (retired t));
-      ("squashed_issued", Int t.squashed_issued);
-      ("squashed_fetched", Int t.squashed_fetched);
-      ("predicts_fetched", Int t.predicts_fetched);
-      ("branch_execs", Int t.branch_execs);
-      ("branch_mispredicts", Int t.branch_mispredicts);
-      ("resolve_execs", Int t.resolve_execs);
-      ("resolve_mispredicts", Int t.resolve_mispredicts);
-      ("ret_execs", Int t.ret_execs);
-      ("ret_mispredicts", Int t.ret_mispredicts);
-      ("mispredicts", Int (mispredicts t));
-      ("redirects", Int t.redirects);
-      ("loads_issued", Int t.loads_issued);
-      ("stores_issued", Int t.stores_issued);
-      ("ipc", float (ipc t));
-      ("mppki", float (mppki t));
-      ( "stalls",
-        Obj
-          [ ("head", Int t.head_stall_cycles);
-            ("operand", Int t.operand_stall_cycles);
-            ("fu", Int t.fu_stall_cycles);
-            ("mem_struct", Int t.mem_struct_stall_cycles);
-            ("frontend_empty", Int t.frontend_empty_cycles);
-            ("icache", Int t.icache_stall_cycles)
-          ] );
-      ( "icache",
-        Obj
-          [ ("misses", Int t.icache_misses);
-            ("misses_in_shadow", Int t.icache_misses_in_shadow);
-            ("runahead_prefetches", Int t.runahead_prefetches)
-          ] );
-      ( "dbb",
-        Obj
-          [ ("full_stalls", Int t.dbb_full_stalls);
-            ("occupancy_sum", Int t.dbb_occupancy_sum);
-            ("samples", Int t.dbb_samples);
-            ("avg_occupancy", float (dbb_avg_occupancy t));
-            ("max_occupancy", Int t.dbb_max_occupancy)
-          ] );
-      ("site_stalls", List site_stalls);
-      ("site_waits", List site_waits)
-    ]
+    (List.map field scalar_fields
+    @ [ ("stalls", Obj (List.map field stall_fields));
+        ("icache", Obj (List.map field icache_fields));
+        ("dbb", Obj (List.map field dbb_fields));
+        ("site_stalls", List site_stalls);
+        ("site_waits", List site_waits)
+      ])
