@@ -13,7 +13,16 @@
                          'none' disables)
      BV_MICRO=0          skip the Bechamel micro-suite
      BV_BENCH_JSON=path  trajectory artifact destination (default
-                         results/bench_<timestamp>.json; empty disables) *)
+                         results/bench_<timestamp>.json; empty disables)
+     BV_THROUGHPUT_BUDGET=<n>
+                         cap retired instructions per throughput run
+                         (CI smoke; default unlimited)
+
+   Flags:
+     --warmup N          untimed runs before each timed throughput run
+                         (default 1)
+     --throughput-only   only the simulator-throughput suite (skips
+                         experiments and the micro-suite) *)
 
 let run_experiments () =
   let ppf = Format.std_formatter in
@@ -42,6 +51,113 @@ let run_experiments () =
         Format.fprintf ppf "unknown experiment %s@." id;
         None)
     wanted
+
+(* ----------------------------------------------------------- throughput *)
+
+(* End-to-end simulator throughput: fixed workloads timed straight through
+   Machine.run, reported as host seconds, simulated cycles/second and
+   simulated MIPS. These rows in the bench JSON are the regression
+   baseline successive performance PRs quote and compare against. *)
+
+let throughput_cases () =
+  let open Bv_workloads in
+  let baseline_of program =
+    let p = Bv_ir.Program.copy program in
+    Bv_sched.Sched.schedule_program p;
+    p
+  in
+  let scaled r =
+    max 1 (int_of_float (Float.round (float_of_int r *. Bv_harness.Runner.scale ())))
+  in
+  let spec_int =
+    Spec.make ~name:"tp-int" ~suite:Spec.Int_2006 ~seed:7001
+      ~branch_classes:
+        [ Spec.cls ~count:6 ~taken_rate:0.60 ~predictability:0.95 ();
+          Spec.cls ~iid:true ~count:4 ~taken_rate:0.92 ~predictability:0.92 ();
+          Spec.cls ~iid:true ~count:2 ~taken_rate:0.50 ~predictability:0.50 ()
+        ]
+      ~loads_per_block:3.0 ~cond_depth:4 ~inner_n:128 ~reps:(scaled 60) ()
+  in
+  let spec_mem =
+    Spec.make ~name:"tp-mem" ~suite:Spec.Fp_2006 ~seed:7002
+      ~branch_classes:
+        [ Spec.cls ~count:4 ~taken_rate:0.58 ~predictability:0.96 () ]
+      ~loads_per_block:4.0 ~footprint_kb:128 ~chase_frac:0.2 ~cond_chase:true
+      ~inner_n:64 ~reps:(scaled 100) ()
+  in
+  let plain spec =
+    Bv_ir.Layout.program (baseline_of (Gen.generate ~input:1 spec))
+  in
+  let decomposed spec =
+    let program = Gen.generate ~input:1 spec in
+    let train = Gen.generate ~input:0 spec in
+    let profile =
+      Bv_profile.Profile.collect
+        ~predictor:(Bv_bpred.Kind.create Bv_bpred.Kind.Tournament)
+        (Bv_ir.Layout.program (baseline_of train))
+    in
+    let selection = Vanguard.Select.select ~profile train in
+    let result =
+      Vanguard.Transform.apply ~exit_live:Gen.live_at_exit
+        ~candidates:selection.Vanguard.Select.candidates program
+    in
+    Bv_ir.Layout.program result.Vanguard.Transform.program
+  in
+  let runahead8 =
+    { (Bv_pipeline.Config.make ~predictor:Bv_bpred.Kind.Tage ~width:8 ()) with
+      Bv_pipeline.Config.runahead = true
+    }
+  in
+  [ ("int_w4", Bv_pipeline.Config.four_wide, plain spec_int);
+    ("int_decomposed_w4", Bv_pipeline.Config.four_wide, decomposed spec_int);
+    ("mem_runahead_w8", runahead8, plain spec_mem);
+    ("mem_decomposed_runahead_w8", runahead8, decomposed spec_mem)
+  ]
+
+type throughput_row =
+  { tp_workload : string;
+    tp_host_seconds : float;
+    tp_sim_cycles : int;
+    tp_sim_instructions : int;
+    tp_cycles_per_sec : float;
+    tp_mips : float
+  }
+
+let run_throughput ~warmup =
+  let budget =
+    match Sys.getenv_opt "BV_THROUGHPUT_BUDGET" with
+    | Some s -> (try int_of_string s with Failure _ -> max_int)
+    | None -> max_int
+  in
+  Printf.printf "\n=== Simulator throughput (warmup %d%s) ===\n" warmup
+    (if budget = max_int then ""
+     else Printf.sprintf ", budget %d instrs" budget);
+  Printf.printf "  %-28s %9s %13s %14s %9s\n" "workload" "host s" "sim cycles"
+    "sim cycles/s" "sim MIPS";
+  List.map
+    (fun (name, config, image) ->
+      for _ = 1 to warmup do
+        ignore (Bv_pipeline.Machine.run ~max_retired:budget ~config image)
+      done;
+      let t0 = Unix.gettimeofday () in
+      let res = Bv_pipeline.Machine.run ~max_retired:budget ~config image in
+      let host = Unix.gettimeofday () -. t0 in
+      let cycles = res.Bv_pipeline.Machine.stats.Bv_pipeline.Stats.cycles in
+      let retired = Bv_pipeline.Stats.retired res.Bv_pipeline.Machine.stats in
+      let per s = if host > 0. then float_of_int s /. host else 0. in
+      let row =
+        { tp_workload = name;
+          tp_host_seconds = host;
+          tp_sim_cycles = cycles;
+          tp_sim_instructions = retired;
+          tp_cycles_per_sec = per cycles;
+          tp_mips = per retired /. 1e6
+        }
+      in
+      Printf.printf "  %-28s %9.3f %13d %14.0f %9.2f\n%!" name host cycles
+        row.tp_cycles_per_sec row.tp_mips;
+      row)
+    (throughput_cases ())
 
 (* ---------------------------------------------------------------- micro *)
 
@@ -192,7 +308,8 @@ let iso8601 t =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_artifact ~started_at ~experiments ~micro ~total_seconds =
+let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
+    ~total_seconds =
   let open Bv_obs.Json in
   let path =
     match Sys.getenv_opt "BV_BENCH_JSON" with
@@ -227,6 +344,20 @@ let write_artifact ~started_at ~experiments ~micro ~total_seconds =
                               tables) )
                      ])
                  experiments) );
+          ("throughput_warmup", Int warmup);
+          ( "throughput",
+            List
+              (List.map
+                 (fun r ->
+                   Obj
+                     [ ("workload", String r.tp_workload);
+                       ("host_seconds", float r.tp_host_seconds);
+                       ("sim_cycles", Int r.tp_sim_cycles);
+                       ("sim_instructions", Int r.tp_sim_instructions);
+                       ("sim_cycles_per_sec", float r.tp_cycles_per_sec);
+                       ("sim_mips", float r.tp_mips)
+                     ])
+                 throughput) );
           ( "micro_ns_per_run",
             Obj (List.map (fun (name, est) -> (name, float est)) micro) )
         ]
@@ -240,13 +371,30 @@ let write_artifact ~started_at ~experiments ~micro ~total_seconds =
      with Sys_error e -> Printf.eprintf "artifact write failed: %s\n" e)
 
 let () =
+  let warmup = ref 1 in
+  let throughput_only = ref false in
+  Arg.parse
+    [ ( "--warmup",
+        Arg.Set_int warmup,
+        "N untimed runs before each timed throughput run (default 1)" );
+      ( "--throughput-only",
+        Arg.Set throughput_only,
+        " only the simulator-throughput suite (skips experiments and the \
+         micro-suite)" )
+    ]
+    (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
+    "bench [--warmup N] [--throughput-only]";
   let t0 = Unix.gettimeofday () in
-  let experiments = run_experiments () in
+  let experiments = if !throughput_only then [] else run_experiments () in
+  let throughput = run_throughput ~warmup:!warmup in
   let micro =
-    match Sys.getenv_opt "BV_MICRO" with
-    | Some "0" -> []
-    | _ -> run_micro ()
+    if !throughput_only then []
+    else
+      match Sys.getenv_opt "BV_MICRO" with
+      | Some "0" -> []
+      | _ -> run_micro ()
   in
   let total_seconds = Unix.gettimeofday () -. t0 in
-  write_artifact ~started_at:t0 ~experiments ~micro ~total_seconds;
+  write_artifact ~started_at:t0 ~experiments ~throughput ~warmup:!warmup ~micro
+    ~total_seconds;
   Printf.printf "\ntotal wall time: %.1fs\n" total_seconds

@@ -16,16 +16,20 @@ let create ?(entries = 4096) () =
 
 let slot t pc = Predictor.hash_pc pc land t.mask
 
-let lookup t ~pc =
+let find t ~pc =
   let i = slot t pc in
   if t.tags.(i) = pc then begin
     t.hits <- t.hits + 1;
-    Some t.targets.(i)
+    t.targets.(i)
   end
   else begin
     t.misses <- t.misses + 1;
-    None
+    -1
   end
+
+let lookup t ~pc =
+  let target = find t ~pc in
+  if target >= 0 then Some target else None
 
 let update t ~pc ~target =
   let i = slot t pc in

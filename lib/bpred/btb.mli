@@ -10,6 +10,10 @@ val create : ?entries:int -> unit -> t
 val lookup : t -> pc:int -> int option
 (** Predicted target, if the entry is present and tag-matches. *)
 
+val find : t -> pc:int -> int
+(** Allocation-free {!lookup}: the predicted target, or -1 on a miss
+    (targets are pcs, never negative). Counts hits/misses identically. *)
+
 val update : t -> pc:int -> target:int -> unit
 
 val hits : t -> int

@@ -84,6 +84,26 @@ let inst_access t ~addr =
     let below, level = lower_levels t ~addr ~write:false in
     (below, level)
 
+(* Latency-only variants for the simulator hot path: identical cache
+   side effects, no tuple allocation per access. *)
+let lower_levels_latency t ~addr ~write =
+  match Sa_cache.access t.l2 ~addr ~write with
+  | `Hit -> t.cfg.l2_latency
+  | `Miss ->
+    (match Sa_cache.access t.l3 ~addr ~write with
+    | `Hit -> t.cfg.l2_latency + t.cfg.l3_latency
+    | `Miss -> t.cfg.l2_latency + t.cfg.l3_latency + t.cfg.mem_latency)
+
+let data_access_latency t ~addr ~write =
+  match Sa_cache.access t.l1d ~addr ~write with
+  | `Hit -> t.cfg.l1_latency
+  | `Miss -> t.cfg.l1_latency + lower_levels_latency t ~addr ~write
+
+let inst_access_latency t ~addr =
+  match Sa_cache.access t.l1i ~addr ~write:false with
+  | `Hit -> 0
+  | `Miss -> lower_levels_latency t ~addr ~write:false
+
 let l1d t = t.l1d
 let l1i t = t.l1i
 let l2 t = t.l2

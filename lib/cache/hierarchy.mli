@@ -42,6 +42,13 @@ val inst_access : t -> addr:int -> int * level
 (** Instruction fetch for the line containing [addr]. An L1-I hit costs 0
     extra cycles (fetch is pipelined); misses pay the lower levels. *)
 
+val data_access_latency : t -> addr:int -> write:bool -> int
+(** [data_access] without the level — identical side effects, no tuple
+    allocation; the simulator hot path uses this. *)
+
+val inst_access_latency : t -> addr:int -> int
+(** [inst_access] without the level (same side effects, no allocation). *)
+
 val l1d : t -> Sa_cache.t
 val l1i : t -> Sa_cache.t
 val l2 : t -> Sa_cache.t

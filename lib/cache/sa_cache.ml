@@ -8,6 +8,7 @@ type stats =
 type t =
   { name : string;
     line_bits : int;
+    set_bits : int;
     set_count : int;
     ways : int;
     tags : int array;  (* set * ways, -1 = invalid *)
@@ -36,6 +37,7 @@ let create ~name ~size_bytes ~ways ~line_bytes =
     invalid_arg (name ^ ": set count must be a power of two");
   { name;
     line_bits = log2 line_bytes;
+    set_bits = log2 set_count;
     set_count;
     ways;
     tags = Array.make (set_count * ways) (-1);
@@ -52,17 +54,13 @@ let name t = t.name
 let line_bytes t = 1 lsl t.line_bits
 let sets t = t.set_count
 
-let locate t addr =
-  let line = addr lsr t.line_bits in
-  let set = line land (t.set_count - 1) in
-  let tag = line lsr (log2 t.set_count) in
-  (set, tag)
-
-let find_way t set tag =
+(* Index of the way holding [tag], or -1: the hot paths (access, probe)
+   must not allocate an option per lookup. *)
+let find_way_idx t set tag =
   let base = set * t.ways in
   let rec go w =
-    if w >= t.ways then None
-    else if t.tags.(base + w) = tag then Some (base + w)
+    if w >= t.ways then -1
+    else if t.tags.(base + w) = tag then base + w
     else go (w + 1)
   in
   go 0
@@ -82,13 +80,16 @@ let victim_way t set =
 let access t ~addr ~write =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  let set, tag = locate t addr in
-  match find_way t set tag with
-  | Some i ->
+  let line = addr lsr t.line_bits in
+  let set = line land (t.set_count - 1) in
+  let tag = line lsr t.set_bits in
+  let i = find_way_idx t set tag in
+  if i >= 0 then begin
     t.lru.(i) <- t.clock;
     if write then t.dirty.(i) <- true;
     `Hit
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     let i = victim_way t set in
     if t.tags.(i) <> -1 then begin
@@ -99,10 +100,13 @@ let access t ~addr ~write =
     t.lru.(i) <- t.clock;
     t.dirty.(i) <- write;
     `Miss
+  end
 
 let probe t ~addr =
-  let set, tag = locate t addr in
-  Option.is_some (find_way t set tag)
+  let line = addr lsr t.line_bits in
+  let set = line land (t.set_count - 1) in
+  let tag = line lsr t.set_bits in
+  find_way_idx t set tag >= 0
 
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

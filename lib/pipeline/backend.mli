@@ -12,6 +12,6 @@ val process_completions : t -> unit
 (** Complete every pending instruction whose [complete_cycle] has
     arrived, in seq order; drop them from the pending list. *)
 
-val handle_completion : t -> inflight -> unit
+val handle_completion : t -> handle -> unit
 (** The per-instruction completion action (predictor training, stats,
     mispredict flush). Exposed for stage-level tests. *)

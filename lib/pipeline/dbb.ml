@@ -1,87 +1,115 @@
 open Bv_bpred
 
-type entry =
-  { predict_pc : int;
-    meta : Predictor.meta;
-    predicted_taken : bool
-  }
-
-type slot =
-  { id : int;  (* unique allocation id *)
-    entry : entry;
-    mutable claimed : bool
-  }
-
+(* Struct-of-arrays storage: the DBB sits on the decomposed hot path
+   (one allocate per predict, one claim + one free per resolve), so the
+   slots are parallel arrays and the live set is tracked by counters —
+   no slot records, no order list to cons/filter, no closures in
+   snapshot/restore. A slot is empty iff its id is 0; ids are unique and
+   strictly increasing, so "newest unclaimed" is the unclaimed live slot
+   with the greatest id (the buffer is small enough that the O(entries)
+   scan is cheaper than maintaining any order structure). *)
 type t =
-  { slots : slot option array;
-    mutable order : int list;  (* live slot indices, newest first *)
+  { slot_id : int array;  (* 0 = empty, else unique allocation id *)
+    slot_claimed : int array;  (* 0 / 1 *)
+    slot_pc : int array;
+    slot_taken : int array;  (* 0 / 1 *)
+    slot_meta : Predictor.meta array;  (* stale when empty *)
+    mutable live : int;
     mutable next : int;  (* ring allocation pointer *)
     mutable alloc_id : int
   }
 
-(* A snapshot records which allocation occupied each slot and whether it was
-   claimed. Restoring must never resurrect an entry freed since the snapshot
-   (an older resolve may legitimately have completed in between), so
-   restoration is an intersection keyed by allocation id:
+(* A snapshot records which allocation occupied each slot and whether it
+   was claimed. Restoring must never resurrect an entry freed since the
+   snapshot (an older resolve may legitimately have completed in
+   between), so restoration is an intersection keyed by allocation id:
    - same id still present: revert its claimed flag;
    - different/new id in the slot: allocated after the snapshot — drop it;
    - slot now empty: freed since — stays empty. *)
-type snapshot = (int * bool) option array * int list * int
+type snapshot =
+  { snap_id : int array;
+    snap_claimed : int array;
+    snap_next : int
+  }
+
+let no_meta : Predictor.meta = [||]
 
 let create ~entries =
-  { slots = Array.make entries None; order = []; next = 0; alloc_id = 0 }
+  { slot_id = Array.make entries 0;
+    slot_claimed = Array.make entries 0;
+    slot_pc = Array.make entries 0;
+    slot_taken = Array.make entries 0;
+    slot_meta = Array.make entries no_meta;
+    live = 0;
+    next = 0;
+    alloc_id = 0
+  }
 
-let capacity t = Array.length t.slots
-let occupancy t = List.length t.order
-let is_full t = occupancy t = capacity t
+let capacity t = Array.length t.slot_id
+let occupancy t = t.live
+let is_full t = t.live = Array.length t.slot_id
 
-let allocate t entry =
-  if is_full t then None
+let allocate t ~pc ~meta ~taken =
+  if is_full t then -1
   else begin
-    let n = capacity t in
-    let rec find i =
-      let idx = (t.next + i) mod n in
-      match t.slots.(idx) with None -> idx | Some _ -> find (i + 1)
-    in
-    let idx = find 0 in
+    let n = Array.length t.slot_id in
+    let idx = ref t.next in
+    while t.slot_id.(!idx) <> 0 do
+      idx := (!idx + 1) mod n
+    done;
+    let idx = !idx in
     t.alloc_id <- t.alloc_id + 1;
-    t.slots.(idx) <- Some { id = t.alloc_id; entry; claimed = false };
-    t.order <- idx :: t.order;
+    t.slot_id.(idx) <- t.alloc_id;
+    t.slot_claimed.(idx) <- 0;
+    t.slot_pc.(idx) <- pc;
+    t.slot_taken.(idx) <- (if taken then 1 else 0);
+    t.slot_meta.(idx) <- meta;
+    t.live <- t.live + 1;
     t.next <- (idx + 1) mod n;
-    Some idx
+    idx
   end
 
 let claim_newest t =
-  let rec go = function
-    | [] -> None
-    | idx :: rest ->
-      (match t.slots.(idx) with
-      | Some s when not s.claimed ->
-        s.claimed <- true;
-        Some (idx, s.entry)
-      | _ -> go rest)
-  in
-  go t.order
+  let best = ref (-1) and best_id = ref 0 in
+  for i = 0 to Array.length t.slot_id - 1 do
+    if t.slot_id.(i) > !best_id && t.slot_claimed.(i) = 0 then begin
+      best := i;
+      best_id := t.slot_id.(i)
+    end
+  done;
+  if !best >= 0 then t.slot_claimed.(!best) <- 1;
+  !best
+
+let slot_pc t idx = t.slot_pc.(idx)
+let slot_meta t idx = t.slot_meta.(idx)
+let slot_taken t idx = t.slot_taken.(idx) = 1
 
 let free t idx =
-  if Option.is_some t.slots.(idx) then begin
-    t.slots.(idx) <- None;
-    t.order <- List.filter (fun i -> i <> idx) t.order
+  if t.slot_id.(idx) <> 0 then begin
+    t.slot_id.(idx) <- 0;
+    t.slot_meta.(idx) <- no_meta;
+    t.live <- t.live - 1
   end
 
 let snapshot t =
-  ( Array.map (Option.map (fun s -> (s.id, s.claimed))) t.slots,
-    t.order,
-    t.next )
+  { snap_id = Array.copy t.slot_id;
+    snap_claimed = Array.copy t.slot_claimed;
+    snap_next = t.next
+  }
 
-let restore t (snap_slots, snap_order, next) =
-  Array.iteri
-    (fun i current ->
-      match (current, snap_slots.(i)) with
-      | Some s, Some (id, claimed) when s.id = id -> s.claimed <- claimed
-      | Some _, (Some _ | None) -> t.slots.(i) <- None
-      | None, _ -> ())
-    t.slots;
-  t.order <-
-    List.filter (fun idx -> Option.is_some t.slots.(idx)) snap_order;
-  t.next <- next
+let restore t snap =
+  let live = ref 0 in
+  for i = 0 to Array.length t.slot_id - 1 do
+    if t.slot_id.(i) <> 0 then
+      if t.slot_id.(i) = snap.snap_id.(i) then begin
+        t.slot_claimed.(i) <- snap.snap_claimed.(i);
+        incr live
+      end
+      else begin
+        (* allocated after the snapshot — wrong path, drop *)
+        t.slot_id.(i) <- 0;
+        t.slot_meta.(i) <- no_meta
+      end
+  done;
+  t.live <- !live;
+  t.next <- snap.snap_next

@@ -11,15 +11,13 @@
     carries its slot index down the pipe; the entry is freed when the
     resolve executes and updates the predictor. Branch mispredictions
     restore the buffer from a snapshot, recovering the tail pointer as the
-    paper describes. *)
+    paper describes.
+
+    Entries live in flat parallel arrays and the interface traffics in
+    ints: the DBB sits on the decomposed hot path (an allocate per
+    predict, a claim and a free per resolve), so no call here allocates. *)
 
 open Bv_bpred
-
-type entry =
-  { predict_pc : int;
-    meta : Predictor.meta;
-    predicted_taken : bool
-  }
 
 type t
 
@@ -30,15 +28,24 @@ val capacity : t -> int
 val occupancy : t -> int
 val is_full : t -> bool
 
-val allocate : t -> entry -> int option
-(** Tail allocation; [None] when full. Returns the slot index. *)
+val allocate : t -> pc:int -> meta:Predictor.meta -> taken:bool -> int
+(** Tail allocation; returns the slot index, or -1 when full. *)
 
-val claim_newest : t -> (int * entry) option
+val claim_newest : t -> int
 (** The most recently allocated unclaimed entry (the paper's tail-pointer
-    read), marked claimed. [None] when nothing is outstanding — which a
-    well-formed program only produces on wrong-path fetch; the machine then
-    skips the predictor update (the paper's "suppress spurious updates"
-    option). *)
+    read), marked claimed; returns its slot index. -1 when nothing is
+    outstanding — which a well-formed program only produces on wrong-path
+    fetch; the machine then skips the predictor update (the paper's
+    "suppress spurious updates" option). *)
+
+val slot_pc : t -> int -> int
+(** Predict-instruction pc of a claimed slot. *)
+
+val slot_meta : t -> int -> Predictor.meta
+(** Predictor metadata of a claimed slot. *)
+
+val slot_taken : t -> int -> bool
+(** Predicted direction of a claimed slot. *)
 
 val free : t -> int -> unit
 (** Release a slot at resolve execution. Idempotent. *)

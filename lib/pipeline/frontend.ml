@@ -1,5 +1,4 @@
 open Bv_isa
-open Bv_ir
 open Bv_bpred
 open Bv_cache
 open Machine_state
@@ -9,7 +8,8 @@ open Machine_state
    scratch registers up to its resolve. Oracle hint for the perfect
    predictor; real predictors ignore it. *)
 let predict_outcome_oracle st pc =
-  let scratch = Array.copy st.regs in
+  let scratch = st.oracle_scratch in
+  Array.blit st.regs 0 scratch 0 (Array.length scratch);
   let value = function
     | Instr.Reg r -> scratch.(Reg.index r)
     | Instr.Imm i -> i
@@ -39,7 +39,7 @@ let predict_outcome_oracle st pc =
         scratch.(Reg.index dst) <-
           Spec_state.spec_load st ~addr:(scratch.(Reg.index base) + offset);
         walk (pc + 1) (steps + 1)
-      | Instr.Jump l -> walk (Layout.resolve st.image l) (steps + 1)
+      | Instr.Jump _ -> walk st.static.(pc).s_target (steps + 1)
       | Instr.Nop -> walk (pc + 1) (steps + 1)
       | Instr.Store _ | Instr.Branch _ | Instr.Call _ | Instr.Ret
       | Instr.Predict _ | Instr.Halt ->
@@ -47,39 +47,39 @@ let predict_outcome_oracle st pc =
   in
   walk (pc + 1) 0
 
-let enqueue st ?(latency = 1) ?(addr = 0) ?ctrl pc instr =
-  let dst = match Instr.defs instr with r :: _ -> Reg.index r | [] -> -1 in
-  let inst =
-    { seq = st.seq;
-      pc;
-      instr;
-      fetch_cycle = st.now;
-      fu = Instr.fu_class instr;
-      dst;
-      uses = List.map Reg.index (Instr.uses instr);
-      addr;
-      latency;
-      issue_cycle = -1;
-      complete_cycle = max_int;
-      squashed = false;
-      prefetch_arrival = -1;
-      ctrl
-    }
-  in
+(* Enqueue and return the pool row, so control instructions can fill
+   their [c_*] columns in place (recycled / fresh rows already hold
+   [ck_none] and cleared pointer columns). [addr] is a plain labeled
+   argument — an optional int would box at every memory-instruction
+   call site. *)
+let enqueue_h st ~addr pc instr =
+  let h = alloc_inflight st in
+  st.i_seq.(h) <- st.seq;
+  st.i_pc.(h) <- pc;
+  st.i_fetch_cycle.(h) <- st.now;
+  st.i_addr.(h) <- addr;
+  st.i_complete_cycle.(h) <- max_int;
+  st.i_squashed.(h) <- 0;
+  st.i_prefetch.(h) <- -1;
   st.seq <- st.seq + 1;
-  Ring.push st.fbuf inst;
-  st.on_event (Fetched { cycle = st.now; seq = inst.seq; pc; instr });
+  Ring.push st.fbuf h;
+  if st.events_enabled then
+    st.on_event (Fetched { cycle = st.now; seq = st.i_seq.(h); pc; instr });
   st.stats.Stats.fetched <- st.stats.Stats.fetched + 1;
-  if st.shadow_fetches > 0 then st.shadow_fetches <- st.shadow_fetches - 1
+  if st.shadow_fetches > 0 then st.shadow_fetches <- st.shadow_fetches - 1;
+  h
+
+let enqueue st pc instr = ignore (enqueue_h st ~addr:0 pc instr)
 
 (* Shared timing for taken control transfers at fetch. *)
 let steer_taken st ~pc ~target =
   let bubble =
-    match Btb.lookup st.btb ~pc with
-    | Some t when t = target -> st.cfg.Config.taken_bubble
-    | Some _ | None ->
+    let t = Btb.find st.btb ~pc in
+    if t = target then st.cfg.Config.taken_bubble
+    else begin
       Btb.update st.btb ~pc ~target;
       st.cfg.Config.taken_bubble + st.cfg.Config.btb_miss_penalty
+    end
   in
   st.fetch_pc <- target;
   st.fetch_stall_until <- st.now + bubble;
@@ -88,7 +88,6 @@ let steer_taken st ~pc ~target =
 (* Fetch one instruction at [pc]; returns false to end this cycle's
    fetch group. *)
 let fetch_exec st pc =
-  let cfg = st.cfg in
   let next = pc + 1 in
   match st.code.(pc) with
   | Instr.Nop as i ->
@@ -98,17 +97,13 @@ let fetch_exec st pc =
   | Instr.Alu { op; dst; src1; src2 } as i ->
     st.regs.(Reg.index dst) <-
       Instr.eval_alu op st.regs.(Reg.index src1) (operand_value st src2);
-    enqueue st
-      ~latency:
-        (if op = Instr.Mul then cfg.Config.mul_latency
-         else cfg.Config.alu_latency)
-      pc i;
+    enqueue st pc i;
     st.fetch_pc <- next;
     true
   | Instr.Fpu { op; dst; src1; src2 } as i ->
     st.regs.(Reg.index dst) <-
       Instr.eval_alu op st.regs.(Reg.index src1) (operand_value st src2);
-    enqueue st ~latency:cfg.Config.fpu_latency pc i;
+    enqueue st pc i;
     st.fetch_pc <- next;
     true
   | Instr.Mov { dst; src } as i ->
@@ -132,24 +127,24 @@ let fetch_exec st pc =
   | Instr.Load { dst; base; offset; _ } as i ->
     let addr = st.regs.(Reg.index base) + offset in
     st.regs.(Reg.index dst) <- Spec_state.spec_load st ~addr;
-    enqueue st ~addr pc i;
+    ignore (enqueue_h st ~addr pc i);
     st.fetch_pc <- next;
     true
   | Instr.Store { src; base; offset } as i ->
     let addr = st.regs.(Reg.index base) + offset in
     Spec_state.spec_store st ~addr st.regs.(Reg.index src);
-    enqueue st ~addr pc i;
+    ignore (enqueue_h st ~addr pc i);
     st.fetch_pc <- next;
     true
-  | Instr.Jump target as i ->
+  | Instr.Jump _ as i ->
     enqueue st pc i;
-    steer_taken st ~pc ~target:(Layout.resolve st.image target);
+    steer_taken st ~pc ~target:st.static.(pc).s_target;
     false
-  | Instr.Call target as i ->
+  | Instr.Call _ as i ->
     st.call_stack <- next :: st.call_stack;
     Ras.push st.ras next;
     enqueue st pc i;
-    steer_taken st ~pc ~target:(Layout.resolve st.image target);
+    steer_taken st ~pc ~target:st.static.(pc).s_target;
     false
   | Instr.Ret as i ->
     (match st.call_stack with
@@ -164,44 +159,34 @@ let fetch_exec st pc =
       let checkpoint =
         if mispredict then Some (Spec_state.make_checkpoint st) else None
       in
-      let ctrl =
-        { kind = Ck_ret;
-          mispredict;
-          redirect_pc = ra;
-          checkpoint;
-          site = -1;
-          meta = None;
-          meta_pc = pc;
-          actual_taken = true;
-          dbb_slot = -1
-        }
-      in
-      enqueue st ~ctrl pc i;
+      let h = enqueue_h st ~addr:0 pc i in
+      (* [c_site] stays -1 and [c_meta] stays [no_ctrl_meta] from the
+         recycled row; a ret reads neither *)
+      st.c_kind.(h) <- ck_ret;
+      st.c_mispredict.(h) <- Bool.to_int mispredict;
+      st.c_redirect.(h) <- ra;
+      (match checkpoint with None -> () | Some _ -> st.c_ckpt.(h) <- checkpoint);
       steer_taken st ~pc ~target:predicted;
       false)
-  | Instr.Branch { on; src; target; id } as i ->
+  | Instr.Branch { on; src; target = _; id } as i ->
     let actual_taken = (st.regs.(Reg.index src) <> 0) = on in
     let pred, meta =
       st.predictor.Predictor.predict ~pc ~outcome:actual_taken
     in
-    let target_pc = Layout.resolve st.image target in
+    let target_pc = st.static.(pc).s_target in
     let mispredict = pred <> actual_taken in
     let checkpoint =
       if mispredict then Some (Spec_state.make_checkpoint st) else None
     in
-    let ctrl =
-      { kind = Ck_branch;
-        mispredict;
-        redirect_pc = (if actual_taken then target_pc else next);
-        checkpoint;
-        site = id;
-        meta = Some meta;
-        meta_pc = pc;
-        actual_taken;
-        dbb_slot = -1
-      }
-    in
-    enqueue st ~ctrl pc i;
+    let h = enqueue_h st ~addr:0 pc i in
+    st.c_kind.(h) <- ck_branch;
+    st.c_mispredict.(h) <- Bool.to_int mispredict;
+    st.c_redirect.(h) <- (if actual_taken then target_pc else next);
+    st.c_site.(h) <- id;
+    st.c_meta.(h) <- meta;
+    st.c_meta_pc.(h) <- pc;
+    st.c_actual.(h) <- Bool.to_int actual_taken;
+    (match checkpoint with None -> () | Some _ -> st.c_ckpt.(h) <- checkpoint);
     if pred then begin
       steer_taken st ~pc ~target:target_pc;
       false
@@ -210,28 +195,27 @@ let fetch_exec st pc =
       st.fetch_pc <- next;
       true
     end
-  | Instr.Predict { target; id = _ } ->
+  | Instr.Predict { target = _; id = _ } ->
     if Dbb.is_full st.dbb then begin
       st.stats.Stats.dbb_full_stalls <- st.stats.Stats.dbb_full_stalls + 1;
       st.fetch_stall_until <- st.now + 1;
       false
     end
     else begin
-      let outcome = predict_outcome_oracle st pc in
+      (* the walk is side-effect-free and its result only feeds the
+         perfect predictor's [~outcome] — skip it for real predictors *)
+      let outcome = st.oracle_needed && predict_outcome_oracle st pc in
       let pred, meta = st.predictor.Predictor.predict ~pc ~outcome in
-      (match
-         Dbb.allocate st.dbb
-           { Dbb.predict_pc = pc; meta; predicted_taken = pred }
-       with
-      | None -> assert false
-      | Some _slot -> ());
+      let slot = Dbb.allocate st.dbb ~pc ~meta ~taken:pred in
+      assert (slot >= 0);
+      ignore slot;
       st.stats.Stats.predicts_fetched <- st.stats.Stats.predicts_fetched + 1;
       st.stats.Stats.dbb_max_occupancy <-
         max st.stats.Stats.dbb_max_occupancy (Dbb.occupancy st.dbb);
       (* The predict is dropped after steering: no fetch-buffer entry,
          no issue slot. *)
       if pred then begin
-        steer_taken st ~pc ~target:(Layout.resolve st.image target);
+        steer_taken st ~pc ~target:st.static.(pc).s_target;
         false
       end
       else begin
@@ -239,31 +223,26 @@ let fetch_exec st pc =
         true
       end
     end
-  | Instr.Resolve { on; src; target; predicted_taken; id } as i ->
+  | Instr.Resolve { on; src; target = _; predicted_taken; id } as i ->
     let actual_taken = (st.regs.(Reg.index src) <> 0) = on in
     let mispredict = actual_taken <> predicted_taken in
-    let slot, meta, meta_pc =
-      match Dbb.claim_newest st.dbb with
-      | Some (slot, entry) -> (slot, Some entry.Dbb.meta, entry.Dbb.predict_pc)
-      | None -> (-1, None, pc)
-    in
+    let slot = Dbb.claim_newest st.dbb in
     let checkpoint =
       if mispredict then Some (Spec_state.make_checkpoint st) else None
     in
-    let ctrl =
-      { kind = Ck_resolve;
-        mispredict;
-        redirect_pc =
-          (if mispredict then Layout.resolve st.image target else next);
-        checkpoint;
-        site = id;
-        meta;
-        meta_pc;
-        actual_taken;
-        dbb_slot = slot
-      }
-    in
-    enqueue st ~ctrl pc i;
+    let h = enqueue_h st ~addr:0 pc i in
+    st.c_kind.(h) <- ck_resolve;
+    st.c_mispredict.(h) <- Bool.to_int mispredict;
+    st.c_redirect.(h) <- (if mispredict then st.static.(pc).s_target else next);
+    st.c_site.(h) <- id;
+    if slot >= 0 then begin
+      st.c_meta.(h) <- Dbb.slot_meta st.dbb slot;
+      st.c_meta_pc.(h) <- Dbb.slot_pc st.dbb slot
+    end
+    else st.c_meta_pc.(h) <- pc;
+    st.c_actual.(h) <- Bool.to_int actual_taken;
+    st.c_dbb_slot.(h) <- slot;
+    (match checkpoint with None -> () | Some _ -> st.c_ckpt.(h) <- checkpoint);
     (* always predicted not-taken by the front end *)
     st.fetch_pc <- next;
     true
@@ -278,7 +257,7 @@ let fetch_one st =
   else begin
     let line = line_of st pc in
     if line <> st.current_line then begin
-      let lat, _lvl = Hierarchy.inst_access st.hier ~addr:(pc * 4) in
+      let lat = Hierarchy.inst_access_latency st.hier ~addr:(pc * 4) in
       st.current_line <- line;
       if lat > 0 then begin
         st.stats.Stats.icache_misses <- st.stats.Stats.icache_misses + 1;

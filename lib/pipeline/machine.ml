@@ -22,11 +22,9 @@ let fnv_fold acc v = (acc lxor v) * 0x100000001B3 land max_int
 (* The cycle loop. Stage order within a cycle: complete (which may flush),
    issue, fetch — an instruction fetched this cycle cannot issue this
    cycle (the front-stage delay enforces that anyway). *)
-let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
-    ?(on_event = fun (_ : event) -> ())
-    ?(on_cycle = fun ~cycle:(_ : int) ~stats:(_ : Stats.t)
-                     ~dbb_occupancy:(_ : int) -> ()) ~config image =
-  let st = Machine_state.create ~config ~on_event image in
+let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
+    ?on_cycle ~config image =
+  let st = Machine_state.create ~config ?on_event image in
   let stats = st.Machine_state.stats in
   while
     (not st.Machine_state.finished)
@@ -44,7 +42,9 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int)
       Spec_state.log_trim st;
       st.Machine_state.now <- st.Machine_state.now + 1;
       stats.Stats.cycles <- st.Machine_state.now;
-      on_cycle ~cycle:st.Machine_state.now ~stats ~dbb_occupancy
+      match on_cycle with
+      | Some f -> f ~cycle:st.Machine_state.now ~stats ~dbb_occupancy
+      | None -> ()
     end
   done;
   let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 st.Machine_state.mem in

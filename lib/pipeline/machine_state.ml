@@ -3,8 +3,6 @@ open Bv_ir
 open Bv_bpred
 open Bv_cache
 
-type ctrl_kind = Ck_branch | Ck_resolve | Ck_ret
-
 type checkpoint =
   { ck_regs : int array;
     ck_undo : int;  (* absolute undo-log position *)
@@ -14,34 +12,51 @@ type checkpoint =
     ck_halted : bool
   }
 
-type ctrl =
-  { kind : ctrl_kind;
-    mispredict : bool;
-    redirect_pc : int;  (* correct-path pc, used on mispredict *)
-    checkpoint : checkpoint option;  (* present iff mispredict *)
-    site : int;  (* branch/resolve site id, -1 otherwise *)
-    meta : Predictor.meta option;
-    meta_pc : int;  (* pc whose predictor entry to train *)
-    actual_taken : bool;
-    dbb_slot : int  (* -1 when none *)
+(* Control-instruction kinds, as int tags: control metadata lives in flat
+   pool arrays (the [c_*] fields of [t]) rather than a per-instruction
+   record, so fetching a branch allocates nothing. *)
+let ck_none = 0
+let ck_branch = 1
+let ck_resolve = 2
+let ck_ret = 3
+
+(* Sentinel for "no predictor metadata", distinguished by physical
+   equality: deliberately non-empty so it can never be confused with a
+   predictor's legitimate empty meta (all zero-length arrays share one
+   representation). *)
+let no_ctrl_meta : Predictor.meta = [| min_int |]
+
+(* In-flight instructions live in a struct-of-arrays pool and are named
+   by an int handle (see the [i_*] fields of [t]): the queues and the
+   free list then hold immediates only, so pushing an instruction through
+   the pipeline costs no GC write barriers and leaves nothing for the
+   major collector to trace. Decode products (opcode class, uses, dst,
+   base latency) live in the per-pc [static] table, reached through
+   [i_pc]. *)
+type handle = int
+
+(* Functional-unit classes as indices into the per-cycle [fu_left]
+   counters: 0 = int, 1 = fp, 2 = mem, 3 = branch, 4 = none. *)
+let fu_int = 0
+let fu_fp = 1
+let fu_mem = 2
+let fu_branch = 3
+let fu_none = 4
+
+(* Per-pc decode products, computed once per [create] so the fetch path
+   never recomputes defs/uses/FU class/latency per dynamic instruction. *)
+type static_info =
+  { s_fu : int;  (* [fu_int] .. [fu_none] *)
+    s_dst : int;  (* register index, -1 if none *)
+    s_uses : int array;  (* register indices, in Instr.uses order *)
+    s_latency : int;  (* base issue latency under the run's config *)
+    s_mem_kind : int;  (* 0 = not memory, 1 = load, 2 = store *)
+    s_is_halt : bool;
+    s_target : int  (* resolved label target pc; -1 when none *)
   }
 
-type inflight =
-  { seq : int;
-    pc : int;
-    instr : Instr.t;
-    fetch_cycle : int;
-    fu : Instr.fu_class;
-    dst : int;  (* register index, -1 if none *)
-    uses : int list;
-    addr : int;  (* effective address of loads/stores, captured at fetch *)
-    mutable latency : int;
-    mutable issue_cycle : int;  (* -1 before issue *)
-    mutable complete_cycle : int;
-    mutable squashed : bool;
-    mutable prefetch_arrival : int;  (* -1: not prefetched *)
-    ctrl : ctrl option
-  }
+let[@inline] imax (a : int) (b : int) = if a >= b then a else b
+let[@inline] imin (a : int) (b : int) = if a <= b then a else b
 
 type event =
   | Fetched of { cycle : int; seq : int; pc : int; instr : Instr.t }
@@ -50,57 +65,128 @@ type event =
   | Squashed of { cycle : int; seq : int }
   | Redirected of { cycle : int; after_seq : int; new_pc : int }
 
-(* Fixed-capacity ring used as the fetch buffer: push at tail, pop at head,
-   truncate at tail on flush. *)
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+(* Power-of-two circular FIFO of int handles with mask indexing.
+   Monomorphic on purpose: an [int array] backing store compiles to
+   unboxed stores (no [caml_modify] write barrier, no float-array
+   dynamic dispatch), which matters at two pushes per simulated
+   instruction. [limit] is the logical capacity [is_full] reports; the
+   backing array doubles on demand, so an unlimited ring
+   ([limit = max_int]) is a growable deque — the retire queue uses
+   exactly that. *)
 module Ring = struct
-  type 'a t =
-    { buf : 'a option array;
+  type t =
+    { mutable buf : int array;
+      mutable mask : int;
       mutable head : int;
-      mutable len : int
+      mutable len : int;
+      limit : int
     }
 
-  let create capacity = { buf = Array.make capacity None; head = 0; len = 0 }
-  let length t = t.len
-  let capacity t = Array.length t.buf
-  let is_full t = t.len = capacity t
+  let create ?(limit = max_int) capacity =
+    let cap = pow2_at_least (max 1 capacity) 1 in
+    { buf = Array.make cap (-1); mask = cap - 1; head = 0; len = 0; limit }
 
-  let push t x =
+  let[@inline] length t = t.len
+  let capacity t = t.limit
+  let[@inline] is_full t = t.len >= t.limit
+
+  let[@inline] get t k = t.buf.((t.head + k) land t.mask)
+
+  let grow t =
+    let n = Array.length t.buf in
+    let buf = Array.make (2 * n) (-1) in
+    for k = 0 to t.len - 1 do
+      buf.(k) <- get t k
+    done;
+    t.buf <- buf;
+    t.mask <- (2 * n) - 1;
+    t.head <- 0
+
+  let[@inline] push t x =
     assert (not (is_full t));
-    t.buf.((t.head + t.len) mod capacity t) <- Some x;
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.head + t.len) land t.mask) <- x;
     t.len <- t.len + 1
 
-  let peek t = if t.len = 0 then None else t.buf.(t.head)
+  let[@inline] front t =
+    if t.len = 0 then invalid_arg "Ring.front: empty";
+    t.buf.(t.head)
 
-  let pop t =
-    match peek t with
-    | None -> None
-    | some ->
-      t.buf.(t.head) <- None;
-      t.head <- (t.head + 1) mod capacity t;
-      t.len <- t.len - 1;
-      some
+  let[@inline] pop t =
+    let x = front t in
+    t.head <- (t.head + 1) land t.mask;
+    t.len <- t.len - 1;
+    x
 
   let iter t f =
     for k = 0 to t.len - 1 do
-      match t.buf.((t.head + k) mod capacity t) with
-      | Some x -> f x
-      | None -> ()
+      f (get t k)
     done
 
-  (* Remove tail entries failing [keep]; returns the removed entries. *)
-  let truncate_tail t ~keep =
-    let removed = ref [] in
-    let continue = ref true in
-    while t.len > 0 && !continue do
-      let tail_idx = (t.head + t.len - 1) mod capacity t in
-      match t.buf.(tail_idx) with
-      | Some x when not (keep x) ->
-        removed := x :: !removed;
-        t.buf.(tail_idx) <- None;
-        t.len <- t.len - 1
-      | _ -> continue := false
+  let drop_tail t n =
+    assert (n <= t.len);
+    t.len <- t.len - n
+
+  (* Remove the maximal tail suffix failing [keep], calling [removed] on
+     each dropped entry in ring (FIFO) order. *)
+  let truncate_tail t ~keep ~removed =
+    let cut = ref t.len in
+    while !cut > 0 && not (keep (get t (!cut - 1))) do
+      decr cut
     done;
-    !removed
+    for k = !cut to t.len - 1 do
+      removed (get t k)
+    done;
+    t.len <- !cut
+
+  (* In-place compaction preserving order. *)
+  let filter_in_place t ~keep =
+    let w = ref 0 in
+    for r = 0 to t.len - 1 do
+      let x = get t r in
+      if keep x then begin
+        t.buf.((t.head + !w) land t.mask) <- x;
+        incr w
+      end
+    done;
+    t.len <- !w
+end
+
+(* Release-time calendar for MSHR / store-buffer occupancy: O(1) schedule,
+   O(1) amortised drain, O(1) occupancy query — replaces the lists that
+   were List.filter-compacted every cycle and List.length-counted on
+   every issue attempt. [slots.(c land mask)] counts entries released at
+   cycle [c]; [horizon] must bound the largest schedulable latency. *)
+module Release = struct
+  type t =
+    { slots : int array;
+      mask : int;
+      mutable occupancy : int;
+      mutable cursor : int  (* next cycle to drain *)
+    }
+
+  let create ~horizon =
+    let cap = pow2_at_least (horizon + 2) 1 in
+    { slots = Array.make cap 0; mask = cap - 1; occupancy = 0; cursor = 0 }
+
+  let[@inline] occupancy t = t.occupancy
+
+  let[@inline] schedule t ~at =
+    assert (at >= t.cursor && at - t.cursor <= t.mask);
+    t.slots.(at land t.mask) <- t.slots.(at land t.mask) + 1;
+    t.occupancy <- t.occupancy + 1
+
+  (* After [drain t ~now], [occupancy] counts exactly the entries with
+     release cycle > now (the old [List.filter (fun c -> c > now)]). *)
+  let[@inline] drain t ~now =
+    while t.cursor <= now do
+      let i = t.cursor land t.mask in
+      t.occupancy <- t.occupancy - t.slots.(i);
+      t.slots.(i) <- 0;
+      t.cursor <- t.cursor + 1
+    done
 end
 
 type t =
@@ -108,6 +194,7 @@ type t =
     image : Layout.image;
     code : Instr.t array;
     code_len : int;
+    static : static_info array;  (* indexed by pc, same length as [code] *)
     stats : Stats.t;
     hier : Hierarchy.t;
     predictor : Predictor.t;
@@ -128,32 +215,134 @@ type t =
     mutable live_checkpoints : int;
     (* --- timing state ------------------------------------------------- *)
     mutable now : int;
-    fbuf : inflight Ring.t;
-    (* Issued-but-incomplete instructions, kept in seq order; appends go
-       to the reversed tail accumulator. *)
-    mutable pending : inflight list;
-    mutable pending_tail : inflight list;
+    fbuf : Ring.t;
+    (* Issued-but-incomplete instructions, in seq order: a FIFO deque —
+       push at tail on issue, compact on completion, truncate on flush. *)
+    pending : Ring.t;
+    (* Lower bound on the earliest complete_cycle in [pending] (may be
+       stale low after a flush, never high): the backend skips the
+       completion scan entirely while [now] is below it. *)
+    mutable next_complete : int;
     ready : int array;
+    (* Operand-stall parking: while the issue head is blocked on operands,
+       nothing younger can issue (in-order, head-of-line), so the head's
+       readiness cycle cannot change until it issues — the scoreboard
+       skips the full head re-check below [park_until]. Guarded by seq
+       (never reused), so stale parking after a recycle is inert; a flush
+       can only remove already-completed or wrong-path producers, neither
+       of which moves a surviving head's readiness, so the bound survives
+       flushes too. *)
+    mutable park_h : handle;  (* -1 when nothing is parked *)
+    mutable park_seq : int;
+    mutable park_until : int;
     mutable fetch_pc : int;
     mutable fetch_stall_until : int;
     mutable current_line : int;
-    mutable mshr_release : int list;
-    mutable store_release : int list;
+    line_shift : int;  (* log2 of the I-cache line size in instructions *)
+    mshr_release : Release.t;
+    store_release : Release.t;
+    (* Per-cycle FU availability, indexed by [fu_int] .. [fu_none] and
+       refilled from the config at the top of each issue pass — a flat
+       array instead of per-cycle ref cells. *)
+    fu_left : int array;
     mutable seq : int;
     mutable finished : bool;
     mutable stores_retired : int;
     mutable shadow_fetches : int;
+    (* --- in-flight pool (struct of arrays, indexed by handle) ---------- *)
+    (* Parallel arrays grown together by [alloc_inflight]; a handle is a
+       row index. Everything is an int except [c_meta] and [c_ckpt],
+       which only control instructions touch — so the per-instruction
+       field refill touches no pointers at all. *)
+    mutable i_seq : int array;
+    mutable i_pc : int array;
+    mutable i_fetch_cycle : int array;
+    mutable i_addr : int array;  (* load/store effective address, at fetch *)
+    mutable i_complete_cycle : int array;
+    mutable i_squashed : int array;  (* 0 / 1 *)
+    mutable i_prefetch : int array;  (* prefetch arrival cycle; -1: none *)
+    (* Control metadata, valid while [c_kind] is not [ck_none]. A row's
+       enqueuer writes every field it later reads; [recycle_inflight]
+       resets only the discriminator, the pointers and [c_site] (read
+       unguarded on the issue path). *)
+    mutable c_kind : int array;  (* ck_none / ck_branch / ck_resolve / ck_ret *)
+    mutable c_mispredict : int array;  (* 0 / 1 *)
+    mutable c_redirect : int array;  (* correct-path pc, used on mispredict *)
+    mutable c_site : int array;  (* branch/resolve site id, -1 otherwise *)
+    mutable c_meta_pc : int array;  (* pc whose predictor entry to train *)
+    mutable c_actual : int array;  (* actual direction, 0 / 1 *)
+    mutable c_dbb_slot : int array;  (* -1 when none *)
+    mutable c_meta : Predictor.meta array;  (* [no_ctrl_meta] when none *)
+    mutable c_ckpt : checkpoint option array;  (* present iff mispredict *)
+    mutable pool_next : handle;  (* first never-allocated row *)
+    mutable free_pool : int array;  (* recycled handles (a stack) *)
+    mutable free_len : int;
+    mutable comp_buf : int array;  (* per-cycle completion scratch *)
+    mutable comp_len : int;
+    oracle_scratch : int array;  (* predict-oracle register scratch *)
+    (* Only the perfect predictor reads [~outcome] at predict time (the
+       interface contract: every other predictor must ignore it), so the
+       side-effect-free oracle walk over the resolution slice is skipped
+       entirely for real predictors. *)
+    oracle_needed : bool;
+    (* --- telemetry ----------------------------------------------------- *)
+    events_enabled : bool;  (* false: no event values are ever built *)
     on_event : event -> unit
   }
 
-let create ~config ~on_event image =
+let static_of (cfg : Config.t) image instr =
+  let dst =
+    match Instr.defs instr with r :: _ -> Reg.index r | [] -> -1
+  in
+  let latency =
+    match instr with
+    | Instr.Alu { op = Instr.Mul; _ } -> cfg.Config.mul_latency
+    | Instr.Alu _ -> cfg.Config.alu_latency
+    | Instr.Fpu _ -> cfg.Config.fpu_latency
+    | _ -> 1
+  in
+  let mem_kind =
+    match instr with Instr.Load _ -> 1 | Instr.Store _ -> 2 | _ -> 0
+  in
+  let target =
+    match instr with
+    | Instr.Jump l
+    | Instr.Call l
+    | Instr.Branch { target = l; _ }
+    | Instr.Predict { target = l; _ }
+    | Instr.Resolve { target = l; _ } ->
+      Layout.resolve image l
+    | _ -> -1
+  in
+  { s_fu =
+      (match Instr.fu_class instr with
+      | Instr.Fu_int -> fu_int
+      | Instr.Fu_fp -> fu_fp
+      | Instr.Fu_mem -> fu_mem
+      | Instr.Fu_branch -> fu_branch
+      | Instr.Fu_none -> fu_none);
+    s_dst = dst;
+    s_uses = Array.of_list (List.map Reg.index (Instr.uses instr));
+    s_latency = latency;
+    s_mem_kind = mem_kind;
+    s_is_halt = instr = Instr.Halt;
+    s_target = target
+  }
+
+let create ~config ?on_event image =
   let cfg : Config.t = config in
   let code = image.Layout.code in
   let mem = Program.initial_memory image.Layout.program in
+  let c = cfg.Config.cache in
+  let horizon =
+    c.Hierarchy.l1_latency + c.Hierarchy.l2_latency + c.Hierarchy.l3_latency
+    + c.Hierarchy.mem_latency
+  in
   { cfg;
     image;
     code;
     code_len = Array.length code;
+    static = Array.map (static_of cfg image) code;
     stats = Stats.create ();
     hier = Hierarchy.create ~config:cfg.Config.cache ();
     predictor = Kind.create cfg.Config.predictor;
@@ -171,39 +360,133 @@ let create ~config ~on_event image =
     log_base = 0;
     live_checkpoints = 0;
     now = 0;
-    fbuf = Ring.create cfg.Config.fetch_buffer;
-    pending = [];
-    pending_tail = [];
+    fbuf = Ring.create ~limit:cfg.Config.fetch_buffer cfg.Config.fetch_buffer;
+    pending = Ring.create 64;
+    next_complete = max_int;
     ready = Array.make Reg.count 0;
+    park_h = -1;
+    park_seq = -1;
+    park_until = 0;
     fetch_pc = image.Layout.entry;
     fetch_stall_until = 0;
     current_line = -1;
-    mshr_release = [];
-    store_release = [];
+    line_shift =
+      (let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+       log2 c.Hierarchy.line_bytes 0 - 2);
+    mshr_release = Release.create ~horizon;
+    store_release = Release.create ~horizon;
+    fu_left = Array.make 5 0;
     seq = 0;
     finished = false;
     stores_retired = 0;
     shadow_fetches = 0;
-    on_event
+    i_seq = Array.make 64 0;
+    i_pc = Array.make 64 0;
+    i_fetch_cycle = Array.make 64 0;
+    i_addr = Array.make 64 0;
+    i_complete_cycle = Array.make 64 max_int;
+    i_squashed = Array.make 64 0;
+    i_prefetch = Array.make 64 (-1);
+    c_kind = Array.make 64 ck_none;
+    c_mispredict = Array.make 64 0;
+    c_redirect = Array.make 64 0;
+    c_site = Array.make 64 (-1);
+    c_meta_pc = Array.make 64 0;
+    c_actual = Array.make 64 0;
+    c_dbb_slot = Array.make 64 (-1);
+    c_meta = Array.make 64 no_ctrl_meta;
+    c_ckpt = Array.make 64 None;
+    pool_next = 0;
+    free_pool = Array.make 64 0;
+    free_len = 0;
+    comp_buf = Array.make 64 0;
+    comp_len = 0;
+    oracle_scratch = Array.make Reg.count 0;
+    oracle_needed = (cfg.Config.predictor = Kind.Perfect);
+    events_enabled = Option.is_some on_event;
+    on_event = (match on_event with Some f -> f | None -> fun _ -> ())
   }
 
-let merge_pending st =
-  if st.pending_tail <> [] then begin
-    st.pending <- st.pending @ List.rev st.pending_tail;
-    st.pending_tail <- []
+(* ---- inflight pool ---------------------------------------------------- *)
+
+let grow_pool st =
+  let n = Array.length st.i_seq in
+  let g a =
+    let b = Array.make (2 * n) 0 in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  st.i_seq <- g st.i_seq;
+  st.i_pc <- g st.i_pc;
+  st.i_fetch_cycle <- g st.i_fetch_cycle;
+  st.i_addr <- g st.i_addr;
+  st.i_complete_cycle <- g st.i_complete_cycle;
+  st.i_squashed <- g st.i_squashed;
+  st.i_prefetch <- g st.i_prefetch;
+  st.c_kind <- g st.c_kind;
+  st.c_mispredict <- g st.c_mispredict;
+  st.c_redirect <- g st.c_redirect;
+  st.c_site <-
+    (let b = Array.make (2 * n) (-1) in
+     Array.blit st.c_site 0 b 0 n;
+     b);
+  st.c_meta_pc <- g st.c_meta_pc;
+  st.c_actual <- g st.c_actual;
+  st.c_dbb_slot <- g st.c_dbb_slot;
+  let m = Array.make (2 * n) no_ctrl_meta in
+  Array.blit st.c_meta 0 m 0 n;
+  st.c_meta <- m;
+  let c = Array.make (2 * n) None in
+  Array.blit st.c_ckpt 0 c 0 n;
+  st.c_ckpt <- c
+
+let alloc_inflight st =
+  if st.free_len > 0 then begin
+    st.free_len <- st.free_len - 1;
+    st.free_pool.(st.free_len)
   end
+  else begin
+    if st.pool_next = Array.length st.i_seq then grow_pool st;
+    let h = st.pool_next in
+    st.pool_next <- h + 1;
+    h
+  end
+
+(* Callers must guarantee the handle is unreachable from the fetch buffer,
+   the pending deque and the completion scratch — a double recycle would
+   hand the same row out twice. *)
+let recycle_inflight st h =
+  if st.c_kind.(h) <> ck_none then begin
+    (* drop checkpoint / predictor-meta references; [c_site] is read
+       without a kind guard on the issue path, so it must go back to -1 *)
+    st.c_kind.(h) <- ck_none;
+    st.c_site.(h) <- -1;
+    if st.c_meta.(h) != no_ctrl_meta then st.c_meta.(h) <- no_ctrl_meta;
+    (match st.c_ckpt.(h) with None -> () | Some _ -> st.c_ckpt.(h) <- None)
+  end;
+  if st.free_len = Array.length st.free_pool then begin
+    let n = Array.length st.free_pool in
+    let pool = Array.make (2 * n) 0 in
+    Array.blit st.free_pool 0 pool 0 n;
+    st.free_pool <- pool
+  end;
+  st.free_pool.(st.free_len) <- h;
+  st.free_len <- st.free_len + 1
 
 (* Scoreboard repair after a squash: recompute every register's ready
    cycle from the surviving in-flight producers. *)
 let rebuild_scoreboard st =
   Array.fill st.ready 0 Reg.count 0;
-  List.iter
-    (fun inst ->
-      if (not inst.squashed) && inst.dst >= 0 then
-        st.ready.(inst.dst) <- max st.ready.(inst.dst) inst.complete_cycle)
-    st.pending
+  for k = 0 to Ring.length st.pending - 1 do
+    let h = Ring.get st.pending k in
+    if st.i_squashed.(h) = 0 then begin
+      let dst = st.static.(st.i_pc.(h)).s_dst in
+      if dst >= 0 then
+        st.ready.(dst) <- imax st.ready.(dst) st.i_complete_cycle.(h)
+    end
+  done
 
-let line_of st pc = pc * 4 / st.cfg.Config.cache.Hierarchy.line_bytes
+let line_of st pc = pc lsr st.line_shift
 
 let operand_value st = function
   | Instr.Reg r -> st.regs.(Reg.index r)

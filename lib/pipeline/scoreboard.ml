@@ -1,107 +1,142 @@
-open Bv_isa
 open Bv_cache
 open Machine_state
 
 (* In-order issue from the fetch-buffer head: head-of-line blocking on
-   operands, FU slots and memory structures (MSHRs / store buffer). *)
+   operands, FU slots and memory structures (MSHRs / store buffer).
+
+   Hot path: operand checks walk the pre-decoded [uses] index arrays out
+   of the static table, memory-op classification is a pre-decoded int,
+   and MSHR / store-buffer occupancy is an O(1) counter read against the
+   release calendars drained once at the top of the cycle. *)
+
+let operands_ready st (uses : int array) =
+  let n = Array.length uses in
+  let k = ref 0 in
+  while !k < n && st.ready.(uses.(!k)) <= st.now do
+    incr k
+  done;
+  !k = n
+
+let readiness st (uses : int array) =
+  let acc = ref 0 in
+  for k = 0 to Array.length uses - 1 do
+    let r = st.ready.(uses.(k)) in
+    if r > !acc then acc := r
+  done;
+  !acc
+
 let issue st =
   let cfg = st.cfg in
-  let int_left = ref cfg.Config.int_units
-  and fp_left = ref cfg.Config.fp_units
-  and mem_left = ref cfg.Config.mem_units
-  and br_left = ref cfg.Config.branch_units
-  and none_left = ref max_int in
+  let fu_left = st.fu_left in
+  fu_left.(fu_int) <- cfg.Config.int_units;
+  fu_left.(fu_fp) <- cfg.Config.fp_units;
+  fu_left.(fu_mem) <- cfg.Config.mem_units;
+  fu_left.(fu_branch) <- cfg.Config.branch_units;
+  (* the no-FU class can be decremented unconditionally without ever
+     blocking: [width] bounds the decrements per cycle *)
+  fu_left.(fu_none) <- max_int;
   let issued_now = ref 0 in
-  st.mshr_release <- List.filter (fun c -> c > st.now) st.mshr_release;
-  st.store_release <- List.filter (fun c -> c > st.now) st.store_release;
+  Release.drain st.mshr_release ~now:st.now;
+  Release.drain st.store_release ~now:st.now;
   let blocked = ref false in
   while (not !blocked) && !issued_now < cfg.Config.width do
-    match Ring.peek st.fbuf with
-    | None ->
+    if Ring.length st.fbuf = 0 then begin
       if !issued_now = 0 then
         st.stats.Stats.frontend_empty_cycles <-
           st.stats.Stats.frontend_empty_cycles + 1;
       blocked := true
-    | Some inst ->
-      if inst.fetch_cycle + cfg.Config.front_stages > st.now then begin
+    end
+    else begin
+      let h = Ring.front st.fbuf in
+      if
+        h = st.park_h && st.now < st.park_until
+        && st.i_seq.(h) = st.park_seq
+      then begin
+        (* Parked: known operand-blocked until [park_until] — identical
+           bookkeeping to the operand-stall slow path, minus the re-check. *)
+        if !issued_now = 0 then begin
+          st.stats.Stats.head_stall_cycles <-
+            st.stats.Stats.head_stall_cycles + 1;
+          st.stats.Stats.operand_stall_cycles <-
+            st.stats.Stats.operand_stall_cycles + 1;
+          let site = st.c_site.(h) in
+          if site >= 0 then Stats.add_site_stall st.stats ~site
+        end;
+        blocked := true
+      end
+      else if st.i_fetch_cycle.(h) + cfg.Config.front_stages > st.now then begin
         if !issued_now = 0 then
           st.stats.Stats.frontend_empty_cycles <-
             st.stats.Stats.frontend_empty_cycles + 1;
         blocked := true
       end
       else begin
-        let operands_ready =
-          List.for_all (fun r -> st.ready.(r) <= st.now) inst.uses
-        in
-        let fu_slot =
-          match inst.fu with
-          | Instr.Fu_int -> int_left
-          | Instr.Fu_fp -> fp_left
-          | Instr.Fu_mem -> mem_left
-          | Instr.Fu_branch -> br_left
-          | Instr.Fu_none -> none_left
-        in
-        let fu_ok = !fu_slot > 0 in
+        let si = st.static.(st.i_pc.(h)) in
+        let addr = st.i_addr.(h) in
+        let operands_ready = operands_ready st si.s_uses in
+        let fu_ok = fu_left.(si.s_fu) > 0 in
         let mem_ok =
-          match inst.instr with
-          | Instr.Load _ ->
-            Sa_cache.probe (Hierarchy.l1d st.hier) ~addr:inst.addr
-            || List.length st.mshr_release < cfg.Config.mshrs
-          | Instr.Store _ ->
-            List.length st.store_release < cfg.Config.store_buffer
-          | _ -> true
+          if si.s_mem_kind = 1 then
+            (* counter first: both operands are side-effect-free, and a
+               free MSHR (the common case) skips the tag probe *)
+            Release.occupancy st.mshr_release < cfg.Config.mshrs
+            || Sa_cache.probe (Hierarchy.l1d st.hier) ~addr
+          else if si.s_mem_kind = 2 then
+            Release.occupancy st.store_release < cfg.Config.store_buffer
+          else true
         in
         if operands_ready && fu_ok && mem_ok then begin
           ignore (Ring.pop st.fbuf);
-          if inst.fu <> Instr.Fu_none then decr fu_slot;
-          inst.issue_cycle <- st.now;
-          (match inst.ctrl with
-          | Some c when c.site >= 0 ->
+          fu_left.(si.s_fu) <- fu_left.(si.s_fu) - 1;
+          let site = st.c_site.(h) in
+          if site >= 0 then begin
             (* how long the condition kept this control instruction from
                resolving, past the front-end minimum: the measured
                per-site ASPCB (operand readiness, not queueing delay) *)
-            let readiness =
-              List.fold_left (fun a u -> max a st.ready.(u)) 0 inst.uses
-            in
-            Stats.add_site_wait st.stats ~site:c.site
+            let readiness = readiness st si.s_uses in
+            Stats.add_site_wait st.stats ~site
               ~cycles:
-                (max 0
-                   (readiness - (inst.fetch_cycle + cfg.Config.front_stages)))
-          | _ -> ());
+                (imax 0
+                   (readiness
+                   - (st.i_fetch_cycle.(h) + cfg.Config.front_stages)))
+          end;
           let latency =
-            match inst.instr with
-            | Instr.Load _ ->
-              let lat, _ =
-                Hierarchy.data_access st.hier ~addr:inst.addr ~write:false
+            if si.s_mem_kind = 1 then begin
+              let lat =
+                Hierarchy.data_access_latency st.hier ~addr ~write:false
               in
               (* a runahead prefetch in flight caps the latency at its
                  arrival (the fill was already initiated) *)
               let lat =
-                if inst.prefetch_arrival >= 0 then
-                  max cfg.Config.cache.Hierarchy.l1_latency
-                    (min lat (inst.prefetch_arrival - st.now))
+                if st.i_prefetch.(h) >= 0 then
+                  imax cfg.Config.cache.Hierarchy.l1_latency
+                    (imin lat (st.i_prefetch.(h) - st.now))
                 else lat
               in
               if lat > cfg.Config.cache.Hierarchy.l1_latency then
-                st.mshr_release <- (st.now + lat) :: st.mshr_release;
+                Release.schedule st.mshr_release ~at:(st.now + lat);
               st.stats.Stats.loads_issued <- st.stats.Stats.loads_issued + 1;
               lat
-            | Instr.Store _ ->
-              let lat, _ =
-                Hierarchy.data_access st.hier ~addr:inst.addr ~write:true
+            end
+            else if si.s_mem_kind = 2 then begin
+              let lat =
+                Hierarchy.data_access_latency st.hier ~addr ~write:true
               in
-              st.store_release <- (st.now + lat) :: st.store_release;
+              Release.schedule st.store_release ~at:(st.now + lat);
               st.stats.Stats.stores_issued <- st.stats.Stats.stores_issued + 1;
               st.stores_retired <- st.stores_retired + 1;
               1
-            | _ -> inst.latency
+            end
+            else si.s_latency
           in
-          inst.latency <- latency;
-          inst.complete_cycle <- st.now + latency;
-          if inst.dst >= 0 then
-            st.ready.(inst.dst) <- max st.ready.(inst.dst) inst.complete_cycle;
-          st.pending_tail <- inst :: st.pending_tail;
-          st.on_event (Issued { cycle = st.now; seq = inst.seq });
+          let complete = st.now + latency in
+          st.i_complete_cycle.(h) <- complete;
+          if si.s_dst >= 0 then
+            st.ready.(si.s_dst) <- imax st.ready.(si.s_dst) complete;
+          Ring.push st.pending h;
+          if complete < st.next_complete then st.next_complete <- complete;
+          if st.events_enabled then
+            st.on_event (Issued { cycle = st.now; seq = st.i_seq.(h) });
           st.stats.Stats.issued <- st.stats.Stats.issued + 1;
           incr issued_now
         end
@@ -112,9 +147,8 @@ let issue st =
             if not operands_ready then begin
               st.stats.Stats.operand_stall_cycles <-
                 st.stats.Stats.operand_stall_cycles + 1;
-              match inst.ctrl with
-              | Some c when c.site >= 0 -> Stats.add_site_stall st.stats ~site:c.site
-              | _ -> ()
+              let site = st.c_site.(h) in
+              if site >= 0 then Stats.add_site_stall st.stats ~site
             end
             else if not fu_ok then
               st.stats.Stats.fu_stall_cycles <-
@@ -123,35 +157,46 @@ let issue st =
               st.stats.Stats.mem_struct_stall_cycles <-
                 st.stats.Stats.mem_struct_stall_cycles + 1
           end;
+          if not operands_ready then begin
+            (* Park the head until its operands can be ready: nothing
+               younger can issue past it, so this bound is stable. *)
+            st.park_h <- h;
+            st.park_seq <- st.i_seq.(h);
+            st.park_until <- readiness st si.s_uses
+          end;
           blocked := true
         end
       end
+    end
   done;
   (* Runahead-style prefetch under a full stall: walk younger loads and
      stores whose addresses are known (captured at fetch) and start
      their fills. *)
   if cfg.Config.runahead && !issued_now = 0 && Ring.length st.fbuf > 0 then begin
     let budget = ref 2 in
-    Ring.iter st.fbuf (fun inst ->
-        if !budget > 0 && inst.prefetch_arrival < 0 then
-          match inst.instr with
-          | Instr.Load _ | Instr.Store _
-            when List.for_all (fun u -> st.ready.(u) <= st.now) inst.uses ->
-            (* real runahead can only compute addresses whose inputs are
-               available; chases behind pending loads stay opaque *)
-            if
-              (not (Sa_cache.probe (Hierarchy.l1d st.hier) ~addr:inst.addr))
-              && List.length st.mshr_release < cfg.Config.mshrs
-            then begin
-              let lat, _ =
-                Hierarchy.data_access st.hier ~addr:inst.addr ~write:false
-              in
-              inst.prefetch_arrival <- st.now + lat;
-              st.mshr_release <- (st.now + lat) :: st.mshr_release;
-              st.stats.Stats.runahead_prefetches <-
-                st.stats.Stats.runahead_prefetches + 1;
-              decr budget
-            end
-            else inst.prefetch_arrival <- st.now
-          | _ -> ())
+    for k = 0 to Ring.length st.fbuf - 1 do
+      let h = Ring.get st.fbuf k in
+      if !budget > 0 && st.i_prefetch.(h) < 0 then begin
+        let si = st.static.(st.i_pc.(h)) in
+        if si.s_mem_kind <> 0 && operands_ready st si.s_uses then begin
+          (* real runahead can only compute addresses whose inputs are
+             available; chases behind pending loads stay opaque *)
+          let addr = st.i_addr.(h) in
+          if
+            (not (Sa_cache.probe (Hierarchy.l1d st.hier) ~addr))
+            && Release.occupancy st.mshr_release < cfg.Config.mshrs
+          then begin
+            let lat =
+              Hierarchy.data_access_latency st.hier ~addr ~write:false
+            in
+            st.i_prefetch.(h) <- st.now + lat;
+            Release.schedule st.mshr_release ~at:(st.now + lat);
+            st.stats.Stats.runahead_prefetches <-
+              st.stats.Stats.runahead_prefetches + 1;
+            decr budget
+          end
+          else st.i_prefetch.(h) <- st.now
+        end
+      end
+    done
   end

@@ -50,10 +50,10 @@ let make_checkpoint st =
     ck_halted = st.spec_halted
   }
 
-let release_checkpoint st inst =
-  match inst.ctrl with
-  | Some { checkpoint = Some _; _ } -> st.live_checkpoints <- st.live_checkpoints - 1
-  | _ -> ()
+let release_checkpoint st h =
+  match st.c_ckpt.(h) with
+  | Some _ -> st.live_checkpoints <- st.live_checkpoints - 1
+  | None -> ()
 
 (* ---- misprediction flush ---------------------------------------------- *)
 
@@ -69,39 +69,49 @@ let flush st ~from_seq ~checkpoint ~new_pc =
   done;
   Dbb.restore st.dbb checkpoint.ck_dbb;
   st.spec_halted <- checkpoint.ck_halted;
-  st.on_event (Redirected { cycle = st.now; after_seq = from_seq; new_pc });
-  let removed =
-    Ring.truncate_tail st.fbuf ~keep:(fun (i : inflight) -> i.seq <= from_seq)
-  in
-  List.iter
-    (fun (i : inflight) ->
+  if st.events_enabled then
+    st.on_event (Redirected { cycle = st.now; after_seq = from_seq; new_pc });
+  (* Wrong-path fetches were only ever reachable from the fetch buffer, so
+     they go straight back to the free list. *)
+  Ring.truncate_tail st.fbuf
+    ~keep:(fun h -> st.i_seq.(h) <= from_seq)
+    ~removed:(fun h ->
       st.stats.Stats.squashed_fetched <- st.stats.Stats.squashed_fetched + 1;
-      st.on_event (Squashed { cycle = st.now; seq = i.seq });
-      release_checkpoint st i)
-    removed;
-  merge_pending st;
-  List.iter
-    (fun (i : inflight) ->
-      if (not i.squashed) && i.seq > from_seq then begin
-        i.squashed <- true;
-        st.on_event (Squashed { cycle = st.now; seq = i.seq });
-        st.stats.Stats.squashed_issued <- st.stats.Stats.squashed_issued + 1;
-        (match i.instr with
-        | Instr.Store _ -> st.stores_retired <- st.stores_retired - 1
-        | _ -> ());
-        release_checkpoint st i
-      end)
-    st.pending;
-  st.pending <- List.filter (fun i -> not i.squashed) st.pending;
+      if st.events_enabled then
+        st.on_event (Squashed { cycle = st.now; seq = st.i_seq.(h) });
+      release_checkpoint st h;
+      recycle_inflight st h);
+  (* The deque is in seq order, so the squash set is a contiguous tail.
+     A squashed entry whose complete_cycle has arrived is also sitting in
+     the completion scratch (collected before this flush ran) and will be
+     recycled there; one still in flight is reachable from nowhere else
+     once dropped, so it is recycled here. *)
+  let len = Ring.length st.pending in
+  let cut = ref len in
+  while !cut > 0 && st.i_seq.(Ring.get st.pending (!cut - 1)) > from_seq do
+    decr cut
+  done;
+  for k = !cut to len - 1 do
+    let h = Ring.get st.pending k in
+    st.i_squashed.(h) <- 1;
+    if st.events_enabled then
+      st.on_event (Squashed { cycle = st.now; seq = st.i_seq.(h) });
+    st.stats.Stats.squashed_issued <- st.stats.Stats.squashed_issued + 1;
+    if st.static.(st.i_pc.(h)).s_mem_kind = 2 then
+      st.stores_retired <- st.stores_retired - 1;
+    release_checkpoint st h;
+    if st.i_complete_cycle.(h) > st.now then recycle_inflight st h
+  done;
+  Ring.drop_tail st.pending (len - !cut);
   rebuild_scoreboard st;
   st.fetch_pc <- new_pc;
   st.fetch_stall_until <- st.now + 1;
   st.current_line <- -1;
   st.shadow_fetches <- 16
 
-let mispredict_flush st (inst : inflight) c =
-  match c.checkpoint with
+let mispredict_flush st h =
+  match st.c_ckpt.(h) with
   | Some ck ->
     st.live_checkpoints <- st.live_checkpoints - 1;
-    flush st ~from_seq:inst.seq ~checkpoint:ck ~new_pc:c.redirect_pc
+    flush st ~from_seq:st.i_seq.(h) ~checkpoint:ck ~new_pc:st.c_redirect.(h)
   | None -> assert false

@@ -19,7 +19,7 @@ val make_checkpoint : t -> checkpoint
     the halt flag. Increments the live-checkpoint count (which pins the
     undo log). *)
 
-val release_checkpoint : t -> inflight -> unit
+val release_checkpoint : t -> handle -> unit
 (** Drop the checkpoint reference of a squashed/completed control
     instruction, unpinning the undo log once no checkpoints remain. *)
 
@@ -35,6 +35,6 @@ val flush : t -> from_seq:int -> checkpoint:checkpoint -> new_pc:int -> unit
     younger than [from_seq] in the fetch buffer and the pending list,
     rebuild the scoreboard and redirect fetch to [new_pc]. *)
 
-val mispredict_flush : t -> inflight -> ctrl -> unit
+val mispredict_flush : t -> handle -> unit
 (** [flush] driven by a mispredicting control instruction's own
-    checkpoint. *)
+    checkpoint and redirect columns. *)

@@ -27,8 +27,13 @@ type t =
     mutable icache_misses : int;
     mutable runahead_prefetches : int;
     mutable icache_misses_in_shadow : int;
-    site_stalls : (int, int) Hashtbl.t;
-    site_waits : (int, int * int) Hashtbl.t
+    (* Per-site tables as growable arrays indexed by site id: the hot
+       recorders (called on every control-instruction issue) must not
+       hash or allocate. A site is "present" when its counter is > 0,
+       matching the old hash-table behaviour. *)
+    mutable site_stalls : int array;
+    mutable site_wait_execs : int array;
+    mutable site_wait_cycles : int array
   }
 
 let create () =
@@ -60,9 +65,20 @@ let create () =
     icache_misses = 0;
     runahead_prefetches = 0;
     icache_misses_in_shadow = 0;
-    site_stalls = Hashtbl.create 64;
-    site_waits = Hashtbl.create 64
+    site_stalls = Array.make 64 0;
+    site_wait_execs = Array.make 64 0;
+    site_wait_cycles = Array.make 64 0
   }
+
+let grown a site =
+  let n = Array.length a in
+  if site < n then a
+  else begin
+    let rec cap c = if c > site then c else cap (2 * c) in
+    let b = Array.make (cap (2 * n)) 0 in
+    Array.blit a 0 b 0 n;
+    b
+  end
 
 let retired t = t.issued - t.squashed_issued
 
@@ -80,19 +96,27 @@ let dbb_avg_occupancy t =
   else Float.of_int t.dbb_occupancy_sum /. Float.of_int t.dbb_samples
 
 let site_stall_cycles t site =
-  Option.value (Hashtbl.find_opt t.site_stalls site) ~default:0
+  if site >= 0 && site < Array.length t.site_stalls then t.site_stalls.(site)
+  else 0
 
 let add_site_stall t ~site =
-  Hashtbl.replace t.site_stalls site (site_stall_cycles t site + 1)
+  t.site_stalls <- grown t.site_stalls site;
+  t.site_stalls.(site) <- t.site_stalls.(site) + 1
 
 let add_site_wait t ~site ~cycles =
-  let n, sum = Option.value (Hashtbl.find_opt t.site_waits site) ~default:(0, 0) in
-  Hashtbl.replace t.site_waits site (n + 1, sum + cycles)
+  t.site_wait_execs <- grown t.site_wait_execs site;
+  t.site_wait_cycles <- grown t.site_wait_cycles site;
+  t.site_wait_execs.(site) <- t.site_wait_execs.(site) + 1;
+  t.site_wait_cycles.(site) <- t.site_wait_cycles.(site) + cycles
 
 let site_wait_avg t site =
-  match Hashtbl.find_opt t.site_waits site with
-  | Some (n, sum) when n > 0 -> Float.of_int sum /. Float.of_int n
-  | _ -> 0.0
+  if site >= 0
+     && site < Array.length t.site_wait_execs
+     && t.site_wait_execs.(site) > 0
+  then
+    Float.of_int t.site_wait_cycles.(site)
+    /. Float.of_int t.site_wait_execs.(site)
+  else 0.0
 
 (* ---- field descriptors ------------------------------------------------ *)
 
@@ -175,26 +199,30 @@ let to_json t =
     | I (name, get) -> (name, Int (get t))
     | F (name, get) -> (name, float (get t))
   in
-  let sorted tbl =
-    List.sort (fun (a, _) (b, _) -> compare a b)
-      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
-  in
+  (* ascending array index = sorted by site id *)
   let site_stalls =
-    List.map
-      (fun (site, cycles) ->
-        Obj [ ("site", Int site); ("stall_cycles", Int cycles) ])
-      (sorted t.site_stalls)
+    List.concat
+      (List.init (Array.length t.site_stalls) (fun site ->
+           if t.site_stalls.(site) > 0 then
+             [ Obj
+                 [ ("site", Int site);
+                   ("stall_cycles", Int t.site_stalls.(site))
+                 ]
+             ]
+           else []))
   in
   let site_waits =
-    List.map
-      (fun (site, (n, sum)) ->
-        Obj
-          [ ("site", Int site);
-            ("execs", Int n);
-            ("backlog_cycles", Int sum);
-            ("avg_backlog", float (site_wait_avg t site))
-          ])
-      (sorted t.site_waits)
+    List.concat
+      (List.init (Array.length t.site_wait_execs) (fun site ->
+           if t.site_wait_execs.(site) > 0 then
+             [ Obj
+                 [ ("site", Int site);
+                   ("execs", Int t.site_wait_execs.(site));
+                   ("backlog_cycles", Int t.site_wait_cycles.(site));
+                   ("avg_backlog", float (site_wait_avg t site))
+                 ]
+             ]
+           else []))
   in
   Obj
     (List.map field scalar_fields

@@ -30,14 +30,17 @@ type t =
     mutable runahead_prefetches : int;
     mutable icache_misses_in_shadow : int;
         (** I$ misses within the redirect shadow of a misprediction (§6.1) *)
-    site_stalls : (int, int) Hashtbl.t;
-        (** branch/resolve site id -> cycles the issue head stalled on it *)
-    site_waits : (int, int * int) Hashtbl.t
-        (** branch/resolve site id -> (executions, summed backlog cycles):
-            how far behind the front end the machine was running when the
-            site's condition finally became ready — an issue-backlog
-            indicator, not a pure condition latency (queueing and the
-            condition are confounded in an in-order backlog) *)
+    mutable site_stalls : int array;
+        (** branch/resolve site id -> cycles the issue head stalled on it;
+            indexed by site, grown on demand, 0 = never stalled. Use the
+            accessors below — the arrays are replaced when they grow. *)
+    mutable site_wait_execs : int array;  (** site id -> executions *)
+    mutable site_wait_cycles : int array
+        (** site id -> summed backlog cycles: how far behind the front end
+            the machine was running when the site's condition finally
+            became ready — an issue-backlog indicator, not a pure
+            condition latency (queueing and the condition are confounded
+            in an in-order backlog) *)
   }
 
 val create : unit -> t

@@ -67,7 +67,15 @@ let cases =
       { (Config.make ~predictor:Kind.Tage ~width:8 ()) with
         Config.runahead = true
       },
-      lazy (plain_image spec_mem) )
+      lazy (plain_image spec_mem) );
+    (* Decomposed + runahead combined: predicts/resolves, the DBB and the
+       runahead prefetcher all live in one run — the configuration most
+       sensitive to structural-resource accounting. *)
+    ( "decomposed_runahead_w8",
+      { (Config.make ~predictor:Kind.Tage ~width:8 ()) with
+        Config.runahead = true
+      },
+      lazy (decomposed_image spec_mem) )
   ]
 
 let capture (config : Config.t) image =

@@ -15,25 +15,24 @@ let run ?(config = Config.four_wide) ?max_cycles img =
 
 (* ------------------------------------------------------------------ DBB *)
 
-let entry pc = { Dbb.predict_pc = pc; meta = [| pc |]; predicted_taken = true }
+let alloc d pc = Dbb.allocate d ~pc ~meta:[| pc |] ~taken:true
 
 let test_dbb_alloc_claim_free () =
   let d = Dbb.create ~entries:2 in
   Alcotest.(check int) "capacity" 2 (Dbb.capacity d);
-  let s0 = Option.get (Dbb.allocate d (entry 10)) in
-  let s1 = Option.get (Dbb.allocate d (entry 20)) in
+  let s0 = alloc d 10 in
+  let s1 = alloc d 20 in
   Alcotest.(check bool) "full" true (Dbb.is_full d);
-  Alcotest.(check (option int)) "full alloc fails" None
-    (Dbb.allocate d (entry 30));
+  Alcotest.(check int) "full alloc fails" (-1) (alloc d 30);
   (* claim order: newest first *)
-  let c1, e1 = Option.get (Dbb.claim_newest d) in
-  Alcotest.(check int) "newest" 20 e1.Dbb.predict_pc;
+  let c1 = Dbb.claim_newest d in
+  Alcotest.(check int) "newest" 20 (Dbb.slot_pc d c1);
   Alcotest.(check int) "slot" s1 c1;
-  let c0, e0 = Option.get (Dbb.claim_newest d) in
-  Alcotest.(check int) "then older" 10 e0.Dbb.predict_pc;
+  let c0 = Dbb.claim_newest d in
+  Alcotest.(check int) "then older" 10 (Dbb.slot_pc d c0);
   Alcotest.(check int) "slot" s0 c0;
-  Alcotest.(check (option int)) "all claimed" None
-    (Option.map fst (Dbb.claim_newest d));
+  Alcotest.(check bool) "claimed direction" true (Dbb.slot_taken d c0);
+  Alcotest.(check int) "all claimed" (-1) (Dbb.claim_newest d);
   Dbb.free d c1;
   Dbb.free d c1;
   (* idempotent *)
@@ -41,27 +40,25 @@ let test_dbb_alloc_claim_free () =
 
 let test_dbb_snapshot_no_resurrection () =
   let d = Dbb.create ~entries:4 in
-  let s0 = Option.get (Dbb.allocate d (entry 10)) in
+  let s0 = alloc d 10 in
   let snap = Dbb.snapshot d in
   (* an older resolve frees the entry after the snapshot was taken *)
   Dbb.free d s0;
   (* a wrong-path predict allocates something new *)
-  ignore (Dbb.allocate d (entry 99));
+  ignore (alloc d 99);
   Dbb.restore d snap;
   (* the freed entry must NOT come back, and the wrong-path one is gone *)
   Alcotest.(check int) "empty after restore" 0 (Dbb.occupancy d);
-  Alcotest.(check (option int)) "nothing to claim" None
-    (Option.map fst (Dbb.claim_newest d))
+  Alcotest.(check int) "nothing to claim" (-1) (Dbb.claim_newest d)
 
 let test_dbb_snapshot_claim_revert () =
   let d = Dbb.create ~entries:4 in
-  ignore (Dbb.allocate d (entry 10));
+  ignore (alloc d 10);
   let snap = Dbb.snapshot d in
   ignore (Dbb.claim_newest d);
   (* wrong-path claim *)
   Dbb.restore d snap;
-  Alcotest.(check bool) "claim reverted" true
-    (Option.is_some (Dbb.claim_newest d))
+  Alcotest.(check bool) "claim reverted" true (Dbb.claim_newest d >= 0)
 
 (* --------------------------------------------------------------- config *)
 

@@ -25,34 +25,26 @@ let fresh_state () =
     (Lazy.force tiny_image)
 
 (* A minimal in-flight control instruction carrying [checkpoint], good
-   enough for release_checkpoint / flush bookkeeping. *)
+   enough for release_checkpoint / flush bookkeeping: allocates a pool
+   row and returns its handle. *)
 let ctrl_inflight st ~seq checkpoint =
-  { seq;
-    pc = 0;
-    instr = Bv_isa.Instr.Nop;
-    fetch_cycle = st.now;
-    fu = Bv_isa.Instr.Fu_branch;
-    dst = -1;
-    uses = [];
-    addr = -1;
-    latency = 1;
-    issue_cycle = -1;
-    complete_cycle = -1;
-    squashed = false;
-    prefetch_arrival = -1;
-    ctrl =
-      Some
-        { kind = Ck_branch;
-          mispredict = checkpoint <> None;
-          redirect_pc = 0;
-          checkpoint;
-          site = -1;
-          meta = None;
-          meta_pc = 0;
-          actual_taken = false;
-          dbb_slot = -1
-        }
-  }
+  let h = Machine_state.alloc_inflight st in
+  st.i_seq.(h) <- seq;
+  st.i_pc.(h) <- 0;
+  st.i_fetch_cycle.(h) <- st.now;
+  st.i_addr.(h) <- -1;
+  st.i_complete_cycle.(h) <- -1;
+  st.i_squashed.(h) <- 0;
+  st.i_prefetch.(h) <- -1;
+  st.c_kind.(h) <- ck_branch;
+  st.c_mispredict.(h) <- (if checkpoint <> None then 1 else 0);
+  st.c_redirect.(h) <- 0;
+  st.c_site.(h) <- -1;
+  st.c_meta_pc.(h) <- 0;
+  st.c_actual.(h) <- 0;
+  st.c_dbb_slot.(h) <- -1;
+  st.c_ckpt.(h) <- checkpoint;
+  h
 
 (* -------------------------------------------------- checkpoint round-trip *)
 
@@ -132,35 +124,33 @@ let test_log_truncation () =
 
 (* --------------------------------------------------- DBB pointer recovery *)
 
-let dbb_entry st pc =
+let dbb_alloc st pc =
   let _, meta = st.predictor.Bv_bpred.Predictor.predict ~pc ~outcome:true in
-  { Dbb.predict_pc = pc; meta; predicted_taken = true }
+  Dbb.allocate st.dbb ~pc ~meta ~taken:true
 
 let test_dbb_recovery () =
   let st = fresh_state () in
   (* one committed-path predict already sits in the buffer *)
-  let slot0 = Dbb.allocate st.dbb (dbb_entry st 0x100) in
-  Alcotest.(check bool) "first allocation succeeds" true (slot0 <> None);
+  let slot0 = dbb_alloc st 0x100 in
+  Alcotest.(check bool) "first allocation succeeds" true (slot0 >= 0);
   let ck = Spec_state.make_checkpoint st in
   (* wrong path: its resolve claims the entry, more predicts allocate *)
-  (match Dbb.claim_newest st.dbb with
-  | Some (_, e) ->
-    Alcotest.(check int) "claimed the pre-checkpoint entry" 0x100
-      e.Dbb.predict_pc
-  | None -> Alcotest.fail "expected a claimable entry");
-  ignore (Dbb.allocate st.dbb (dbb_entry st 0x200));
-  ignore (Dbb.allocate st.dbb (dbb_entry st 0x300));
+  let c = Dbb.claim_newest st.dbb in
+  if c < 0 then Alcotest.fail "expected a claimable entry";
+  Alcotest.(check int) "claimed the pre-checkpoint entry" 0x100
+    (Dbb.slot_pc st.dbb c);
+  ignore (dbb_alloc st 0x200);
+  ignore (dbb_alloc st 0x300);
   Alcotest.(check int) "occupancy before flush" 3 (Dbb.occupancy st.dbb);
   st.live_checkpoints <- st.live_checkpoints - 1;
   Spec_state.flush st ~from_seq:st.seq ~checkpoint:ck ~new_pc:0;
   (* tail pointer recovered: wrong-path allocations gone, the claim on the
      surviving entry reverted so the correct-path resolve can re-claim it *)
   Alcotest.(check int) "occupancy after flush" 1 (Dbb.occupancy st.dbb);
-  match Dbb.claim_newest st.dbb with
-  | Some (_, e) ->
-    Alcotest.(check int) "claim reverted to pre-checkpoint entry" 0x100
-      e.Dbb.predict_pc
-  | None -> Alcotest.fail "surviving entry should be claimable again"
+  let c2 = Dbb.claim_newest st.dbb in
+  if c2 < 0 then Alcotest.fail "surviving entry should be claimable again";
+  Alcotest.(check int) "claim reverted to pre-checkpoint entry" 0x100
+    (Dbb.slot_pc st.dbb c2)
 
 let () =
   Alcotest.run "bv_spec_state"
