@@ -2,7 +2,9 @@
    (printed as text tables/series), then runs a Bechamel micro-benchmark
    suite over the simulator's core primitives. Per-experiment wall times
    and the emitted tables land in results/bench_<timestamp>.json — the
-   perf-trajectory artifact successive PRs compare against.
+   perf-trajectory artifact successive PRs compare against — and in
+   BENCH_latest.json at the repo root (stable name, always the newest
+   run).
 
    Environment knobs:
      BV_SCALE=<float>    scale workload repetitions (default 1.0)
@@ -367,7 +369,11 @@ let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
        then Sys.mkdir "results" 0o755;
        Out_channel.with_open_text path (fun oc ->
            Bv_obs.Json.to_channel ~indent:true oc doc);
-       Printf.printf "trajectory artifact: %s\n" path
+       Printf.printf "trajectory artifact: %s\n" path;
+       (* also a stable name, so diffing tools and CI steps can find the
+          most recent run without globbing timestamps *)
+       Out_channel.with_open_text "BENCH_latest.json" (fun oc ->
+           Bv_obs.Json.to_channel ~indent:true oc doc)
      with Sys_error e -> Printf.eprintf "artifact write failed: %s\n" e)
 
 let () =

@@ -383,9 +383,17 @@ let trace_cmd =
 
 (* ----------------------------------------------------------------- lint *)
 
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "werror" ]
+        ~doc:
+          "Treat warning-severity diagnostics as errors for the exit \
+           status. Info diagnostics never affect it.")
+
 let lint_cmd =
   let module Diagnostic = Bv_analysis.Diagnostic in
-  let run files bench suites dbb_entries json =
+  let run files bench suites dbb_entries werror json =
     let targets = ref [] in
     let failed = ref false in
     let add name prog = targets := (name, prog) :: !targets in
@@ -445,6 +453,7 @@ let lint_cmd =
         0 results
     in
     let errors = count Diagnostic.Error in
+    let warnings = count Diagnostic.Warning in
     (match json with
     | Some path ->
       write_json path
@@ -473,10 +482,9 @@ let lint_cmd =
               (Diagnostic.sort diags))
         results;
       Format.printf "%d target(s): %d error(s), %d warning(s), %d info(s)@."
-        (List.length results) errors
-        (count Diagnostic.Warning)
+        (List.length results) errors warnings
         (count Diagnostic.Info));
-    if !failed || errors > 0 then 1 else 0
+    if !failed || errors > 0 || (werror && warnings > 0) then 1 else 0
   in
   let files_arg =
     Arg.(
@@ -513,7 +521,176 @@ let lint_cmd =
          "Statically verify predict/resolve speculation safety; exits \
           non-zero on any error-severity diagnostic.")
     Term.(
-      const run $ files_arg $ bench_opt_arg $ suites_arg $ dbb_arg $ json_arg)
+      const run $ files_arg $ bench_opt_arg $ suites_arg $ dbb_arg
+      $ werror_arg $ json_arg)
+
+(* ---------------------------------------------------------------- prove *)
+
+let prove_cmd =
+  let module Diagnostic = Bv_analysis.Diagnostic in
+  let module Equiv = Bv_analysis.Equiv in
+  let scratch = Vanguard.Transform.default_temp_pool in
+  let run files benches fuzz max_paths werror json =
+    let failed = ref false in
+    let results = ref [] in
+    let add name diags = results := (name, diags) :: !results in
+    List.iter
+      (fun path ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e ->
+          prerr_endline e;
+          failed := true
+        | text -> (
+          match Bv_ir.Asm.program text with
+          | exception Bv_ir.Asm.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" path line msg;
+            failed := true
+          | prog ->
+            (* no reference program for a standalone file: check the
+               internal consistency of its predict/resolve regions *)
+            add path (Equiv.verify_self ~scratch ~max_paths prog)))
+      files;
+    List.iter
+      (fun name ->
+        match spec_of_name name with
+        | Error e ->
+          prerr_endline e;
+          failed := true
+        | Ok spec ->
+          (* the harness transforms the TRAIN program; regenerate it as the
+             reference and validate the transform output against it *)
+          let original = Gen.generate ~input:0 spec in
+          let transformed =
+            (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program
+          in
+          add (name ^ ":transform")
+            (Equiv.verify ~scratch ~exit_live:Gen.live_at_exit ~max_paths
+               ~original transformed);
+          add (name ^ ":self")
+            (Equiv.verify_self ~scratch ~exit_live:Gen.live_at_exit ~max_paths
+               transformed))
+      benches;
+    (match fuzz with
+    | None -> ()
+    | Some n ->
+      for seed = 0 to n - 1 do
+        let prog = Fuzzgen.generate ~seed in
+        let image = Layout.program (Program.copy prog) in
+        let profile =
+          Bv_profile.Profile.collect
+            ~predictor:(Kind.create Kind.Always_not_taken)
+            image
+        in
+        let candidates =
+          (Vanguard.Select.select ~threshold:(-2.0) ~min_executed:0 ~profile
+             prog)
+            .Vanguard.Select.candidates
+        in
+        let result = Vanguard.Transform.apply ~candidates prog in
+        add
+          (Printf.sprintf "fuzz:%d" seed)
+          (Equiv.verify ~scratch ~max_paths ~original:prog
+             result.Vanguard.Transform.program)
+      done);
+    let results = List.rev !results in
+    if results = [] && not !failed then begin
+      prerr_endline
+        "nothing to prove: pass FILE arguments, -b BENCH, or --fuzz N";
+      failed := true
+    end;
+    let count sev =
+      List.fold_left (fun n (_, ds) -> n + Diagnostic.count sev ds) 0 results
+    in
+    let errors = count Diagnostic.Error in
+    let warnings = count Diagnostic.Warning in
+    let flagged =
+      List.filter
+        (fun (_, ds) ->
+          List.exists
+            (fun d -> d.Diagnostic.severity <> Diagnostic.Info)
+            ds)
+        results
+    in
+    let clean = List.length results - List.length flagged in
+    (match json with
+    | Some path ->
+      write_json path
+        (Bv_obs.Json.Obj
+           [ ("schema_version", Bv_obs.Json.Int 1);
+             ("targets_checked", Bv_obs.Json.Int (List.length results));
+             ("proven_clean", Bv_obs.Json.Int clean);
+             ("errors", Bv_obs.Json.Int errors);
+             ("warnings", Bv_obs.Json.Int warnings);
+             ("infos", Bv_obs.Json.Int (count Diagnostic.Info));
+             ( "targets",
+               Bv_obs.Json.List
+                 (List.map
+                    (fun (name, diags) ->
+                      obj_add
+                        (Bv_obs.Json.Obj
+                           [ ("target", Bv_obs.Json.String name) ])
+                        (match Diagnostic.report_to_json diags with
+                        | Bv_obs.Json.Obj fields -> fields
+                        | _ -> []))
+                    flagged) )
+           ])
+    | None ->
+      List.iter
+        (fun (name, diags) ->
+          List.iter
+            (fun d -> Format.printf "%s: %a@." name Diagnostic.pp d)
+            (Diagnostic.sort diags))
+        flagged;
+      Format.printf
+        "%d target(s) checked, %d proven clean: %d error(s), %d \
+         warning(s), %d info(s)@."
+        (List.length results) clean errors warnings
+        (count Diagnostic.Info));
+    if !failed || errors > 0 || (werror && warnings > 0) then 1 else 0
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Hidden-ISA source files; with no reference program available \
+             they get the self-consistency check only.")
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "b"; "benchmark" ]
+          ~doc:
+            "Prove the benchmark's decomposed-branch program equivalent to \
+             its baseline (repeatable; see `vanguard_cli list`).")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Generate N seeded fuzz programs, transform each, and prove \
+             every transform output equivalent to its original.")
+  in
+  let max_paths_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Symbolic-path budget per cutpoint region; overflow is \
+             reported as an error, never an accept.")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Translation validation: symbolically prove decomposed-branch \
+          programs equivalent to their originals; exits non-zero on any \
+          counterexample.")
+    Term.(
+      const run $ files_arg $ bench_opt_arg $ fuzz_arg $ max_paths_arg
+      $ werror_arg $ json_arg)
 
 (* ------------------------------------------------------------- assemble *)
 
@@ -571,7 +748,7 @@ let main =
   in
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
     [ list_cmd; run_cmd; profile_cmd; transform_cmd; experiment_cmd;
-      disasm_cmd; dot_cmd; lint_cmd; assemble_cmd; trace_cmd
+      disasm_cmd; dot_cmd; lint_cmd; prove_cmd; assemble_cmd; trace_cmd
     ]
 
 let () = exit (Cmd.eval' main)

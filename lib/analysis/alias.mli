@@ -1,0 +1,47 @@
+(** Flow-sensitive may-alias analysis over a procedure's memory ops.
+
+    Built on {!Dataflow.Make}: each register is tracked as a byte
+    {e interval}, either absolute or relative to a register's value at
+    procedure entry — joined to an unknown top element at conflicting
+    merges and havocked across calls. Intervals follow the wrap-guarded
+    rules of {!Symexec.range}; the decisive one is masked indexing,
+    [x & m] landing in [[0, m]] whatever [x] is, which bounds a
+    dynamically computed cursor to its data window. Every [Load]/[Store]
+    occurrence is then classified by the abstract address interval it
+    accesses.
+
+    Two memory ops {e may alias} unless both resolve to addresses in the
+    same region (absolute, or relative to the same entry register) whose
+    8-byte access windows cannot overlap. Constant (absolute) and
+    register-relative regions are mutually may-aliasing — a register's
+    entry value could point anywhere.
+
+    Occurrences are keyed by physical instruction identity, so the verdict
+    survives reordering (the scheduler permutes, never copies). The
+    transformation does share one instruction object between two blocks
+    (a condition slice sits in both resolution blocks); duplicated
+    occurrences are joined conservatively. Used by
+    {!Bv_sched.Sched.schedule_body} to relax its store-barrier rule to
+    provably-disjoint pairs. *)
+
+open Bv_isa
+open Bv_ir
+
+type t
+
+type address =
+  | Absolute of int * int  (** byte address within [lo, hi] *)
+  | Reg_relative of Reg.t * int * int
+      (** [base]'s value at procedure entry, plus a displacement within
+          [lo, hi] *)
+  | Unknown
+
+val analyze : Proc.t -> t
+
+val address_of : t -> Instr.t -> address
+(** Abstract address of a [Load]/[Store] occurrence of the analyzed
+    procedure; [Unknown] for anything else. *)
+
+val may_alias : t -> Instr.t -> Instr.t -> bool
+(** Conservative: [false] only when both occurrences provably access
+    disjoint words. *)

@@ -1,0 +1,77 @@
+(** Cutpoint-based translation validation for the decomposed-branch
+    transforms.
+
+    The prover picks a cutpoint set common to the original and
+    transformed procedure — entry, the {e original}'s control-flow joins
+    (reconvergence points; the transform's new resolution/commit blocks
+    are deliberately interior), loop headers and call returns of both
+    sides (see {!Bv_ir.Cutpoint}) — and symbolically executes every path
+    of the acyclic regions between cutpoints on both sides from a common
+    havocked state ({!Symexec}).
+
+    Each path carries the set of branch literals (condition term, truth
+    value) it assumed; a [predict] forks {e without} a literal (the
+    oracle may choose either way), while the paired [resolve]
+    re-constrains the path by the original branch condition. A
+    transformed path is matched to the original paths whose literal sets
+    it subsumes — on a deterministic original, at most one is
+    consistent — and the simulation relation is checked at the matched
+    endpoints:
+
+    - at an interior cutpoint, registers live into it in the original
+      (minus the scratch pool) and the memory log must agree;
+    - at [Halt]/[Ret], the exit-live convention minus the scratch pool,
+      and memory;
+    - at call boundaries, the registers {!Bv_ir.Liveness} models a call
+      as reading — exit-live plus the resumption block's live-in — minus
+      the scratch pool, and memory. (Callees are assumed to observe only
+      the register calling convention, never the scratch pool — the DBT
+      register contract the transform's own renaming decisions rely
+      on.)
+
+    Because both sides evaluate in one interning context from shared
+    entry symbols, "agree" is id equality; predict-direction irrelevance
+    falls out because both resolve arms of a region must match the same
+    original path. Failures are reported as structured
+    {!Diagnostic} counterexamples (cutpoint, register, both symbolic
+    values); the check is sound but syntactic, so a counterexample may
+    be spurious — it never accepts a non-equivalent pair.
+
+    [verify_self] checks a single program's internal consistency: within
+    each region, every pair of paths whose literal sets are compatible
+    (no contradictory literal — e.g. the two predict directions under
+    equal branch outcomes) must reach the same endpoint in
+    relation-equal states. *)
+
+open Bv_isa
+open Bv_ir
+
+val verify :
+  ?scratch:Reg.t list ->
+  ?exit_live:Reg.t list ->
+  ?max_paths:int ->
+  original:Program.t ->
+  Program.t ->
+  Diagnostic.t list
+(** [scratch] (default none) is the rename pool excluded from the
+    relation; pass {!Vanguard.Transform.default_temp_pool} when checking
+    its output. [exit_live] mirrors {!Liveness.compute}. [max_paths]
+    (default 4096) bounds the paths explored per region; overflow is an
+    error diagnostic, not an accept. *)
+
+val verify_self :
+  ?scratch:Reg.t list ->
+  ?exit_live:Reg.t list ->
+  ?max_paths:int ->
+  Program.t ->
+  Diagnostic.t list
+
+val check_exn :
+  ?scratch:Reg.t list ->
+  ?exit_live:Reg.t list ->
+  ?max_paths:int ->
+  original:Program.t ->
+  Program.t ->
+  unit
+(** Raises [Invalid_argument] with the rendered counterexamples if
+    {!verify} reports any error. *)

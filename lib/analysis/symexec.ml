@@ -1,0 +1,372 @@
+open Bv_isa
+
+type expr = { id : int; node : node }
+
+and node =
+  | Const of int
+  | Symbol of string
+  | Alu of Instr.alu_op * expr * expr
+  | Cmp of Instr.cmp_op * expr * expr
+  | Ite of expr * expr * expr
+  | Select of mem * expr
+
+and mem = { mid : int; mnode : mnode }
+
+and mnode =
+  | Memsym of string
+  | Store of mem * expr * expr
+
+(* Structural keys over child ids: children are already interned, so the
+   key identifies the node up to congruence. *)
+type ekey =
+  | Kconst of int
+  | Ksymbol of string
+  | Kalu of Instr.alu_op * int * int
+  | Kcmp of Instr.cmp_op * int * int
+  | Kite of int * int * int
+  | Kselect of int * int
+
+type mkey = Kmemsym of string | Kstore of int * int * int
+
+type ctx =
+  { etab : (ekey, expr) Hashtbl.t;
+    mtab : (mkey, mem) Hashtbl.t;
+    rtab : (int, (int * int) option) Hashtbl.t;  (* memoized ranges *)
+    mutable next_e : int;
+    mutable next_m : int
+  }
+
+let create () =
+  { etab = Hashtbl.create 256;
+    mtab = Hashtbl.create 64;
+    rtab = Hashtbl.create 256;
+    next_e = 0;
+    next_m = 0
+  }
+
+let intern ctx key node =
+  match Hashtbl.find_opt ctx.etab key with
+  | Some e -> e
+  | None ->
+    let e = { id = ctx.next_e; node } in
+    ctx.next_e <- ctx.next_e + 1;
+    Hashtbl.add ctx.etab key e;
+    e
+
+let mintern ctx key mnode =
+  match Hashtbl.find_opt ctx.mtab key with
+  | Some m -> m
+  | None ->
+    let m = { mid = ctx.next_m; mnode } in
+    ctx.next_m <- ctx.next_m + 1;
+    Hashtbl.add ctx.mtab key m;
+    m
+
+let const ctx n = intern ctx (Kconst n) (Const n)
+let symbol ctx s = intern ctx (Ksymbol s) (Symbol s)
+let memsym ctx s = mintern ctx (Kmemsym s) (Memsym s)
+
+let commutative = function
+  | Instr.Add | Instr.And | Instr.Or | Instr.Xor | Instr.Mul -> true
+  | Instr.Sub | Instr.Shl | Instr.Shr -> false
+
+(* Every identity below is exact under [Instr.eval_alu]'s plain-OCaml-int
+   semantics (shifts clamp the count, but a count of 0 is untouched);
+   anything less certain is left to constant folding only. *)
+let alu ctx op a b =
+  match (a.node, b.node) with
+  | Const x, Const y -> const ctx (Instr.eval_alu op x y)
+  | _ -> (
+    let interned () =
+      let a, b = if commutative op && a.id > b.id then (b, a) else (a, b) in
+      intern ctx (Kalu (op, a.id, b.id)) (Alu (op, a, b))
+    in
+    match (op, a.node, b.node) with
+    | Instr.Add, Const 0, _ -> b
+    | Instr.Add, _, Const 0 -> a
+    | Instr.Sub, _, Const 0 -> a
+    | Instr.Sub, _, _ when a.id = b.id -> const ctx 0
+    | Instr.Xor, Const 0, _ -> b
+    | Instr.Xor, _, Const 0 -> a
+    | Instr.Xor, _, _ when a.id = b.id -> const ctx 0
+    | Instr.Or, Const 0, _ -> b
+    | Instr.Or, _, Const 0 -> a
+    | Instr.Or, _, _ when a.id = b.id -> a
+    | Instr.And, Const 0, _ | Instr.And, _, Const 0 -> const ctx 0
+    | Instr.And, _, _ when a.id = b.id -> a
+    | Instr.Mul, Const 1, _ -> b
+    | Instr.Mul, _, Const 1 -> a
+    | Instr.Mul, Const 0, _ | Instr.Mul, _, Const 0 -> const ctx 0
+    | (Instr.Shl | Instr.Shr), _, Const 0 -> a
+    | _ -> interned ())
+
+let bool_const ctx b = const ctx (if b then 1 else 0)
+
+let cmp ctx op a b =
+  match (a.node, b.node) with
+  | Const x, Const y -> bool_const ctx (Instr.eval_cmp op x y)
+  | _ when a.id = b.id ->
+    bool_const ctx
+      (match op with
+      | Instr.Eq | Instr.Le | Instr.Ge -> true
+      | Instr.Ne | Instr.Lt | Instr.Gt -> false)
+  | _ ->
+    let a, b =
+      match op with
+      | (Instr.Eq | Instr.Ne) when a.id > b.id -> (b, a)
+      | _ -> (a, b)
+    in
+    intern ctx (Kcmp (op, a.id, b.id)) (Cmp (op, a, b))
+
+let truth e =
+  match e.node with Const n -> Some (n <> 0) | _ -> None
+
+let ite ctx c t e =
+  match truth c with
+  | Some true -> t
+  | Some false -> e
+  | None ->
+    if t.id = e.id then t else intern ctx (Kite (c.id, t.id, e.id)) (Ite (c, t, e))
+
+let rec base_offset ctx e =
+  match e.node with
+  | Const k -> (const ctx 0, k)
+  | Alu (Instr.Add, a, { node = Const k; _ }) ->
+    let b, o = base_offset ctx a in
+    (b, o + k)
+  | Alu (Instr.Add, { node = Const k; _ }, a) ->
+    let b, o = base_offset ctx a in
+    (b, o + k)
+  | Alu (Instr.Sub, a, { node = Const k; _ }) ->
+    let b, o = base_offset ctx a in
+    (b, o - k)
+  | _ -> (e, 0)
+
+(* Conservative value intervals, computed structurally and memoized:
+   [Some (lo, hi)] means every concrete evaluation of the term lies in
+   [lo, hi]. Every rule is exact under [Instr.eval_alu]'s plain-int
+   semantics; any arithmetic that could wrap yields [None] instead of an
+   unsound bound. The payoff is masked indexing: [(x & m) + base] gets a
+   finite window no matter what [x] is, which proves data-window loads
+   disjoint from out-of-window bookkeeping stores. *)
+let add_bound a b =
+  let s = a + b in
+  if a >= 0 && b >= 0 && s < 0 then None
+  else if a < 0 && b < 0 && s >= 0 then None
+  else Some s
+
+let sub_bound a b = if b = min_int then None else add_bound a (-b)
+
+let rec range ctx e =
+  match Hashtbl.find_opt ctx.rtab e.id with
+  | Some r -> r
+  | None ->
+    let r = compute_range ctx e in
+    Hashtbl.replace ctx.rtab e.id r;
+    r
+
+and compute_range ctx e =
+  match e.node with
+  | Const k -> Some (k, k)
+  | Symbol _ | Select _ -> None
+  | Cmp _ -> Some (0, 1)
+  | Ite (_, t, el) -> (
+    match (range ctx t, range ctx el) with
+    | Some (lt, ht), Some (le, he) -> Some (min lt le, max ht he)
+    | _ -> None)
+  | Alu (op, a, b) -> alu_range ctx op a b
+
+and alu_range ctx op a b =
+  let ra = range ctx a and rb = range ctx b in
+  let pair l h = match (l, h) with Some l, Some h -> Some (l, h) | _ -> None in
+  match (op, ra, rb) with
+  | Instr.Add, Some (l1, h1), Some (l2, h2) ->
+    pair (add_bound l1 l2) (add_bound h1 h2)
+  | Instr.Sub, Some (l1, h1), Some (l2, h2) ->
+    pair (sub_bound l1 h2) (sub_bound h1 l2)
+  | Instr.And, _, _ -> (
+    (* x land y has only the bits of a non-negative operand: bounded by
+       it regardless of the other side *)
+    match (ra, rb) with
+    | Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 0 ->
+      Some (0, min h1 h2)
+    | _, Some (l2, h2) when l2 >= 0 -> Some (0, h2)
+    | Some (l1, h1), _ when l1 >= 0 -> Some (0, h1)
+    | _ -> None)
+  | Instr.Or, Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 0 ->
+    (* for non-negatives, x lor y = x + y - (x land y) <= x + y *)
+    pair (Some (max l1 l2)) (add_bound h1 h2)
+  | Instr.Xor, Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 0 ->
+    pair (Some 0) (add_bound h1 h2)
+  | Instr.Shl, Some (l1, h1), Some (s, s') when s = s' && l1 >= 0 ->
+    let c = min 62 (s land 63) in
+    if h1 <= max_int asr c then Some (l1 lsl c, h1 lsl c) else None
+  | Instr.Shr, Some (l1, h1), Some (s, s') when s = s' ->
+    (* asr is monotone in the shifted value for either sign *)
+    let c = min 62 (s land 63) in
+    Some (l1 asr c, h1 asr c)
+  | Instr.Mul, Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 0 ->
+    if h2 = 0 || h1 <= max_int / h2 then Some (l1 * l2, h1 * h2) else None
+  | _ -> None
+
+(* Anchored interval: the term's value is [root + d] for some [d] in the
+   interval, where [root] is the value of the anchor term ([None] means
+   absolute). Mirrors the Entry/Abs split of the alias pass so the prover
+   accepts exactly the load/store reorderings that pass licenses: an
+   address like [(r10 + (x & m)) + 32] anchors to the symbol [r10] with a
+   finite displacement window even though its absolute range is unknown. *)
+let iadd (l1, h1) (l2, h2) =
+  match (add_bound l1 l2, add_bound h1 h2) with
+  | Some l, Some h -> Some (l, h)
+  | _ -> None
+
+let rec anchored ctx e =
+  match range ctx e with
+  | Some i -> (None, i)
+  | None -> (
+    let self = (Some e.id, (0, 0)) in
+    let part p i =
+      let root, ip = anchored ctx p in
+      match iadd ip i with Some j -> (root, j) | None -> self
+    in
+    match e.node with
+    | Alu (Instr.Add, a, b) -> (
+      match (range ctx a, range ctx b) with
+      | _, Some ib -> part a ib
+      | Some ia, None -> part b ia
+      | None, None -> self)
+    | Alu (Instr.Sub, a, b) -> (
+      match range ctx b with
+      | Some (lb, hb) when lb <> min_int && hb <> min_int ->
+        part a (-hb, -lb)
+      | _ -> self)
+    | _ -> self)
+
+(* 8-byte accesses at displacements drawn from the two intervals. The
+   wrap-free difference guard makes the verdict hold for addresses that
+   share a wrapped anchor: the two concrete addresses then differ by
+   exactly a value of [i1 - i2], which the test keeps at least a word
+   away from zero. *)
+let intervals_disjoint (l1, h1) (l2, h2) =
+  match (sub_bound h1 l2, sub_bound h2 l1) with
+  | Some d12, Some d21 -> d12 <= -8 || d21 <= -8
+  | _ -> false
+
+let surely_disjoint ctx a b =
+  let r1, i1 = anchored ctx a and r2, i2 = anchored ctx b in
+  r1 = r2 && intervals_disjoint i1 i2
+
+(* Canonical store-log order for provably-disjoint addresses. Only
+   same-anchor stores ever commute, and their displacement windows are
+   disjoint, so the window orders them — and does so identically on both
+   sides of an equivalence check (term ids would not: they depend on
+   interning order). *)
+let addr_key ctx a =
+  let _, i = anchored ctx a in
+  i
+
+let rec select ctx m a =
+  match m.mnode with
+  | Store (m', a', v) ->
+    if a'.id = a.id then v
+    else if surely_disjoint ctx a a' then select ctx m' a
+    else mselect ctx m a
+  | Memsym _ -> mselect ctx m a
+
+and mselect ctx m a = intern ctx (Kselect (m.mid, a.id)) (Select (m, a))
+
+(* Insertion-sort a new store into the log: collapse onto a shadowed
+   same-address store, sink below provably-disjoint stores with a larger
+   (base, offset) key, stop at the first may-aliasing store. Two logs that
+   differ only by legal reorderings normalize to the same term. *)
+let rec store ctx m a v =
+  match m.mnode with
+  | Store (m', a', _) when a'.id = a.id -> mstore ctx m' a v
+  | Store (m', a', v')
+    when surely_disjoint ctx a a' && addr_key ctx a < addr_key ctx a' ->
+    mstore ctx (store ctx m' a v) a' v'
+  | _ -> mstore ctx m a v
+
+and mstore ctx m a v = mintern ctx (Kstore (m.mid, a.id, v.id)) (Store (m, a, v))
+
+(* ------------------------------------------------------------- states -- *)
+
+type state = { regs : expr array; mem : mem }
+
+let init ctx ~reg_symbol ~mem_symbol =
+  { regs = Array.init Reg.count (fun i -> symbol ctx (reg_symbol (Reg.make i)));
+    mem = memsym ctx mem_symbol
+  }
+
+let get st r = st.regs.(Reg.index r)
+
+let set st r v =
+  let regs = Array.copy st.regs in
+  regs.(Reg.index r) <- v;
+  { st with regs }
+
+let operand ctx st = function
+  | Instr.Reg r -> get st r
+  | Instr.Imm k -> const ctx k
+
+let addr ctx st ~base ~offset = alu ctx Instr.Add (get st base) (const ctx offset)
+
+let exec_instr ctx st instr =
+  match instr with
+  | Instr.Nop -> st
+  | Instr.Alu { op; dst; src1; src2 } | Instr.Fpu { op; dst; src1; src2 } ->
+    set st dst (alu ctx op (get st src1) (operand ctx st src2))
+  | Instr.Mov { dst; src } -> set st dst (operand ctx st src)
+  | Instr.Load { dst; base; offset; speculative = _ } ->
+    set st dst (select ctx st.mem (addr ctx st ~base ~offset))
+  | Instr.Store { src; base; offset } ->
+    { st with mem = store ctx st.mem (addr ctx st ~base ~offset) (get st src) }
+  | Instr.Cmp { op; dst; src1; src2 } ->
+    set st dst (cmp ctx op (get st src1) (operand ctx st src2))
+  | Instr.Cmov { on; cond; dst; src } ->
+    let c = get st cond in
+    let v = operand ctx st src and old = get st dst in
+    let t, e = if on then (v, old) else (old, v) in
+    set st dst (ite ctx c t e)
+  | Instr.Branch _ | Instr.Jump _ | Instr.Call _ | Instr.Ret
+  | Instr.Predict _ | Instr.Resolve _ | Instr.Halt ->
+    invalid_arg "Symexec.exec_instr: control-flow instruction in a block body"
+
+let exec_body ctx st body = List.fold_left (exec_instr ctx) st body
+
+(* ----------------------------------------------------------- printing -- *)
+
+let alu_sym = function
+  | Instr.Add -> "+"
+  | Instr.Sub -> "-"
+  | Instr.And -> "&"
+  | Instr.Or -> "|"
+  | Instr.Xor -> "^"
+  | Instr.Shl -> "<<"
+  | Instr.Shr -> ">>"
+  | Instr.Mul -> "*"
+
+let cmp_sym = function
+  | Instr.Eq -> "=="
+  | Instr.Ne -> "!="
+  | Instr.Lt -> "<"
+  | Instr.Ge -> ">="
+  | Instr.Le -> "<="
+  | Instr.Gt -> ">"
+
+let rec pp ppf e =
+  match e.node with
+  | Const n -> Format.pp_print_int ppf n
+  | Symbol s -> Format.pp_print_string ppf s
+  | Alu (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (alu_sym op) pp b
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmp_sym op) pp b
+  | Ite (c, t, e) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp t pp e
+  | Select (m, a) -> Format.fprintf ppf "%a[%a]" pp_mem m pp a
+
+and pp_mem ppf m =
+  match m.mnode with
+  | Memsym s -> Format.pp_print_string ppf s
+  | Store (m', a, v) ->
+    Format.fprintf ppf "%a{%a:=%a}" pp_mem m' pp a pp v
+
+let to_string e = Format.asprintf "%a" pp e

@@ -76,19 +76,28 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program
   | _ -> raise (Skip "terminator is not a conditional branch")
 
 let apply ?(max_hoist = 16) ?(temp_pool = Transform.default_temp_pool)
-    ?(schedule = true) ?(verify = true) ?exit_live ~candidates program =
+    ?(schedule = true) ?(verify = true) ?(prove = false) ?exit_live
+    ~candidates program =
+  let original = program in
   let program = Program.copy program in
-  let exit_live = Option.map Liveness.Regset.of_list exit_live in
+  let exit_live_set = Option.map Liveness.Regset.of_list exit_live in
   let reports = ref [] in
   let skipped = ref [] in
   List.iter
     (fun cand ->
-      match transform_site ~max_hoist ~temp_pool ~exit_live program cand with
+      match
+        transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set program
+          cand
+      with
       | report -> reports := report :: !reports
       | exception Skip reason ->
         skipped := ((fst cand).Select.site, reason) :: !skipped)
     candidates;
-  if schedule then Bv_sched.Sched.schedule_program program;
+  if schedule then
+    Bv_sched.Sched.schedule_program ~alias:Transform.alias_oracle program;
   Validate.check_exn program;
   if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
+  if prove then
+    Bv_analysis.Equiv.check_exn ~scratch:temp_pool ?exit_live ~original
+      program;
   { program; reports = List.rev !reports; skipped = List.rev !skipped }

@@ -41,11 +41,13 @@ val apply :
   ?temp_pool:Reg.t list ->
   ?schedule:bool ->
   ?verify:bool ->
+  ?prove:bool ->
   ?exit_live:Reg.t list ->
   candidates:(Select.candidate * bool) list ->
   Program.t ->
   result
 (** Each candidate carries [likely_taken], usually
     [taken_rate >= 0.5] from the profile. Preconditions match
-    {!Transform.apply} (hammock shape, sinkable slice), as do [verify] and
-    the other options. *)
+    {!Transform.apply} (hammock shape, sinkable slice), as do [verify],
+    [prove] (translation validation against the input program) and the
+    other options. *)

@@ -315,9 +315,14 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
     }
   | _ -> raise (Skip "terminator is not a conditional branch")
 
+(* Per-procedure alias oracle for the post-transform scheduling pass:
+   provably-disjoint load/store pairs are left unordered. *)
+let alias_oracle proc = Bv_analysis.Alias.may_alias (Bv_analysis.Alias.analyze proc)
+
 let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
-    ?(verify = true) ?exit_live ~candidates program =
-  let exit_live = Option.map Liveness.Regset.of_list exit_live in
+    ?(verify = true) ?(prove = false) ?exit_live ~candidates program =
+  let original = program in
+  let exit_live_set = Option.map Liveness.Regset.of_list exit_live in
   if temp_pool_clash program temp_pool then
     invalid_arg "Transform.apply: program already uses the temporary pool";
   let program = Program.copy program in
@@ -326,14 +331,20 @@ let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
   let skipped = ref [] in
   List.iter
     (fun cand ->
-      match transform_site ~max_hoist ~temp_pool ~exit_live program cand with
+      match
+        transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set program
+          cand
+      with
       | report -> reports := report :: !reports
       | exception Skip reason ->
         skipped := (cand.Select.site, reason) :: !skipped)
     candidates;
-  if schedule then Bv_sched.Sched.schedule_program program;
+  if schedule then Bv_sched.Sched.schedule_program ~alias:alias_oracle program;
   Validate.check_exn program;
   if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
+  if prove then
+    Bv_analysis.Equiv.check_exn ~scratch:temp_pool ?exit_live ~original
+      program;
   { program;
     reports = List.rev !reports;
     skipped = List.rev !skipped;

@@ -80,20 +80,30 @@ val phi : site_report -> float
 (** Percent of the successor blocks' instructions that were hoistable for
     this site (Table 2's PHI). *)
 
+val alias_oracle : Proc.t -> Instr.t -> Instr.t -> bool
+(** The may-alias oracle the post-transform scheduling pass hands to
+    {!Bv_sched.Sched.schedule_program}: {!Bv_analysis.Alias} on the
+    procedure being scheduled. *)
+
 val apply :
   ?max_hoist:int ->
   ?temp_pool:Reg.t list ->
   ?schedule:bool ->
   ?verify:bool ->
+  ?prove:bool ->
   ?exit_live:Reg.t list ->
   candidates:Select.candidate list ->
   Program.t ->
   result
 (** [max_hoist] caps the hoisted prefix per successor (default 16).
-    [schedule] (default true) re-runs the list scheduler on the program
-    afterwards. [verify] (default true) runs the speculation-safety
-    verifier ({!Bv_analysis.Speculation}) as a debug post-pass and raises
-    [Invalid_argument] on any error-severity diagnostic.
+    [schedule] (default true) re-runs the list scheduler — alias-aware,
+    via {!alias_oracle} — on the program afterwards. [verify] (default
+    true) runs the speculation-safety verifier
+    ({!Bv_analysis.Speculation}) as a debug post-pass and raises
+    [Invalid_argument] on any error-severity diagnostic. [prove]
+    (default false: it symbolically executes every cutpoint region) runs
+    the translation validator ({!Bv_analysis.Equiv}) against the input
+    program and raises [Invalid_argument] on any counterexample.
     [exit_live] is the calling convention: registers assumed
     live at procedure exits for the renaming analysis (default: every
     register — safe, but renames more than a compiler with knowledge of

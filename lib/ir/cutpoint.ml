@@ -1,0 +1,88 @@
+open Bv_isa
+
+module Lset = Set.Make (Label)
+
+let reachable proc = Cfg.reverse_postorder proc
+
+let block proc l = Proc.find_block proc l
+
+let joins proc =
+  let preds = Cfg.predecessor_map proc in
+  List.filter
+    (fun l ->
+      match Hashtbl.find_opt preds l with
+      | Some ps -> List.length (List.sort_uniq Label.compare ps) >= 2
+      | None -> false)
+    (reachable proc)
+
+let back_edge_targets proc =
+  let dom = Dominators.compute proc in
+  let targets = ref Lset.empty in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v -> if Dominators.dominates dom v u then targets := Lset.add v !targets)
+        (Cfg.successors proc (block proc u)))
+    (reachable proc);
+  Lset.elements !targets
+
+(* Retreating edges under a DFS from the entry: catches irreducible cycles
+   that dominator-based back edges miss. For reducible CFGs this coincides
+   with [back_edge_targets]. *)
+let retreating_edge_targets proc =
+  let on_stack = Hashtbl.create 16 in
+  let finished = Hashtbl.create 16 in
+  let targets = ref Lset.empty in
+  let rec dfs l =
+    if not (Hashtbl.mem finished l || Hashtbl.mem on_stack l) then begin
+      Hashtbl.replace on_stack l ();
+      List.iter
+        (fun s ->
+          if Hashtbl.mem on_stack s then targets := Lset.add s !targets
+          else dfs s)
+        (Cfg.successors proc (block proc l));
+      Hashtbl.remove on_stack l;
+      Hashtbl.replace finished l ()
+    end
+  in
+  dfs proc.Proc.entry;
+  Lset.elements !targets
+
+let call_returns proc =
+  List.filter_map
+    (fun l ->
+      match (block proc l).Block.term with
+      | Term.Call { return_to; _ } -> Some return_to
+      | _ -> None)
+    (reachable proc)
+
+let compute ?(include_joins = true) proc =
+  let cuts =
+    Lset.of_list
+      ((proc.Proc.entry :: back_edge_targets proc)
+      @ retreating_edge_targets proc @ call_returns proc
+      @ if include_joins then joins proc else [])
+  in
+  List.filter (fun l -> Lset.mem l cuts) (reachable proc)
+
+let regions_acyclic proc ~cuts =
+  let cuts = Lset.of_list cuts in
+  (* DFS over the subgraph of non-cut reachable blocks; a retreating edge
+     inside it is a cycle avoiding every cutpoint. *)
+  let on_stack = Hashtbl.create 16 in
+  let finished = Hashtbl.create 16 in
+  let ok = ref true in
+  let rec dfs l =
+    if not (Hashtbl.mem finished l || Hashtbl.mem on_stack l) then begin
+      Hashtbl.replace on_stack l ();
+      List.iter
+        (fun s ->
+          if not (Lset.mem s cuts) then
+            if Hashtbl.mem on_stack s then ok := false else dfs s)
+        (Cfg.successors proc (block proc l));
+      Hashtbl.remove on_stack l;
+      Hashtbl.replace finished l ()
+    end
+  in
+  List.iter (fun l -> if not (Lset.mem l cuts) then dfs l) (reachable proc);
+  !ok

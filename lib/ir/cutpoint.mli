@@ -1,0 +1,32 @@
+(** Cutpoint enumeration for region-based analyses.
+
+    A {e cutpoint} set is a set of block labels such that every cycle of
+    the CFG passes through at least one of them; the regions between
+    cutpoints are then acyclic and can be explored path-by-path (the
+    basis of the translation-validation pass in {!Bv_analysis}). The
+    canonical choice bundled here: the procedure entry, control-flow
+    join points (reconvergence), loop headers (back-edge targets) and
+    call return points. *)
+
+open Bv_isa
+
+val joins : Proc.t -> Label.t list
+(** Reachable blocks with two or more CFG predecessors. *)
+
+val back_edge_targets : Proc.t -> Label.t list
+(** Targets [v] of edges [u -> v] where [v] dominates [u] — loop
+    headers under reducible control flow. Irreducible loops are covered
+    by {!compute}'s retreating-edge fallback. *)
+
+val call_returns : Proc.t -> Label.t list
+(** The [return_to] labels of [Call] terminators of reachable blocks. *)
+
+val compute : ?include_joins:bool -> Proc.t -> Label.t list
+(** Entry ∪ joins (unless [include_joins] is [false]) ∪ back-edge
+    targets ∪ retreating-edge targets (irreducible safety net) ∪ call
+    returns, restricted to reachable blocks, in reverse postorder. *)
+
+val regions_acyclic : Proc.t -> cuts:Label.t list -> bool
+(** True iff every CFG cycle passes through a label in [cuts] — i.e.
+    the subgraph induced by non-cut reachable blocks is acyclic, so the
+    inter-cutpoint regions have finitely many paths. *)

@@ -12,8 +12,12 @@ let is_mem = function Instr.Load _ | Instr.Store _ -> true | _ -> false
 let is_store = function Instr.Store _ -> true | _ -> false
 
 (* Dependence DAG as predecessor lists: preds.(i) holds (j, delay) meaning
-   instruction i may start [delay] cycles after j starts. *)
-let build_preds ~latency instrs =
+   instruction i may start [delay] cycles after j starts.
+
+   Memory ordering: with no alias information stores are barriers (ordered
+   against every other memory op). Given [may_alias], only pairs it cannot
+   disprove are ordered — provably-disjoint loads hoist past stores. *)
+let build_preds ?may_alias ~latency instrs =
   let n = Array.length instrs in
   let preds = Array.make n [] in
   let add_edge ~from ~to_ ~delay =
@@ -46,19 +50,33 @@ let build_preds ~latency instrs =
         | Some j -> add_edge ~from:j ~to_:i ~delay:1
         | None -> ()))
       (Instr.defs ins);
-    (* Memory ordering: stores are barriers. *)
-    if is_mem ins then begin
-      (match !last_store with
-      | Some j -> add_edge ~from:j ~to_:i ~delay:1
-      | None -> ());
-      if is_store ins then begin
-        List.iter (fun j -> add_edge ~from:j ~to_:i ~delay:1)
-          !loads_since_store;
-        last_store := Some i;
-        loads_since_store := []
+    (* Memory ordering. *)
+    (match may_alias with
+    | None ->
+      (* Stores are barriers. *)
+      if is_mem ins then begin
+        (match !last_store with
+        | Some j -> add_edge ~from:j ~to_:i ~delay:1
+        | None -> ());
+        if is_store ins then begin
+          List.iter (fun j -> add_edge ~from:j ~to_:i ~delay:1)
+            !loads_since_store;
+          last_store := Some i;
+          loads_since_store := []
+        end
+        else loads_since_store := i :: !loads_since_store
       end
-      else loads_since_store := i :: !loads_since_store
-    end;
+    | Some alias ->
+      (* Order every prior memory op that may alias, when at least one of
+         the pair writes. *)
+      if is_mem ins then
+        for j = 0 to i - 1 do
+          if
+            is_mem instrs.(j)
+            && (is_store ins || is_store instrs.(j))
+            && alias instrs.(j) ins
+          then add_edge ~from:j ~to_:i ~delay:1
+        done);
     (* Bookkeeping after edges are drawn. *)
     List.iter
       (fun r ->
@@ -110,12 +128,13 @@ let heights ~latency ~term instrs preds =
   done;
   h
 
-let schedule_body ?(latency = default_latency) ?(width = 4) ~term body =
+let schedule_body ?may_alias ?(latency = default_latency) ?(width = 4) ~term
+    body =
   let instrs = Array.of_list body in
   let n = Array.length instrs in
   if n <= 1 then body
   else begin
-    let preds = build_preds ~latency instrs in
+    let preds = build_preds ?may_alias ~latency instrs in
     let h = heights ~latency ~term instrs preds in
     let start_time = Array.make n (-1) in
     let scheduled = Array.make n false in
@@ -157,15 +176,20 @@ let schedule_body ?(latency = default_latency) ?(width = 4) ~term body =
     List.rev_map (fun i -> instrs.(i)) !order
   end
 
-let schedule_block ?latency ?width block =
+let schedule_block ?may_alias ?latency ?width block =
   block.Block.body <-
-    schedule_body ?latency ?width ~term:block.Block.term block.Block.body
+    schedule_body ?may_alias ?latency ?width ~term:block.Block.term
+      block.Block.body
 
-let schedule_proc ?latency ?width proc =
-  List.iter (schedule_block ?latency ?width) proc.Proc.blocks
+let schedule_proc ?may_alias ?latency ?width proc =
+  List.iter (schedule_block ?may_alias ?latency ?width) proc.Proc.blocks
 
-let schedule_program ?latency ?width program =
-  List.iter (schedule_proc ?latency ?width) program.Program.procs
+let schedule_program ?alias ?latency ?width program =
+  List.iter
+    (fun proc ->
+      let may_alias = Option.map (fun f -> f proc) alias in
+      schedule_proc ?may_alias ?latency ?width proc)
+    program.Program.procs
 
 let critical_path_cycles ?(latency = default_latency) body =
   let instrs = Array.of_list body in

@@ -11,8 +11,11 @@
     compare feeding a resolve) towards the end — exactly the schedule shape
     the paper's transformation exists to enable.
 
-    Memory ordering is conservative: stores are ordered against all other
-    memory operations; load/load pairs are free to reorder. *)
+    Memory ordering is conservative by default: stores are ordered against
+    all other memory operations; load/load pairs are free to reorder. When
+    a [may_alias] oracle is supplied (e.g. from {!Bv_analysis.Alias}), only
+    memory pairs it cannot disprove are ordered, so provably-disjoint
+    loads hoist past stores. *)
 
 open Bv_isa
 open Bv_ir
@@ -22,6 +25,7 @@ val default_latency : Instr.t -> int
     1 cycle. *)
 
 val schedule_body :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
   ?latency:(Instr.t -> int) ->
   ?width:int ->
   term:Term.t ->
@@ -29,14 +33,34 @@ val schedule_body :
   Instr.t list
 (** Reorder a block body. [width] (default 4) bounds how many instructions
     the greedy pass places per simulated cycle. The result is a permutation
-    of the input that respects all dependences. *)
+    of the input that respects all dependences. [may_alias] relaxes the
+    store-barrier rule: a memory pair is left unordered when it returns
+    [false]; it must be conservative (queried on the occurrences of this
+    body, by physical identity). *)
 
-val schedule_block : ?latency:(Instr.t -> int) -> ?width:int -> Block.t -> unit
+val schedule_block :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
+  ?latency:(Instr.t -> int) ->
+  ?width:int ->
+  Block.t ->
+  unit
 (** In-place convenience wrapper over [schedule_body]. *)
 
-val schedule_proc : ?latency:(Instr.t -> int) -> ?width:int -> Proc.t -> unit
+val schedule_proc :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
+  ?latency:(Instr.t -> int) ->
+  ?width:int ->
+  Proc.t ->
+  unit
+
 val schedule_program :
-  ?latency:(Instr.t -> int) -> ?width:int -> Program.t -> unit
+  ?alias:(Proc.t -> Instr.t -> Instr.t -> bool) ->
+  ?latency:(Instr.t -> int) ->
+  ?width:int ->
+  Program.t ->
+  unit
+(** [alias] builds a per-procedure [may_alias] oracle (typically
+    [fun proc -> Bv_analysis.Alias.(may_alias (analyze proc))]). *)
 
 val critical_path_cycles : ?latency:(Instr.t -> int) -> Instr.t list -> int
 (** Length in cycles of the longest dependence chain through the body

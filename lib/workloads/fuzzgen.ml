@@ -1,0 +1,149 @@
+open Bv_isa
+open Bv_ir
+
+let r = Reg.make
+
+(* Register conventions for generated programs: r1..r4 induction/scratch,
+   r5 condition, r6..r19 data. Memory: 64 words, all addresses immediate-
+   offset from r0 (always 0). *)
+
+type gstate =
+  { rng : Rng.t;
+    mutable next_label : int;
+    mutable next_site : int;
+    mutable blocks : Block.t list;  (* reversed *)
+    mutable procs : Proc.t list
+  }
+
+let fresh_label g prefix =
+  g.next_label <- g.next_label + 1;
+  Printf.sprintf "%s%d" prefix g.next_label
+
+let fresh_site g =
+  g.next_site <- g.next_site + 1;
+  g.next_site
+
+let rand_reg g lo hi = r (lo + Rng.below g.rng (hi - lo + 1))
+
+let rand_instr g =
+  match Rng.below g.rng 7 with
+  | 0 -> Instr.Mov { dst = rand_reg g 6 19; src = Instr.Imm (Rng.below g.rng 100) }
+  | 1 ->
+    Instr.Alu
+      { op = List.nth Instr.[ Add; Sub; Xor; And; Or ] (Rng.below g.rng 5);
+        dst = rand_reg g 6 19;
+        src1 = rand_reg g 6 19;
+        src2 = Instr.Reg (rand_reg g 6 19)
+      }
+  | 2 ->
+    Instr.Alu
+      { op = Instr.Add; dst = rand_reg g 6 19; src1 = rand_reg g 6 19;
+        src2 = Instr.Imm (Rng.below g.rng 50)
+      }
+  | 3 ->
+    Instr.Load
+      { dst = rand_reg g 6 19; base = r 0;
+        offset = 8 * Rng.below g.rng 64; speculative = false
+      }
+  | 4 ->
+    Instr.Store
+      { src = rand_reg g 6 19; base = r 0; offset = 8 * Rng.below g.rng 64 }
+  | 5 ->
+    Instr.Cmov
+      { on = Rng.below g.rng 2 = 0; cond = rand_reg g 6 19;
+        dst = rand_reg g 6 19; src = Instr.Reg (rand_reg g 6 19)
+      }
+  | _ ->
+    Instr.Fpu
+      { op = Instr.Mul; dst = rand_reg g 6 19; src1 = rand_reg g 6 19;
+        src2 = Instr.Imm (1 + Rng.below g.rng 5)
+      }
+
+let rand_body g n = List.init n (fun _ -> rand_instr g)
+
+let emit g label body term =
+  g.blocks <- Block.make ~label ~body ~term :: g.blocks
+
+(* Emit a structured segment; control enters at [entry] and leaves at the
+   returned label (which the caller will define next). *)
+let rec emit_segment g ~depth ~entry =
+  let exit_label = fresh_label g "x" in
+  (* loops only nest twice: deeper nests multiply trip counts into machine
+     runs that dominate the test budget *)
+  (match Rng.below g.rng (if depth >= 2 then 2 else 4) with
+  | 0 ->
+    (* straight-line *)
+    emit g entry (rand_body g (1 + Rng.below g.rng 8)) (Term.Jump exit_label)
+  | 1 ->
+    (* hammock: condition derived from data-register parity *)
+    let site = fresh_site g in
+    let b = fresh_label g "b" and c = fresh_label g "c" in
+    let src = rand_reg g 6 19 in
+    emit g entry
+      (rand_body g (Rng.below g.rng 4)
+      @ [ Instr.Alu { op = Instr.And; dst = r 5; src1 = src; src2 = Instr.Imm 1 } ])
+      (Term.Branch { on = true; src = r 5; taken = c; not_taken = b; id = site });
+    emit g b (rand_body g (1 + Rng.below g.rng 6)) (Term.Jump exit_label);
+    emit g c (rand_body g (1 + Rng.below g.rng 6)) (Term.Jump exit_label)
+  | 2 ->
+    (* bounded counted loop with a nested segment *)
+    let site = fresh_site g in
+    let head = fresh_label g "h" and latch = fresh_label g "l" in
+    let trips = 2 + Rng.below g.rng 3 in
+    (* counters are assigned by nesting depth: an inner loop must never
+       reset an enclosing loop's counter *)
+    let counter = r (2 + min depth 2) in
+    emit g entry
+      [ Instr.Mov { dst = counter; src = Instr.Imm 0 } ]
+      (Term.Jump head);
+    emit_segment_to g ~depth:(depth + 1) ~entry:head ~next:latch;
+    emit g latch
+      [ Instr.Alu { op = Instr.Add; dst = counter; src1 = counter; src2 = Instr.Imm 1 };
+        Instr.Cmp { op = Instr.Lt; dst = r 5; src1 = counter; src2 = Instr.Imm trips }
+      ]
+      (Term.Branch
+         { on = true; src = r 5; taken = head; not_taken = exit_label;
+           id = site });
+    ()
+  | _ ->
+    (* call a fresh leaf procedure *)
+    let pname = fresh_label g "leaf" in
+    let pentry = fresh_label g "pe" in
+    g.procs <-
+      Proc.make ~name:pname
+        [ Block.make ~label:pentry
+            ~body:(rand_body g (1 + Rng.below g.rng 6))
+            ~term:Term.Ret
+        ]
+      :: g.procs;
+    emit g entry [] (Term.Call { target = pname; return_to = exit_label }));
+  exit_label
+
+and emit_segment_to g ~depth ~entry ~next =
+  (* a segment that must end by jumping to [next] *)
+  let out = emit_segment g ~depth ~entry in
+  emit g out [] (Term.Jump next)
+
+let generate ~seed =
+  let g =
+    { rng = Rng.create ~seed;
+      next_label = 0;
+      next_site = 0;
+      blocks = [];
+      procs = []
+    }
+  in
+  let n_segments = 2 + Rng.below g.rng 3 in
+  let entry = "entry" in
+  (* the entry must come first in layout order, which emitting it first
+     guarantees *)
+  let rec chain entry k =
+    if k = 0 then emit g entry [] Term.Halt
+    else begin
+      let next = emit_segment g ~depth:0 ~entry in
+      chain next (k - 1)
+    end
+  in
+  chain entry n_segments;
+  let main = Proc.make ~name:"m" ~entry (List.rev g.blocks) in
+  Program.make ~mem_words:64 ~main:"m" (main :: g.procs)

@@ -1,0 +1,16 @@
+(** Seeded random structured programs for whole-pipeline fuzzing.
+
+    Programs are built from straight-line blocks, hammocks, bounded
+    counted loops (nesting ≤ 2) and leaf calls, over a fixed register
+    convention — r1..r4 loop counters, r5 the branch condition,
+    r6..r19 data — and 64 memory words addressed as immediate offsets
+    from r0. Every generated program validates, halts, and contains
+    hammock sites eligible for the decomposed-branch transformation.
+
+    Shared between the property-test suite ([test/test_fuzz.ml]) and
+    `vanguard_cli prove --fuzz`, so the corpus the CI proves is exactly
+    the corpus the digest-equivalence properties run on. *)
+
+open Bv_ir
+
+val generate : seed:int -> Program.t

@@ -51,6 +51,29 @@ let test_store_ordering () =
   Alcotest.(check bool) "store after older load" true
     (position l1 out < position s2 out)
 
+let test_alias_oracle_relaxes_barrier () =
+  (* with a may-alias oracle disproving every pair, the load is free to
+     hoist past the older store; an all-true oracle keeps the barrier *)
+  let s1 = st 1 0 0 in
+  let l1 = ld 2 0 8 in
+  let chain = [ add 3 2 2; add 4 3 3 ] in
+  let body = [ s1; l1 ] @ chain in
+  let relaxed =
+    Bv_sched.Sched.schedule_body ~may_alias:(fun _ _ -> false) ~term:Term.Halt
+      body
+  in
+  Alcotest.(check bool) "disjoint load hoists" true
+    (position l1 relaxed < position s1 relaxed);
+  let strict =
+    Bv_sched.Sched.schedule_body ~may_alias:(fun _ _ -> true) ~term:Term.Halt
+      body
+  in
+  Alcotest.(check bool) "aliasing load stays put" true
+    (position s1 strict < position l1 strict);
+  (* the conservative oracle must reproduce the default schedule exactly *)
+  Alcotest.(check bool) "all-true oracle = default" true
+    (List.for_all2 ( == ) (sched body) strict)
+
 let test_load_load_reorder_allowed () =
   (* two independent loads may swap: the second feeds a longer chain *)
   let l1 = ld 1 0 0 in
@@ -148,6 +171,8 @@ let () =
           Alcotest.test_case "RAW" `Quick test_raw_preserved;
           Alcotest.test_case "loads hoisted" `Quick test_loads_hoisted;
           Alcotest.test_case "memory order" `Quick test_store_ordering;
+          Alcotest.test_case "alias oracle" `Quick
+            test_alias_oracle_relaxes_barrier;
           Alcotest.test_case "load/load free" `Quick
             test_load_load_reorder_allowed;
           Alcotest.test_case "WAR/WAW" `Quick test_war_waw;
