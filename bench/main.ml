@@ -329,7 +329,7 @@ let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
   | Some path ->
     let doc =
       Obj
-        [ ("schema_version", Int 1);
+        [ ("schema_version", Int Bv_obs.Json.schema_version);
           ("generated_at", String (iso8601 started_at));
           ("scale", float (Bv_harness.Runner.scale ()));
           ("total_seconds", float total_seconds);
@@ -376,7 +376,100 @@ let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
            Bv_obs.Json.to_channel ~indent:true oc doc)
      with Sys_error e -> Printf.eprintf "artifact write failed: %s\n" e)
 
+(* ---------------------------------------------------------------- trend *)
+
+(* `bench trend`: fold the accumulated results/bench_*.json trajectory
+   into a regression verdict. Prints one `bench-trend ok:/warning:/error:`
+   line per workload (the CI problem matcher keys on that prefix) and
+   exits non-zero on a gating regression. *)
+let run_trend argv =
+  let open Bv_harness in
+  let dir = ref "results" in
+  let latest = ref "" in
+  let threshold = ref 10.0 in
+  let warn_only = ref false in
+  let json = ref "" in
+  let usage =
+    "bench trend [--dir DIR] [--latest FILE] [--threshold PCT] [--warn-only] \
+     [--json FILE]"
+  in
+  (try
+     Arg.parse_argv ~current:(ref 0) argv
+       [ ("--dir", Arg.Set_string dir, "DIR trajectory directory (default \
+                                        results)");
+         ( "--latest",
+           Arg.Set_string latest,
+           "FILE run under test (default: newest bench_*.json in DIR)" );
+         ( "--threshold",
+           Arg.Set_float threshold,
+           "PCT regression threshold in percent (default 10)" );
+         ( "--warn-only",
+           Arg.Set warn_only,
+           " report regressions without failing the exit code" );
+         ("--json", Arg.Set_string json, "FILE write the verdicts as JSON")
+       ]
+       (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
+       usage
+   with
+  | Arg.Bad msg -> prerr_string msg; exit 2
+  | Arg.Help msg -> print_string msg; exit 0);
+  let all = Trend.history ~dir:!dir in
+  let latest_run, history =
+    if !latest <> "" then begin
+      match Trend.load_run !latest with
+      | Error e -> Printf.eprintf "bench-trend error: %s\n" e; exit 2
+      | Ok run ->
+        (* keep the run under test out of its own reference history *)
+        (Some run, List.filter (fun r -> r.Trend.file <> run.Trend.file) all)
+    end
+    else
+      match List.rev all with
+      | newest :: older -> (Some newest, List.rev older)
+      | [] -> (None, [])
+  in
+  match latest_run with
+  | None ->
+    Printf.printf "bench-trend: no bench_*.json artifacts under %s\n" !dir;
+    exit 0
+  | Some run ->
+    let summary = Trend.analyze ~threshold_pct:!threshold ~history run in
+    Printf.printf "bench trend: %s vs %d prior run%s (threshold %.0f%%)\n"
+      run.Trend.file summary.Trend.s_runs
+      (if summary.Trend.s_runs = 1 then "" else "s")
+      summary.Trend.s_threshold_pct;
+    List.iter
+      (fun v ->
+        let line =
+          Printf.sprintf
+            "%s %.0f cycles/s vs median %.0f (%+.1f%%, history %d)"
+            v.Trend.v_workload v.Trend.v_latest v.Trend.v_median
+            v.Trend.v_delta_pct v.Trend.v_history
+        in
+        if not v.Trend.v_regressed then
+          Printf.printf "bench-trend ok: %s\n" line
+        else if summary.Trend.s_gating && not !warn_only then
+          Printf.printf "bench-trend error: %s\n" line
+        else Printf.printf "bench-trend warning: %s\n" line)
+      summary.Trend.s_verdicts;
+    if !json <> "" then
+      Out_channel.with_open_text !json (fun oc ->
+          Bv_obs.Json.to_channel ~indent:true oc
+            (Trend.to_json ~latest:run summary));
+    let regressed = Trend.regressions summary <> [] in
+    if regressed && not summary.Trend.s_gating then
+      Printf.printf
+        "bench-trend warning: regression seen but only %d prior run%s — \
+         warn-only until the trajectory has 2\n"
+        summary.Trend.s_runs
+        (if summary.Trend.s_runs = 1 then "" else "s");
+    if regressed && summary.Trend.s_gating && not !warn_only then exit 1
+    else exit 0
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "trend" then
+    run_trend
+      (Array.append [| Sys.argv.(0) ^ " trend" |]
+         (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
   let warmup = ref 1 in
   let throughput_only = ref false in
   Arg.parse
@@ -389,7 +482,7 @@ let () =
          micro-suite)" )
     ]
     (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
-    "bench [--warmup N] [--throughput-only]";
+    "bench [--warmup N] [--throughput-only] | bench trend [--help]";
   let t0 = Unix.gettimeofday () in
   let experiments = if !throughput_only then [] else run_experiments () in
   let throughput = run_throughput ~warmup:!warmup in

@@ -111,11 +111,12 @@ let run_cmd =
     | Ok spec ->
       let b = Runner.prepare ~predictor spec in
       let telemetry = json <> None || trace <> None in
-      let pair, samples, traces =
+      let pair, inst, traces =
         if telemetry then begin
-          (* The instrumented path re-simulates with samplers and (when
-             --trace) Perfetto collectors attached; pids 1/2 keep the two
-             runs side by side in one trace document. *)
+          (* The instrumented path re-simulates with samplers, cycle
+             accounting and (when --trace) Perfetto collectors attached;
+             pids 1/2 keep the two runs side by side in one trace
+             document. *)
           let collector pid process_name =
             if trace = None then None
             else Some (Perfetto.create ~pid ~process_name ())
@@ -129,7 +130,7 @@ let run_cmd =
               ~input ~width
           in
           ( inst.Runner.pair,
-            Some (inst.Runner.base_samples, inst.Runner.exp_samples),
+            Some inst,
             (match (base_tr, exp_tr) with
             | Some bt, Some et -> Some (bt, et)
             | _ -> None) )
@@ -150,8 +151,15 @@ let run_cmd =
       show "baseline" pair.Runner.base;
       show "decomposed-branch (vanguard)" pair.Runner.exp;
       Format.fprintf ppf "speedup: %+.2f%%@." pair.Runner.speedup_pct;
-      (match (json, samples) with
-      | Some path, Some (base_s, exp_s) ->
+      (match (json, inst) with
+      | Some path, Some i ->
+        let side acct samples v =
+          obj_add v
+            [ ("samples", Sampler.to_json samples);
+              ("cpi_stack", Acct.cpi_stack_json acct);
+              ("top_branches", Acct.top_branches_json acct)
+            ]
+        in
         let report =
           match Runner.pair_to_json pair with
           | Bv_obs.Json.Obj fields ->
@@ -159,10 +167,11 @@ let run_cmd =
               (List.map
                  (function
                    | "baseline", v ->
-                     ("baseline", obj_add v [ ("samples", Sampler.to_json base_s) ])
+                     ( "baseline",
+                       side i.Runner.base_acct i.Runner.base_samples v )
                    | "experimental", v ->
                      ( "experimental",
-                       obj_add v [ ("samples", Sampler.to_json exp_s) ] )
+                       side i.Runner.exp_acct i.Runner.exp_samples v )
                    | field -> field)
                  fields)
           | other -> other
@@ -170,7 +179,7 @@ let run_cmd =
         write_json path
           (obj_add
              (Bv_obs.Json.Obj
-                [ ("schema_version", Bv_obs.Json.Int 1);
+                [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
                   ("benchmark", Bv_obs.Json.String name);
                   ("suite", Bv_obs.Json.String (Spec.suite_name spec.Spec.suite));
                   ("width", Bv_obs.Json.Int width);
@@ -180,11 +189,18 @@ let run_cmd =
                 ])
              (match report with Bv_obs.Json.Obj f -> f | _ -> []))
       | _ -> ());
-      (match (trace, traces) with
-      | Some path, Some (base_tr, exp_tr) ->
+      (match (trace, traces, inst) with
+      | Some path, Some (base_tr, exp_tr), Some i ->
+        (* counter tracks ride the same pids as the span lanes, so the
+           CPI stack overlays each run's instruction view *)
         write_json path
           (Bv_obs.Trace_event.document
-             (Perfetto.events base_tr @ Perfetto.events exp_tr))
+             (Perfetto.events base_tr
+             @ Perfetto.cpi_counter_events ~pid:1
+                 (Sampler.windows i.Runner.base_samples)
+             @ Perfetto.events exp_tr
+             @ Perfetto.cpi_counter_events ~pid:2
+                 (Sampler.windows i.Runner.exp_samples)))
       | _ -> ());
       0
   in
@@ -196,6 +212,171 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ width_arg $ input_arg $ predictor_arg
       $ json_arg $ trace_arg $ sample_interval_arg)
+
+(* --------------------------------------------------------------- report *)
+
+(* Where did the cycles go? Baseline vs decomposed CPI stacks side by
+   side, plus the per-site attribution join that shows which branches
+   the transform actually helped. *)
+let report_cmd =
+  let run name width input all predictor top json =
+    match spec_of_name name with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+      let sim = Sim.the () in
+      let b = Sim.prepare ~predictor sim spec in
+      let inputs = if all then Runner.input_indices () else [ input ] in
+      let acc =
+        (* accounted records are flat tables, so per-input runs fan out
+           across the fork pool and merge pointwise *)
+        match
+          Sim.map sim
+            (fun input -> Runner.simulate_accounted ~predictor b ~input ~width)
+            inputs
+        with
+        | [] -> assert false
+        | first :: rest -> List.fold_left Runner.merge_accounted first rest
+      in
+      let base = acc.Runner.acc_base and exp = acc.Runner.acc_exp in
+      let ppf =
+        if json = Some "-" then Format.err_formatter else Format.std_formatter
+      in
+      Format.fprintf ppf "%s, %d-wide, %s, input%s %s@."
+        name width (Kind.name predictor)
+        (if List.length inputs > 1 then "s" else "")
+        (String.concat "," (List.map string_of_int inputs));
+      Format.fprintf ppf "speedup: %+.2f%%@.@." acc.Runner.acc_speedup_pct;
+      let btotal = acc.Runner.acc_base_cycles
+      and etotal = acc.Runner.acc_exp_cycles in
+      let pct total n =
+        if total > 0 then Text.f1 (100.0 *. Float.of_int n /. Float.of_int total)
+        else "-"
+      in
+      let stack_rows =
+        List.init Acct.n_components (fun c ->
+            let bn = base.Acct.components.(c)
+            and en = exp.Acct.components.(c) in
+            [ Acct.component_names.(c);
+              string_of_int bn; pct btotal bn;
+              string_of_int en; pct etotal en;
+              Printf.sprintf "%+d" (en - bn)
+            ])
+        @ [ [ "total"; string_of_int btotal; "100.0"; string_of_int etotal;
+              "100.0"; Printf.sprintf "%+d" (etotal - btotal) ]
+          ]
+      in
+      Format.fprintf ppf "%s@."
+        (Text.render
+           ~headers:[ "component"; "baseline"; "%"; "vanguard"; "%"; "delta" ]
+           stack_rows);
+      (* Per-site join: a baseline branch and the resolve that replaced
+         it share a site id, so rows line up across the transform. *)
+      let base_sites = Acct.by_site base and exp_sites = Acct.by_site exp in
+      let find sites site =
+        List.find_opt (fun sa -> sa.Acct.sa_site = site) sites
+      in
+      let sites =
+        List.sort_uniq compare
+          (List.map (fun sa -> sa.Acct.sa_site) (base_sites @ exp_sites))
+      in
+      let joined =
+        List.map
+          (fun site -> (site, find base_sites site, find exp_sites site))
+          sites
+      in
+      let recovery = function Some sa -> sa.Acct.sa_recovery | None -> 0 in
+      let ranked =
+        List.sort
+          (fun (_, b1, e1) (_, b2, e2) ->
+            compare
+              (recovery b2 + recovery e2, recovery b1 + recovery e1)
+              (recovery b1 + recovery e1, recovery b2 + recovery e2))
+          joined
+      in
+      let shown =
+        List.filteri (fun i _ -> i < top)
+          (List.filter
+             (fun (_, b_, e_) -> recovery b_ > 0 || recovery e_ > 0)
+             ranked)
+      in
+      let misp_rate = function
+        | Some sa when sa.Acct.sa_execs > 0 ->
+          Text.f3
+            (Float.of_int sa.Acct.sa_mispredicts
+            /. Float.of_int sa.Acct.sa_execs)
+        | _ -> "-"
+      in
+      let execs = function Some sa -> sa.Acct.sa_execs | None -> 0 in
+      if shown <> [] then
+        Format.fprintf ppf
+          "top branch sites by recovery cycles (baseline vs vanguard):@.%s@."
+          (Text.render
+             ~headers:
+               [ "site"; "b.execs"; "b.misp"; "b.recovery"; "v.execs";
+                 "v.misp"; "v.recovery"; "d.recovery"
+               ]
+             (List.map
+                (fun (site, b_, e_) ->
+                  [ string_of_int site;
+                    string_of_int (execs b_); misp_rate b_;
+                    string_of_int (recovery b_);
+                    string_of_int (execs e_); misp_rate e_;
+                    string_of_int (recovery e_);
+                    Printf.sprintf "%+d" (recovery e_ - recovery b_)
+                  ])
+                shown));
+      (match json with
+      | None -> ()
+      | Some path ->
+        let open Bv_obs.Json in
+        let site_json (site, b_, e_) =
+          let side tag = function
+            | None -> []
+            | Some sa ->
+              [ (tag ^ "_execs", Int sa.Acct.sa_execs);
+                (tag ^ "_mispredicts", Int sa.Acct.sa_mispredicts);
+                (tag ^ "_recovery_cycles", Int sa.Acct.sa_recovery)
+              ]
+          in
+          Obj
+            (("site", Int site)
+            :: (side "baseline" b_ @ side "vanguard" e_
+               @ [ ( "delta_recovery_cycles",
+                     Int (recovery e_ - recovery b_) )
+                 ]))
+        in
+        write_json path
+          (Obj
+             [ ("schema_version", Int schema_version);
+               ("benchmark", String name);
+               ("suite", String (Spec.suite_name spec.Spec.suite));
+               ("width", Int width);
+               ("predictor", String (Kind.name predictor));
+               ("inputs", List (List.map (fun i -> Int i) inputs));
+               ("scale", float (Runner.scale ()));
+               ("speedup_pct", float acc.Runner.acc_speedup_pct);
+               ("baseline", Acct.to_json base);
+               ("vanguard", Acct.to_json exp);
+               ("sites", List (List.map site_json ranked))
+             ]));
+      0
+  in
+  let all_arg =
+    let doc = "Aggregate over all REF inputs (overrides --input)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Branch sites to show in the attribution table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~doc ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Cycle-accounting report: baseline-vs-decomposed CPI stacks and \
+          per-branch-site attribution of recovery cycles.")
+    Term.(
+      const run $ bench_arg $ width_arg $ input_arg $ all_arg $ predictor_arg
+      $ top_arg $ json_arg)
 
 (* -------------------------------------------------------------- profile *)
 
@@ -303,7 +484,7 @@ let experiment_cmd =
     | Some path when status = 0 ->
       write_json path
         (Bv_obs.Json.Obj
-           [ ("schema_version", Bv_obs.Json.Int 1);
+           [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("scale", Bv_obs.Json.float (Runner.scale ()));
              ("experiments", Bv_obs.Json.List (List.rev !entries))
            ])
@@ -458,7 +639,7 @@ let lint_cmd =
     | Some path ->
       write_json path
         (Bv_obs.Json.Obj
-           [ ("schema_version", Bv_obs.Json.Int 1);
+           [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("dbb_entries", Bv_obs.Json.Int dbb_entries);
              ( "targets",
                Bv_obs.Json.List
@@ -616,7 +797,7 @@ let prove_cmd =
     | Some path ->
       write_json path
         (Bv_obs.Json.Obj
-           [ ("schema_version", Bv_obs.Json.Int 1);
+           [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("targets_checked", Bv_obs.Json.Int (List.length results));
              ("proven_clean", Bv_obs.Json.Int clean);
              ("errors", Bv_obs.Json.Int errors);
@@ -747,8 +928,9 @@ let main =
      reproduction."
   in
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
-    [ list_cmd; run_cmd; profile_cmd; transform_cmd; experiment_cmd;
-      disasm_cmd; dot_cmd; lint_cmd; prove_cmd; assemble_cmd; trace_cmd
+    [ list_cmd; run_cmd; report_cmd; profile_cmd; transform_cmd;
+      experiment_cmd; disasm_cmd; dot_cmd; lint_cmd; prove_cmd; assemble_cmd;
+      trace_cmd
     ]
 
 let () = exit (Cmd.eval' main)

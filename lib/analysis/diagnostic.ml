@@ -64,7 +64,7 @@ let to_json d =
 let report_to_json diags =
   let open Bv_obs.Json in
   Obj
-    [ ("schema_version", Int 1);
+    [ ("schema_version", Int schema_version);
       ("errors", Int (count Error diags));
       ("warnings", Int (count Warning diags));
       ("infos", Int (count Info diags));

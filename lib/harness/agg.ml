@@ -12,3 +12,11 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
 
 let max_or d = function [] -> d | xs -> List.fold_left Float.max neg_infinity xs
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0

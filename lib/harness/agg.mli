@@ -9,3 +9,8 @@ val geomean_speedup_pct : float list -> float
 
 val mean : float list -> float
 val max_or : float -> float list -> float
+
+val median : float list -> float
+(** Median (midpoint of the two middle elements for even lengths); 0.0 on
+    the empty list. The bench-trend reference point: robust to the odd
+    slow CI host in a trailing history. *)

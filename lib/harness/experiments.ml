@@ -46,7 +46,8 @@ let drain_tables () =
 let table_to_json (name, headers, rows) =
   let open Bv_obs.Json in
   Obj
-    [ ("name", String name);
+    [ ("schema_version", Int schema_version);
+      ("name", String name);
       ("headers", List (List.map (fun h -> String h) headers));
       ( "rows",
         List

@@ -226,7 +226,9 @@ let pair_to_json pair =
 type instrumented =
   { pair : sim_pair;
     base_samples : Sampler.t;
-    exp_samples : Sampler.t
+    exp_samples : Sampler.t;
+    base_acct : Acct.t;
+    exp_acct : Acct.t
   }
 
 let simulate_instrumented ?(predictor = Kind.Tournament)
@@ -235,16 +237,26 @@ let simulate_instrumented ?(predictor = Kind.Tournament)
   let base_img, exp_img = images b ~input in
   let dbase, dexp = reference_digests b ~input in
   let config = Config.make ~predictor ~cache ~width () in
-  let instrumented_run ?on_event img sampler =
+  let instrumented_run ?on_event img sampler acct =
     Machine.run ?on_event
       ~on_cycle:(fun ~cycle ~stats ~dbb_occupancy ->
         Sampler.observe sampler ~cycle ~stats ~dbb_occupancy)
-      ~config img
+      ~acct ~config img
   in
-  let base_samples = Sampler.create ?interval:sample_interval () in
-  let exp_samples = Sampler.create ?interval:sample_interval () in
-  let base = instrumented_run ?on_event:on_base_event base_img base_samples in
-  let exp = instrumented_run ?on_event:on_exp_event exp_img exp_samples in
+  let base_acct = Acct.create base_img.Layout.code in
+  let exp_acct = Acct.create exp_img.Layout.code in
+  let base_samples =
+    Sampler.create ?interval:sample_interval ~acct:base_acct ()
+  in
+  let exp_samples =
+    Sampler.create ?interval:sample_interval ~acct:exp_acct ()
+  in
+  let base =
+    instrumented_run ?on_event:on_base_event base_img base_samples base_acct
+  in
+  let exp =
+    instrumented_run ?on_event:on_exp_event exp_img exp_samples exp_acct
+  in
   Sampler.finish base_samples;
   Sampler.finish exp_samples;
   let check name want (got : Machine.result) =
@@ -265,4 +277,64 @@ let simulate_instrumented ?(predictor = Kind.Tournament)
         /. Float.of_int (max 1 exp.Machine.stats.Stats.cycles)
        -. 1.0)
   in
-  { pair = { base; exp; speedup_pct }; base_samples; exp_samples }
+  { pair = { base; exp; speedup_pct };
+    base_samples;
+    exp_samples;
+    base_acct;
+    exp_acct
+  }
+
+(* The marshal-safe subset of an accounted run: what a fork-pool worker
+   returns to the parent for cross-input aggregation ({!Acct.t} is flat
+   int arrays plus the code, all plain data). *)
+type accounted =
+  { acc_base_cycles : int;
+    acc_exp_cycles : int;
+    acc_speedup_pct : float;
+    acc_base : Acct.t;
+    acc_exp : Acct.t
+  }
+
+let simulate_accounted ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) b ~input ~width =
+  let base_img, exp_img = images b ~input in
+  let dbase, dexp = reference_digests b ~input in
+  let config = Config.make ~predictor ~cache ~width () in
+  let acc_base = Acct.create base_img.Layout.code in
+  let acc_exp = Acct.create exp_img.Layout.code in
+  let base = Machine.run ~acct:acc_base ~config base_img in
+  let exp = Machine.run ~acct:acc_exp ~config exp_img in
+  let check name want (got : Machine.result) =
+    if not got.Machine.finished then
+      failwith
+        (Printf.sprintf "%s/%s: simulation hit a run limit" b.spec.Spec.name
+           name);
+    if got.Machine.arch_digest <> want then
+      failwith
+        (Printf.sprintf "%s/%s: timing model diverged from the interpreter"
+           b.spec.Spec.name name)
+  in
+  check "baseline" dbase base;
+  check "experimental" dexp exp;
+  let base_cycles = base.Machine.stats.Stats.cycles in
+  let exp_cycles = exp.Machine.stats.Stats.cycles in
+  { acc_base_cycles = base_cycles;
+    acc_exp_cycles = exp_cycles;
+    acc_speedup_pct =
+      100.0
+      *. (Float.of_int base_cycles /. Float.of_int (max 1 exp_cycles) -. 1.0);
+    acc_base;
+    acc_exp
+  }
+
+let merge_accounted a b =
+  { acc_base_cycles = a.acc_base_cycles + b.acc_base_cycles;
+    acc_exp_cycles = a.acc_exp_cycles + b.acc_exp_cycles;
+    acc_speedup_pct =
+      100.0
+      *. (Float.of_int (a.acc_base_cycles + b.acc_base_cycles)
+          /. Float.of_int (max 1 (a.acc_exp_cycles + b.acc_exp_cycles))
+         -. 1.0);
+    acc_base = Acct.merge a.acc_base b.acc_base;
+    acc_exp = Acct.merge a.acc_exp b.acc_exp
+  }

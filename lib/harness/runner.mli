@@ -71,13 +71,18 @@ val avg_speedup :
 val best_speedup :
   ?predictor:Kind.t -> ?cache:Hierarchy.config -> bench -> width:int -> float
 
+val input_indices : unit -> int list
+(** The REF input indices, [1 .. Suites.ref_inputs]. *)
+
 val pair_to_json : sim_pair -> Bv_obs.Json.t
 (** Speedup plus both runs' {!Machine.result_to_json}. *)
 
 type instrumented =
   { pair : sim_pair;
     base_samples : Sampler.t;
-    exp_samples : Sampler.t
+    exp_samples : Sampler.t;
+    base_acct : Acct.t;  (** cycle accounting of the baseline run *)
+    exp_acct : Acct.t
   }
 
 val simulate_instrumented :
@@ -90,8 +95,37 @@ val simulate_instrumented :
   input:int ->
   width:int ->
   instrumented
-(** Like {!simulate}, but with telemetry attached: interval samplers on
-    both runs (window size [sample_interval], {!Sampler.create}'s default
-    otherwise) and optional pipeline-event taps (e.g. {!Perfetto}
-    collectors). Performs the same digest checks; not memoised — hooks
-    and samplers observe a fresh simulation every call. *)
+(** Like {!simulate}, but with telemetry attached: interval samplers and
+    cycle accounting on both runs (window size [sample_interval],
+    {!Sampler.create}'s default otherwise) and optional pipeline-event
+    taps (e.g. {!Perfetto} collectors). Performs the same digest checks;
+    not memoised — hooks and samplers observe a fresh simulation every
+    call. *)
+
+type accounted =
+  { acc_base_cycles : int;
+    acc_exp_cycles : int;
+    acc_speedup_pct : float;
+    acc_base : Acct.t;
+    acc_exp : Acct.t
+  }
+(** The marshal-safe subset of an accounted baseline-vs-experimental run:
+    flat tables plus cycle totals, safe to return from a {!Sim.map}
+    fork-pool worker (unlike {!Machine.result}, it drags no cache
+    hierarchy or config along). *)
+
+val simulate_accounted :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  bench ->
+  input:int ->
+  width:int ->
+  accounted
+(** Simulate one REF input at one width with cycle accounting on both
+    sides. Same digest checks as {!simulate}; not memoised. *)
+
+val merge_accounted : accounted -> accounted -> accounted
+(** Pointwise sum (cycles, attribution tables) with the speedup recomputed
+    from the summed cycle totals — cross-input aggregation. Raises
+    [Invalid_argument] when the two runs cover different code
+    ({!Acct.merge}). *)

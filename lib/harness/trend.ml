@@ -1,0 +1,153 @@
+(* Fold the accumulating results/bench_*.json trajectory into a
+   regression verdict: each workload's latest sim-cycles/s against the
+   median of its trailing history. The bench CLI ("bench trend") renders
+   the verdicts; CI fails on a confirmed regression. *)
+
+open Bv_obs
+
+type sample =
+  { workload : string;
+    cycles_per_sec : float;
+    mips : float
+  }
+
+type run =
+  { file : string;
+    generated_at : string;
+    samples : sample list
+  }
+
+let num = function
+  | Json.Int i -> Some (Float.of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let sample_of_json j =
+  match (Json.member "workload" j, Json.member "sim_cycles_per_sec" j) with
+  | Some (Json.String workload), Some v -> (
+    match num v with
+    | Some cycles_per_sec ->
+      Some
+        { workload;
+          cycles_per_sec;
+          mips =
+            (match Option.bind (Json.member "sim_mips" j) num with
+            | Some m -> m
+            | None -> 0.0)
+        }
+    | None -> None)
+  | _ -> None
+
+let load_run file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Json.of_string text with
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+    | Ok doc ->
+      let samples =
+        List.filter_map sample_of_json
+          (Json.to_list
+             (Option.value (Json.member "throughput" doc) ~default:Json.Null))
+      in
+      Ok
+        { file;
+          generated_at =
+            (match Json.member "generated_at" doc with
+            | Some (Json.String s) -> s
+            | _ -> "");
+          samples
+        })
+
+(* Trajectory files in results/: bench_<timestamp>.json, so ascending
+   filename order is chronological order. *)
+let history ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.sort compare names;
+    Array.to_list names
+    |> List.filter (fun n ->
+           String.length n > 6
+           && String.sub n 0 6 = "bench_"
+           && Filename.check_suffix n ".json")
+    |> List.filter_map (fun n ->
+           Result.to_option (load_run (Filename.concat dir n)))
+    |> List.filter (fun r -> r.samples <> [])
+
+type verdict =
+  { v_workload : string;
+    v_latest : float;  (* sim cycles/s of the run under test *)
+    v_median : float;  (* trailing median; 0 when no history *)
+    v_delta_pct : float;  (* 100 * (latest / median - 1) *)
+    v_history : int;  (* history runs carrying this workload *)
+    v_regressed : bool
+  }
+
+type summary =
+  { s_threshold_pct : float;
+    s_runs : int;  (* history runs folded *)
+    s_gating : bool;  (* enough history for a regression to fail *)
+    s_verdicts : verdict list
+  }
+
+let analyze ?(threshold_pct = 10.0) ?(min_history = 2) ~history:hist latest =
+  let past workload =
+    List.filter_map
+      (fun r ->
+        List.find_opt (fun s -> s.workload = workload) r.samples
+        |> Option.map (fun s -> s.cycles_per_sec))
+      hist
+  in
+  let verdicts =
+    List.map
+      (fun s ->
+        let points = past s.workload in
+        let n = List.length points in
+        let median = Agg.median points in
+        let delta =
+          if median > 0.0 then 100.0 *. (s.cycles_per_sec /. median -. 1.0)
+          else 0.0
+        in
+        { v_workload = s.workload;
+          v_latest = s.cycles_per_sec;
+          v_median = median;
+          v_delta_pct = delta;
+          v_history = n;
+          v_regressed = n > 0 && delta < -.threshold_pct
+        })
+      latest.samples
+  in
+  { s_threshold_pct = threshold_pct;
+    s_runs = List.length hist;
+    (* warn-only until the trajectory has at least [min_history] runs:
+       a single prior point (often a different host) cannot gate *)
+    s_gating = List.length hist >= min_history;
+    s_verdicts = verdicts
+  }
+
+let regressions summary = List.filter (fun v -> v.v_regressed) summary.s_verdicts
+
+let to_json ~latest summary =
+  let open Json in
+  Obj
+    [ ("schema_version", Int schema_version);
+      ("latest", String latest.file);
+      ("generated_at", String latest.generated_at);
+      ("threshold_pct", float summary.s_threshold_pct);
+      ("history_runs", Int summary.s_runs);
+      ("gating", Bool summary.s_gating);
+      ( "workloads",
+        List
+          (List.map
+             (fun v ->
+               Obj
+                 [ ("workload", String v.v_workload);
+                   ("sim_cycles_per_sec", float v.v_latest);
+                   ("trailing_median", float v.v_median);
+                   ("delta_pct", float v.v_delta_pct);
+                   ("history", Int v.v_history);
+                   ("regressed", Bool v.v_regressed)
+                 ])
+             summary.s_verdicts) )
+    ]

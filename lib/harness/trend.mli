@@ -1,0 +1,61 @@
+(** Bench-trajectory regression analysis.
+
+    Every bench run appends a [results/bench_<timestamp>.json] artifact
+    (see [bench/main.ml]); this module folds that trajectory into a
+    per-workload verdict — the latest run's simulator throughput
+    (sim cycles/s) against the median of its trailing history. The
+    ["bench trend"] subcommand renders the verdicts and CI fails on a
+    regression beyond the threshold once the trajectory is deep enough
+    to gate. *)
+
+type sample =
+  { workload : string;
+    cycles_per_sec : float;
+    mips : float
+  }
+
+type run =
+  { file : string;
+    generated_at : string;  (** ISO-8601; [""] when absent *)
+    samples : sample list  (** the artifact's "throughput" rows *)
+  }
+
+val load_run : string -> (run, string) result
+(** Parse one bench artifact (any [schema_version] — only the
+    ["throughput"] section is read). *)
+
+val history : dir:string -> run list
+(** All parseable [bench_*.json] artifacts under [dir] with a non-empty
+    throughput section, in chronological (filename) order. Unreadable or
+    malformed files are skipped; a missing directory yields []. *)
+
+type verdict =
+  { v_workload : string;
+    v_latest : float;  (** sim cycles/s of the run under test *)
+    v_median : float;  (** trailing median; 0 when no history *)
+    v_delta_pct : float;  (** 100 * (latest / median - 1) *)
+    v_history : int;  (** history runs carrying this workload *)
+    v_regressed : bool  (** delta below [-threshold_pct], with history *)
+  }
+
+type summary =
+  { s_threshold_pct : float;
+    s_runs : int;  (** history runs folded *)
+    s_gating : bool;
+        (** at least [min_history] runs: regressions may fail the build
+            (otherwise warn-only — the first run has nothing to gate
+            against) *)
+    s_verdicts : verdict list
+  }
+
+val analyze :
+  ?threshold_pct:float -> ?min_history:int -> history:run list -> run -> summary
+(** Compare [run] against [history] ([threshold_pct] defaults to 10,
+    [min_history] to 2). A workload absent from the history gets
+    [v_history = 0] and never regresses. *)
+
+val regressions : summary -> verdict list
+
+val to_json : latest:run -> summary -> Bv_obs.Json.t
+(** Machine-readable verdicts, stamped with
+    {!Bv_obs.Json.schema_version}. *)

@@ -9,6 +9,13 @@ type t =
 
 let float f = if Float.is_finite f then Float f else Null
 
+(* Version stamp for every top-level document the tree emits (stats,
+   experiment tables, bench artifacts): bump when a document's shape
+   changes so downstream consumers can detect new sections. History:
+   1 = pre-cycle-accounting; 2 = cpi_stack / top_branches / per-window
+   cpi sections. *)
+let schema_version = 2
+
 (* ------------------------------------------------------------- emission *)
 
 let escape_to buf s =

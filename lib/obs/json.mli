@@ -21,6 +21,12 @@ val float : float -> t
 (** [Float f], except non-finite [f] collapses to [Null] eagerly so
     structural equality matches what a round-trip produces. *)
 
+val schema_version : int
+(** Version stamp emitted as ["schema_version"] by every top-level
+    document in the tree (stats, experiment tables, bench artifacts).
+    Bumped when a document's shape changes: 1 = pre-cycle-accounting,
+    2 = [cpi_stack] / [top_branches] / per-window [cpi] sections. *)
+
 val to_buffer : ?indent:bool -> Buffer.t -> t -> unit
 
 val to_string : ?indent:bool -> t -> string

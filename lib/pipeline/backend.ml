@@ -21,6 +21,9 @@ let handle_completion st h =
   end
   else begin
     let mispredict = st.c_mispredict.(h) = 1 in
+    if st.acct_enabled then
+      Acct.record_branch st.acct ~pc:st.i_pc.(h) ~mispredict
+        ~latency:(st.now - st.i_fetch_cycle.(h));
     if kind = ck_branch then begin
       st.stats.Stats.branch_execs <- st.stats.Stats.branch_execs + 1;
       train_predictor st h ~mispredict;

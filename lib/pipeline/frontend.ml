@@ -83,6 +83,7 @@ let steer_taken st ~pc ~target =
   in
   st.fetch_pc <- target;
   st.fetch_stall_until <- st.now + bubble;
+  st.fetch_stall_src <- fsrc_redirect;
   st.current_line <- -1
 
 (* Fetch one instruction at [pc]; returns false to end this cycle's
@@ -199,6 +200,7 @@ let fetch_exec st pc =
     if Dbb.is_full st.dbb then begin
       st.stats.Stats.dbb_full_stalls <- st.stats.Stats.dbb_full_stalls + 1;
       st.fetch_stall_until <- st.now + 1;
+      st.fetch_stall_src <- fsrc_dbb;
       false
     end
     else begin
@@ -267,6 +269,7 @@ let fetch_one st =
         st.stats.Stats.icache_stall_cycles <-
           st.stats.Stats.icache_stall_cycles + lat;
         st.fetch_stall_until <- st.now + lat;
+        st.fetch_stall_src <- fsrc_icache;
         false
       end
       else fetch_exec st pc

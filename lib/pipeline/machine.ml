@@ -23,8 +23,8 @@ let fnv_fold acc v = (acc lxor v) * 0x100000001B3 land max_int
    issue, fetch — an instruction fetched this cycle cannot issue this
    cycle (the front-stage delay enforces that anyway). *)
 let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
-    ?on_cycle ~config image =
-  let st = Machine_state.create ~config ?on_event image in
+    ?on_cycle ?acct ~config image =
+  let st = Machine_state.create ~config ?on_event ?acct image in
   let stats = st.Machine_state.stats in
   while
     (not st.Machine_state.finished)
@@ -40,6 +40,7 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
         stats.Stats.dbb_occupancy_sum + dbb_occupancy;
       stats.Stats.dbb_samples <- stats.Stats.dbb_samples + 1;
       Spec_state.log_trim st;
+      if st.Machine_state.acct_enabled then Machine_state.account_cycle st;
       st.Machine_state.now <- st.Machine_state.now + 1;
       stats.Stats.cycles <- st.Machine_state.now;
       match on_cycle with
@@ -47,6 +48,7 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
       | None -> ()
     end
   done;
+  (match acct with Some a -> Acct.check a ~cycles:stats.Stats.cycles | None -> ());
   let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 st.Machine_state.mem in
   { stats;
     hierarchy = st.Machine_state.hier;
@@ -57,7 +59,7 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
     arch_digest = fnv_fold mem_digest st.Machine_state.stores_retired
   }
 
-let result_to_json r =
+let result_to_json ?acct r =
   let open Bv_obs.Json in
   Obj
     [ ("config", String (Config.name r.config));
@@ -65,6 +67,6 @@ let result_to_json r =
       ("predictor", String (Bv_bpred.Kind.name r.config.Config.predictor));
       ("finished", Bool r.finished);
       ("stores_retired", Int r.stores_retired);
-      ("stats", Stats.to_json r.stats);
+      ("stats", Stats.to_json ?acct r.stats);
       ("cache", Hierarchy.to_json r.hierarchy)
     ]

@@ -50,6 +50,7 @@ val run :
   ?max_retired:int ->
   ?on_event:(event -> unit) ->
   ?on_cycle:(cycle:int -> stats:Stats.t -> dbb_occupancy:int -> unit) ->
+  ?acct:Acct.t ->
   config:Config.t ->
   Layout.image ->
   result
@@ -59,8 +60,15 @@ val run :
     and {!Perfetto} for a Chrome-trace exporter. [on_cycle] fires once at
     the end of every simulated cycle with the live (mutable — read, don't
     write) counters and the DBB occupancy; {!Sampler.observe} slots in
-    directly for interval telemetry. *)
+    directly for interval telemetry. [acct] (create with {!Acct.create}
+    on the image's code) turns on cycle accounting: every cycle is
+    charged to one CPI-stack component and control instructions are
+    attributed per pc; on return the conservation invariant
+    {!Acct.check} has been asserted against the cycle count. Accounting
+    never perturbs timing — results are bit-identical with it on or
+    off. *)
 
-val result_to_json : result -> Bv_obs.Json.t
+val result_to_json : ?acct:Acct.t -> result -> Bv_obs.Json.t
 (** Configuration summary, {!Stats.to_json} and cache-hierarchy stats of a
-    finished run. *)
+    finished run; pass the run's [acct] to include its [cpi_stack] /
+    [top_branches] sections. *)

@@ -58,6 +58,23 @@ type static_info =
 let[@inline] imax (a : int) (b : int) = if a >= b then a else b
 let[@inline] imin (a : int) (b : int) = if a <= b then a else b
 
+(* Per-cycle stall reason for the accounting classifier, written by the
+   scoreboard (one store per cycle): which single reason blocked issue
+   when nothing issued. *)
+let stall_none = 0  (* at least one instruction issued *)
+let stall_frontend = 1  (* fetch buffer empty / front-stage fill *)
+let stall_operand = 2
+let stall_fu = 3
+let stall_mem = 4
+
+(* What last armed [fetch_stall_until], for splitting front-end-empty
+   cycles (written unconditionally by the frontend; read only when
+   accounting is on). *)
+let fsrc_none = 0
+let fsrc_icache = 1
+let fsrc_redirect = 2
+let fsrc_dbb = 3
+
 type event =
   | Fetched of { cycle : int; seq : int; pc : int; instr : Instr.t }
   | Issued of { cycle : int; seq : int }
@@ -287,7 +304,23 @@ type t =
     oracle_needed : bool;
     (* --- telemetry ----------------------------------------------------- *)
     events_enabled : bool;  (* false: no event values are ever built *)
-    on_event : event -> unit
+    on_event : event -> unit;
+    (* --- cycle accounting ---------------------------------------------- *)
+    (* Gated like [events_enabled]: with [acct_enabled = false] the
+       classifier never runs and the only residue on the hot path is the
+       cheap unconditional int stores below ([cycle_stall],
+       [fetch_stall_src], [ready_src_load]). *)
+    acct_enabled : bool;
+    acct : Acct.t;  (* zero-length tables when disabled *)
+    mutable cycle_stall : int;  (* stall_none .. stall_mem, this cycle *)
+    mutable fetch_stall_src : int;  (* fsrc_none .. fsrc_dbb *)
+    mutable in_recovery : bool;
+        (* set at flush, cleared by the first subsequent issue: the refill
+           shadow charged to [recovery_pc] *)
+    mutable recovery_pc : int;  (* pc of the last mispredicting instr *)
+    ready_src_load : int array
+        (* per register: 1 when the producer that last raised [ready] was
+           a load — splits operand stalls into memory vs dependency *)
   }
 
 let static_of (cfg : Config.t) image instr =
@@ -329,9 +362,13 @@ let static_of (cfg : Config.t) image instr =
     s_target = target
   }
 
-let create ~config ?on_event image =
+let create ~config ?on_event ?acct image =
   let cfg : Config.t = config in
   let code = image.Layout.code in
+  (match acct with
+  | Some a when Acct.length a <> Array.length code ->
+    invalid_arg "Machine_state.create: acct tables sized for different code"
+  | _ -> ());
   let mem = Program.initial_memory image.Layout.program in
   let c = cfg.Config.cache in
   let horizon =
@@ -404,7 +441,14 @@ let create ~config ?on_event image =
     oracle_scratch = Array.make Reg.count 0;
     oracle_needed = (cfg.Config.predictor = Kind.Perfect);
     events_enabled = Option.is_some on_event;
-    on_event = (match on_event with Some f -> f | None -> fun _ -> ())
+    on_event = (match on_event with Some f -> f | None -> fun _ -> ());
+    acct_enabled = Option.is_some acct;
+    acct = (match acct with Some a -> a | None -> Acct.create [||]);
+    cycle_stall = stall_none;
+    fetch_stall_src = fsrc_none;
+    in_recovery = false;
+    recovery_pc = -1;
+    ready_src_load = Array.make Reg.count 0
   }
 
 (* ---- inflight pool ---------------------------------------------------- *)
@@ -477,12 +521,16 @@ let recycle_inflight st h =
    cycle from the surviving in-flight producers. *)
 let rebuild_scoreboard st =
   Array.fill st.ready 0 Reg.count 0;
+  Array.fill st.ready_src_load 0 Reg.count 0;
   for k = 0 to Ring.length st.pending - 1 do
     let h = Ring.get st.pending k in
     if st.i_squashed.(h) = 0 then begin
-      let dst = st.static.(st.i_pc.(h)).s_dst in
-      if dst >= 0 then
-        st.ready.(dst) <- imax st.ready.(dst) st.i_complete_cycle.(h)
+      let si = st.static.(st.i_pc.(h)) in
+      let dst = si.s_dst in
+      if dst >= 0 && st.i_complete_cycle.(h) >= st.ready.(dst) then begin
+        st.ready.(dst) <- st.i_complete_cycle.(h);
+        st.ready_src_load.(dst) <- si.s_mem_kind land 1
+      end
     end
   done
 
@@ -491,3 +539,50 @@ let line_of st pc = pc lsr st.line_shift
 let operand_value st = function
   | Instr.Reg r -> st.regs.(Reg.index r)
   | Instr.Imm i -> i
+
+(* ---- cycle accounting ------------------------------------------------- *)
+
+(* Classify the cycle just simulated into exactly one {!Acct} component.
+   Runs once per cycle, only when accounting is on, after issue and fetch
+   — so [cycle_stall] holds this cycle's verdict and the scoreboard state
+   is still at [now]. Priority: progress beats recovery beats back-end
+   stalls beats front-end starvation; conservation holds by construction
+   (one increment per call, one call per counted cycle). *)
+let account_cycle st =
+  let a = st.acct in
+  let comp =
+    if st.cycle_stall = stall_none then Acct.c_base
+    else if st.in_recovery then Acct.c_recovery
+    else if st.cycle_stall = stall_operand then begin
+      (* the head is still at the fetch-buffer front (nothing issued) and
+         the scoreboard has not advanced since the issue pass looked *)
+      if Ring.length st.fbuf > 0 then begin
+        let h = Ring.front st.fbuf in
+        let uses = st.static.(st.i_pc.(h)).s_uses in
+        let mem = ref false in
+        for k = 0 to Array.length uses - 1 do
+          let r = uses.(k) in
+          if st.ready.(r) > st.now && st.ready_src_load.(r) = 1 then
+            mem := true
+        done;
+        if !mem then Acct.c_memory else Acct.c_base
+      end
+      else Acct.c_base
+    end
+    else if st.cycle_stall = stall_fu then Acct.c_fu
+    else if st.cycle_stall = stall_mem then Acct.c_mem_struct
+    else if
+      (* front end empty: split by what armed the fetch stall, if one is
+         still live; otherwise fetch is merely refilling (front-stage
+         delay, fetch off the end, spec-halted drain) *)
+      st.fetch_stall_until > st.now
+    then
+      if st.fetch_stall_src = fsrc_icache then Acct.c_icache
+      else if st.fetch_stall_src = fsrc_dbb then Acct.c_dbb
+      else Acct.c_redirect
+    else Acct.c_fetch_starve
+  in
+  a.Acct.components.(comp) <- a.Acct.components.(comp) + 1;
+  if comp = Acct.c_recovery && st.recovery_pc >= 0 then
+    Acct.record_recovery a ~pc:st.recovery_pc;
+  if st.cycle_stall = stall_none then st.in_recovery <- false

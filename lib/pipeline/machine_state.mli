@@ -63,6 +63,25 @@ val fu_mem : int
 val fu_branch : int
 val fu_none : int
 
+(** Per-cycle stall reason written by the scoreboard (exactly one per
+    zero-issue cycle), consumed by {!account_cycle}. *)
+
+val stall_none : int
+
+val stall_frontend : int
+val stall_operand : int
+val stall_fu : int
+val stall_mem : int
+
+(** What last armed [fetch_stall_until] — splits front-end-empty cycles
+    into icache / redirect / DBB shadows. *)
+
+val fsrc_none : int
+
+val fsrc_icache : int
+val fsrc_redirect : int
+val fsrc_dbb : int
+
 (** Per-pc decode products, computed once per {!create}: the fetch path
     never recomputes [Instr.defs]/[Instr.uses]/[Instr.fu_class] or the
     config latency per dynamic instruction. *)
@@ -242,13 +261,36 @@ type t =
             so the oracle walk is skipped for every other kind *)
     events_enabled : bool;
         (** [false]: no event values are ever constructed *)
-    on_event : event -> unit
+    on_event : event -> unit;
+    acct_enabled : bool;
+        (** Cycle accounting, gated like [events_enabled]: when [false]
+            the classifier never runs and only the cheap unconditional
+            int stores below remain on the hot path. *)
+    acct : Acct.t;  (** zero-length tables when disabled *)
+    mutable cycle_stall : int;
+        (** this cycle's stall reason, {!stall_none} .. {!stall_mem} *)
+    mutable fetch_stall_src : int;  (** {!fsrc_none} .. {!fsrc_dbb} *)
+    mutable in_recovery : bool;
+        (** set at flush, cleared by the first subsequent issue: the
+            refill shadow charged to [recovery_pc] *)
+    mutable recovery_pc : int;
+    ready_src_load : int array
+        (** per register: 1 when the producer that last raised [ready]
+            was a load (splits operand stalls into memory vs base) *)
   }
 
-val create : config:Config.t -> ?on_event:(event -> unit) -> Layout.image -> t
+val create :
+  config:Config.t ->
+  ?on_event:(event -> unit) ->
+  ?acct:Acct.t ->
+  Layout.image ->
+  t
 (** Fresh machine state at cycle 0, fetch steered at the image entry.
     Omitting [on_event] disables event construction entirely
-    ([events_enabled = false]). *)
+    ([events_enabled = false]); omitting [acct] disables cycle accounting
+    the same way. A provided [acct] must be sized for the image's code
+    ({!Acct.create} on [image.code]) — raises [Invalid_argument]
+    otherwise. *)
 
 val alloc_inflight : t -> handle
 (** Pop a recycled handle off the free list (or claim a fresh pool row,
@@ -270,3 +312,10 @@ val line_of : t -> int -> int
 
 val operand_value : t -> Instr.operand -> int
 (** Read an operand against the speculative register file. *)
+
+val account_cycle : t -> unit
+(** Charge the cycle just simulated to exactly one {!Acct} component
+    (call once per cycle, after issue and fetch, only when
+    [acct_enabled]). Conservation holds by construction: one increment
+    per call. Recovery cycles are additionally attributed to the
+    mispredicting pc. *)

@@ -167,3 +167,21 @@ let events t =
   Trace_event.events tb
 
 let to_json t = Bv_obs.Trace_event.document (events t)
+
+(* One "C" counter sample per sampler window: a stacked track per CPI
+   component, plotted at the window's start cycle. Windows sampled
+   without accounting have no component deltas and contribute nothing. *)
+let cpi_counter_events ?(pid = 1) ?(name = "cpi_stack") windows =
+  let open Bv_obs in
+  let tb = Trace_event.create () in
+  List.iter
+    (fun (w : Sampler.window) ->
+      if Array.length w.Sampler.components > 0 then
+        Trace_event.counter tb ~name ~pid
+          ~ts:(Float.of_int w.Sampler.start_cycle)
+          (Array.to_list
+             (Array.mapi
+                (fun i n -> (n, Float.of_int w.Sampler.components.(i)))
+                Acct.component_names)))
+    windows;
+  Trace_event.events tb

@@ -33,3 +33,13 @@ val events : t -> Bv_obs.Json.t list
 
 val to_json : t -> Bv_obs.Json.t
 (** A complete single-process trace document. *)
+
+val cpi_counter_events :
+  ?pid:int -> ?name:string -> Sampler.window list -> Bv_obs.Json.t list
+(** Counter-track events (one stacked series per {!Acct} component, one
+    sample per window at its start cycle) from windows recorded by a
+    {!Sampler} created with an [acct]; windows without component deltas
+    contribute nothing. Merge with {!events} via
+    {!Bv_obs.Trace_event.document} to overlay the CPI stack on the
+    instruction lanes ([name] defaults to ["cpi_stack"], [pid] to 1 —
+    match the span collector's pid). *)

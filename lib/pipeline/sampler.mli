@@ -13,14 +13,20 @@ type window =
     icache_misses : int;
     ipc : float;
     mppki : float;  (** per 1000 instructions retired in this window *)
-    dbb_avg_occupancy : float
+    dbb_avg_occupancy : float;
+    components : int array
+        (** per-{!Acct} component cycle deltas over the window (summing
+            to the window's cycle count — the per-window conservation
+            invariant); [[||]] when sampling without an [acct] *)
   }
 
 type t
 
-val create : ?interval:int -> unit -> t
+val create : ?interval:int -> ?acct:Acct.t -> unit -> t
 (** [interval] defaults to 10_000 cycles. Raises [Invalid_argument] when
-    not positive. *)
+    not positive. Pass the same [acct] given to [Machine.run] to record
+    per-window CPI-stack deltas ([window.components], and a ["cpi"]
+    object per window in {!to_json}). *)
 
 val interval : t -> int
 

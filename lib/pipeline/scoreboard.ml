@@ -36,14 +36,17 @@ let issue st =
      blocking: [width] bounds the decrements per cycle *)
   fu_left.(fu_none) <- max_int;
   let issued_now = ref 0 in
+  st.cycle_stall <- stall_none;
   Release.drain st.mshr_release ~now:st.now;
   Release.drain st.store_release ~now:st.now;
   let blocked = ref false in
   while (not !blocked) && !issued_now < cfg.Config.width do
     if Ring.length st.fbuf = 0 then begin
-      if !issued_now = 0 then
+      if !issued_now = 0 then begin
         st.stats.Stats.frontend_empty_cycles <-
           st.stats.Stats.frontend_empty_cycles + 1;
+        st.cycle_stall <- stall_frontend
+      end;
       blocked := true
     end
     else begin
@@ -59,15 +62,18 @@ let issue st =
             st.stats.Stats.head_stall_cycles + 1;
           st.stats.Stats.operand_stall_cycles <-
             st.stats.Stats.operand_stall_cycles + 1;
+          st.cycle_stall <- stall_operand;
           let site = st.c_site.(h) in
           if site >= 0 then Stats.add_site_stall st.stats ~site
         end;
         blocked := true
       end
       else if st.i_fetch_cycle.(h) + cfg.Config.front_stages > st.now then begin
-        if !issued_now = 0 then
+        if !issued_now = 0 then begin
           st.stats.Stats.frontend_empty_cycles <-
             st.stats.Stats.frontend_empty_cycles + 1;
+          st.cycle_stall <- stall_frontend
+        end;
         blocked := true
       end
       else begin
@@ -131,8 +137,10 @@ let issue st =
           in
           let complete = st.now + latency in
           st.i_complete_cycle.(h) <- complete;
-          if si.s_dst >= 0 then
-            st.ready.(si.s_dst) <- imax st.ready.(si.s_dst) complete;
+          if si.s_dst >= 0 && complete >= st.ready.(si.s_dst) then begin
+            st.ready.(si.s_dst) <- complete;
+            st.ready_src_load.(si.s_dst) <- si.s_mem_kind land 1
+          end;
           Ring.push st.pending h;
           if complete < st.next_complete then st.next_complete <- complete;
           if st.events_enabled then
@@ -147,15 +155,20 @@ let issue st =
             if not operands_ready then begin
               st.stats.Stats.operand_stall_cycles <-
                 st.stats.Stats.operand_stall_cycles + 1;
+              st.cycle_stall <- stall_operand;
               let site = st.c_site.(h) in
               if site >= 0 then Stats.add_site_stall st.stats ~site
             end
-            else if not fu_ok then
+            else if not fu_ok then begin
               st.stats.Stats.fu_stall_cycles <-
-                st.stats.Stats.fu_stall_cycles + 1
-            else
+                st.stats.Stats.fu_stall_cycles + 1;
+              st.cycle_stall <- stall_fu
+            end
+            else begin
               st.stats.Stats.mem_struct_stall_cycles <-
-                st.stats.Stats.mem_struct_stall_cycles + 1
+                st.stats.Stats.mem_struct_stall_cycles + 1;
+              st.cycle_stall <- stall_mem
+            end
           end;
           if not operands_ready then begin
             (* Park the head until its operands can be ready: nothing

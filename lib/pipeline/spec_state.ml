@@ -106,12 +106,15 @@ let flush st ~from_seq ~checkpoint ~new_pc =
   rebuild_scoreboard st;
   st.fetch_pc <- new_pc;
   st.fetch_stall_until <- st.now + 1;
+  st.fetch_stall_src <- fsrc_redirect;
   st.current_line <- -1;
-  st.shadow_fetches <- 16
+  st.shadow_fetches <- 16;
+  if st.acct_enabled then st.in_recovery <- true
 
 let mispredict_flush st h =
   match st.c_ckpt.(h) with
   | Some ck ->
     st.live_checkpoints <- st.live_checkpoints - 1;
+    if st.acct_enabled then st.recovery_pc <- st.i_pc.(h);
     flush st ~from_seq:st.i_seq.(h) ~checkpoint:ck ~new_pc:st.c_redirect.(h)
   | None -> assert false

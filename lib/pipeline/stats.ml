@@ -193,7 +193,7 @@ let pp ppf t =
 (* The JSON mirror of [pp]: every raw counter plus the derived rates, so
    machine consumers never have to re-derive or scrape text. Tables are
    sorted by site id for deterministic output. *)
-let to_json t =
+let to_json ?acct t =
   let open Bv_obs.Json in
   let field = function
     | I (name, get) -> (name, Int (get t))
@@ -225,10 +225,18 @@ let to_json t =
            else []))
   in
   Obj
-    (List.map field scalar_fields
+    (("schema_version", Int Bv_obs.Json.schema_version)
+     :: List.map field scalar_fields
     @ [ ("stalls", Obj (List.map field stall_fields));
         ("icache", Obj (List.map field icache_fields));
         ("dbb", Obj (List.map field dbb_fields));
         ("site_stalls", List site_stalls);
         ("site_waits", List site_waits)
+      ]
+    @
+    match acct with
+    | None -> []
+    | Some a ->
+      [ ("cpi_stack", Acct.cpi_stack_json a);
+        ("top_branches", Acct.top_branches_json a)
       ])

@@ -68,7 +68,9 @@ val site_wait_avg : t -> int -> float
 
 val pp : Format.formatter -> t -> unit
 
-val to_json : t -> Bv_obs.Json.t
+val to_json : ?acct:Acct.t -> t -> Bv_obs.Json.t
 (** Every counter of [t] (raw and derived: [retired], [ipc], [mppki],
     [dbb.avg_occupancy]) plus the per-site stall/wait tables, sorted by
-    site id. The machine-readable mirror of [pp]. *)
+    site id, stamped with {!Bv_obs.Json.schema_version}. The
+    machine-readable mirror of [pp]. Passing the run's [acct] appends
+    the [cpi_stack] and [top_branches] sections. *)

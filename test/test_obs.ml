@@ -128,7 +128,8 @@ let test_stats_golden () =
      and derived-value formatting must stay stable across refactors. *)
   let expected =
     String.concat ""
-      [ {|{"cycles":100,"fetched":60,"issued":54,"retired":50,|};
+      [ {|{"schema_version":2,|};
+        {|"cycles":100,"fetched":60,"issued":54,"retired":50,|};
         {|"squashed_issued":4,"squashed_fetched":2,"predicts_fetched":3,|};
         {|"branch_execs":10,"branch_mispredicts":2,"resolve_execs":5,|};
         {|"resolve_mispredicts":1,"ret_execs":1,"ret_mispredicts":0,|};
@@ -289,6 +290,252 @@ let test_sampler () =
       (List.length l)
   | _ -> Alcotest.fail "sampler json missing windows"
 
+(* ----------------------------------------------------- cycle accounting *)
+
+(* The four golden configurations (mirroring test_goldens.ml): plain and
+   decomposed builds of a branchy integer kernel and a memory-bound
+   kernel, the latter pair under runahead. Conservation must hold on all
+   of them — every simulated cycle charged to exactly one component. *)
+
+let baseline_of program =
+  let p = Bv_ir.Program.copy program in
+  Bv_sched.Sched.schedule_program p;
+  p
+
+let spec_int =
+  Bv_workloads.Spec.(
+    make ~name:"golden-int" ~suite:Int_2006 ~seed:7001
+      ~branch_classes:
+        [ cls ~count:6 ~taken_rate:0.60 ~predictability:0.95 ();
+          cls ~iid:true ~count:4 ~taken_rate:0.92 ~predictability:0.92 ();
+          cls ~iid:true ~count:2 ~taken_rate:0.50 ~predictability:0.50 ()
+        ]
+      ~loads_per_block:3.0 ~cond_depth:4 ~inner_n:128 ~reps:10 ())
+
+let spec_mem =
+  Bv_workloads.Spec.(
+    make ~name:"golden-mem" ~suite:Fp_2006 ~seed:7002
+      ~branch_classes:[ cls ~count:4 ~taken_rate:0.58 ~predictability:0.96 () ]
+      ~loads_per_block:4.0 ~footprint_kb:128 ~chase_frac:0.2 ~cond_chase:true
+      ~inner_n:64 ~reps:3 ())
+
+let plain_image spec =
+  Bv_ir.Layout.program (baseline_of (Bv_workloads.Gen.generate ~input:1 spec))
+
+let decomposed_image spec =
+  let program = Bv_workloads.Gen.generate ~input:1 spec in
+  let train = Bv_workloads.Gen.generate ~input:0 spec in
+  let profile =
+    Bv_profile.Profile.collect
+      ~predictor:(Bv_bpred.Kind.create Bv_bpred.Kind.Tournament)
+      (Bv_ir.Layout.program (baseline_of train))
+  in
+  let selection = Vanguard.Select.select ~profile train in
+  let result =
+    Vanguard.Transform.apply ~exit_live:Bv_workloads.Gen.live_at_exit
+      ~candidates:selection.Vanguard.Select.candidates program
+  in
+  Bv_ir.Layout.program result.Vanguard.Transform.program
+
+let runahead_w8 =
+  { (Config.make ~predictor:Bv_bpred.Kind.Tage ~width:8 ()) with
+    Config.runahead = true
+  }
+
+let golden_cases =
+  [ ("plain_w4", Config.four_wide, lazy (plain_image spec_int));
+    ("decomposed_w4", Config.four_wide, lazy (decomposed_image spec_int));
+    ("runahead_w8", runahead_w8, lazy (plain_image spec_mem));
+    ("decomposed_runahead_w8", runahead_w8, lazy (decomposed_image spec_mem))
+  ]
+
+let run_accounted config image =
+  let acct = Acct.create image.Bv_ir.Layout.code in
+  let res = Machine.run ~config ~acct image in
+  (acct, res)
+
+let check_attribution name acct (stats : Stats.t) =
+  (* conservation: every cycle in exactly one component *)
+  Acct.check acct ~cycles:stats.Stats.cycles;
+  Alcotest.(check int)
+    (name ^ ": stack sums to cycles")
+    stats.Stats.cycles (Acct.total acct);
+  (* per-pc attribution reconciles with the aggregate counters *)
+  let sum a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int)
+    (name ^ ": execs partition control completions")
+    (stats.Stats.branch_execs + stats.Stats.resolve_execs
+   + stats.Stats.ret_execs)
+    (sum acct.Acct.execs);
+  Alcotest.(check int)
+    (name ^ ": mispredicts partition")
+    (stats.Stats.branch_mispredicts + stats.Stats.resolve_mispredicts
+   + stats.Stats.ret_mispredicts)
+    (sum acct.Acct.mispredicts);
+  Alcotest.(check int)
+    (name ^ ": recovery cycles attributed to pcs")
+    acct.Acct.components.(Acct.c_recovery)
+    (sum acct.Acct.recovery_cycles);
+  Alcotest.(check int)
+    (name ^ ": histogram counts every resolution")
+    (sum acct.Acct.execs) (sum acct.Acct.lat_hist);
+  (* site rows fold the per-pc totals of the sited control instructions
+     (rets and calls carry no site id and stay out of the join) *)
+  let sites = Acct.by_site acct in
+  let sited a =
+    let acc = ref 0 in
+    Array.iteri
+      (fun pc v ->
+        match acct.Acct.code.(pc) with
+        | Bv_isa.Instr.Branch _ | Bv_isa.Instr.Resolve _ -> acc := !acc + v
+        | _ -> ())
+      a;
+    !acc
+  in
+  Alcotest.(check int)
+    (name ^ ": site rows fold recovery")
+    (sited acct.Acct.recovery_cycles)
+    (List.fold_left (fun a sa -> a + sa.Acct.sa_recovery) 0 sites);
+  Alcotest.(check int)
+    (name ^ ": site rows fold execs")
+    (sited acct.Acct.execs)
+    (List.fold_left (fun a sa -> a + sa.Acct.sa_execs) 0 sites)
+
+let test_acct_conservation () =
+  List.iter
+    (fun (name, config, image) ->
+      let acct, res = run_accounted config (Lazy.force image) in
+      Alcotest.(check bool) (name ^ ": finished") true res.Machine.finished;
+      check_attribution name acct res.Machine.stats)
+    golden_cases
+
+let test_acct_fuzz () =
+  (* random structured programs (straight blocks, hammocks, loops,
+     calls): conservation may not depend on workload shape *)
+  for seed = 0 to 24 do
+    let img =
+      Bv_ir.Layout.program (Bv_workloads.Fuzzgen.generate ~seed)
+    in
+    List.iter
+      (fun config ->
+        let acct, res = run_accounted config img in
+        check_attribution (Printf.sprintf "fuzz %d" seed) acct
+          res.Machine.stats)
+      Config.[ two_wide; eight_wide ]
+  done
+
+let test_acct_off_identity () =
+  (* attaching an accountant must not perturb the simulation: same
+     cycles, same digests, byte-identical un-accounted stats JSON *)
+  List.iter
+    (fun (name, config, image) ->
+      let image = Lazy.force image in
+      let plain = Machine.run ~config image in
+      let _, accounted = run_accounted config image in
+      Alcotest.(check string)
+        (name ^ ": stats JSON byte-identical")
+        (Json.to_string (Stats.to_json plain.Machine.stats))
+        (Json.to_string (Stats.to_json accounted.Machine.stats));
+      Alcotest.(check int)
+        (name ^ ": same arch digest")
+        plain.Machine.arch_digest accounted.Machine.arch_digest)
+    golden_cases
+
+let test_acct_merge () =
+  let image = tiny_image () in
+  let a, res = run_accounted Config.four_wide image in
+  let b, _ = run_accounted Config.four_wide image in
+  let m = Acct.merge a b in
+  Alcotest.(check int) "merged stack doubles"
+    (2 * res.Machine.stats.Stats.cycles)
+    (Acct.total m);
+  Alcotest.(check int) "merged execs double"
+    (2 * Array.fold_left ( + ) 0 a.Acct.execs)
+    (Array.fold_left ( + ) 0 m.Acct.execs);
+  Acct.check m ~cycles:(2 * res.Machine.stats.Stats.cycles);
+  Alcotest.check_raises "different code rejected"
+    (Invalid_argument "Acct.merge: attribution tables cover different code")
+    (fun () -> ignore (Acct.merge a (Acct.create [||])));
+  match Acct.to_json a with
+  | Json.Obj [ ("cpi_stack", Json.Obj stack); ("top_branches", Json.List _) ]
+    ->
+    Alcotest.(check bool) "stack carries cycles" true
+      (List.mem_assoc "cycles" stack)
+  | _ -> Alcotest.fail "Acct.to_json shape"
+
+(* --------------------------------------------------- sampler edge cases *)
+
+let test_sampler_interval_one () =
+  let image = tiny_image () in
+  let acct = Acct.create image.Bv_ir.Layout.code in
+  let smp = Sampler.create ~interval:1 ~acct () in
+  let res =
+    Machine.run ~config:Config.four_wide ~acct ~on_cycle:(Sampler.observe smp)
+      image
+  in
+  Sampler.finish smp;
+  let ws = Sampler.windows smp in
+  Alcotest.(check int) "one window per cycle" res.Machine.stats.Stats.cycles
+    (List.length ws);
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "window of one cycle" 1
+        (w.Sampler.end_cycle - w.Sampler.start_cycle);
+      Alcotest.(check int) "one component charge per cycle" 1
+        (Array.fold_left ( + ) 0 w.Sampler.components))
+    ws
+
+let test_sampler_window_conservation () =
+  (* per-window conservation: each window's CPI-stack deltas sum to the
+     window's cycle count, tail included; the windows partition the
+     whole run's stack *)
+  let image = plain_image spec_int in
+  let acct = Acct.create image.Bv_ir.Layout.code in
+  let smp = Sampler.create ~interval:777 ~acct () in
+  let res =
+    Machine.run ~config:Config.four_wide ~acct ~on_cycle:(Sampler.observe smp)
+      image
+  in
+  Sampler.finish smp;
+  let ws = Sampler.windows smp in
+  Alcotest.(check bool) "several windows" true (List.length ws > 2);
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (Printf.sprintf "window %d..%d conserved" w.Sampler.start_cycle
+           w.Sampler.end_cycle)
+        (w.Sampler.end_cycle - w.Sampler.start_cycle)
+        (Array.fold_left ( + ) 0 w.Sampler.components))
+    ws;
+  let tail = List.nth ws (List.length ws - 1) in
+  Alcotest.(check bool) "partial tail window" true
+    (tail.Sampler.end_cycle - tail.Sampler.start_cycle < 777);
+  Alcotest.(check int) "tail reaches final cycle" res.Machine.stats.Stats.cycles
+    tail.Sampler.end_cycle;
+  let totals = Array.make Acct.n_components 0 in
+  List.iter
+    (fun w ->
+      Array.iteri (fun i v -> totals.(i) <- totals.(i) + v)
+        w.Sampler.components)
+    ws;
+  Alcotest.(check (array int)) "windows partition the stack"
+    acct.Acct.components totals;
+  (* the JSON view carries a cpi object per window iff accounting is on *)
+  let has_cpi smp' expect =
+    match Json.member "windows" (Sampler.to_json smp') with
+    | Some (Json.List (w :: _)) ->
+      Alcotest.(check bool) "cpi presence" expect
+        (Json.member "cpi" w <> None)
+    | _ -> Alcotest.fail "sampler json missing windows"
+  in
+  has_cpi smp true;
+  let bare = Sampler.create ~interval:100 () in
+  ignore
+    (Machine.run ~config:Config.four_wide ~on_cycle:(Sampler.observe bare)
+       (tiny_image ()));
+  Sampler.finish bare;
+  has_cpi bare false
+
 let () =
   Alcotest.run "bv_obs"
     [ ( "json",
@@ -306,5 +553,18 @@ let () =
           Alcotest.test_case "instruction cap" `Quick test_trace_cap
         ] );
       ( "sampler",
-        [ Alcotest.test_case "windows" `Quick test_sampler ] )
+        [ Alcotest.test_case "windows" `Quick test_sampler;
+          Alcotest.test_case "interval one" `Quick test_sampler_interval_one;
+          Alcotest.test_case "window conservation" `Quick
+            test_sampler_window_conservation
+        ] );
+      ( "acct",
+        [ Alcotest.test_case "conservation (golden configs)" `Quick
+            test_acct_conservation;
+          Alcotest.test_case "conservation (fuzz corpus)" `Quick
+            test_acct_fuzz;
+          Alcotest.test_case "accounting-off identity" `Quick
+            test_acct_off_identity;
+          Alcotest.test_case "merge" `Quick test_acct_merge
+        ] )
     ]
