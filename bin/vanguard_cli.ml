@@ -873,6 +873,229 @@ let prove_cmd =
       const run $ files_arg $ bench_opt_arg $ fuzz_arg $ max_paths_arg
       $ werror_arg $ json_arg)
 
+(* --------------------------------------------------------------- advise *)
+
+let advise_cmd =
+  let module Advisor = Bv_analysis.Advisor in
+  let module Costmodel = Bv_analysis.Costmodel in
+  (* Correlation gating needs enough joined sites to mean anything. *)
+  let min_joined = 5 in
+  let run benches suites validate width all predictor top corr_floor
+      warn_only dbb werror json =
+    let failed = ref false in
+    let warned = ref false in
+    let specs =
+      List.filter_map
+        (fun name ->
+          match spec_of_name name with
+          | Ok spec -> Some spec
+          | Error e ->
+            prerr_endline e;
+            failed := true;
+            None)
+        benches
+      @ (if suites then Suites.all else [])
+    in
+    let specs =
+      List.sort_uniq (fun a b -> compare a.Spec.name b.Spec.name) specs
+    in
+    if specs = [] && not !failed then begin
+      prerr_endline "nothing to advise: pass -b BENCH or --suites";
+      failed := true
+    end;
+    let config = { Advisor.default_config with Advisor.dbb_entries = dbb } in
+    let sim = Sim.the () in
+    let inputs = if all then Runner.input_indices () else [ 1 ] in
+    (* Prepare, advise and (optionally) validate fan out across the fork
+       pool: everything a worker returns is plain marshal-safe data. *)
+    let results =
+      Sim.map sim
+        (fun spec ->
+          let b = Runner.prepare ~predictor spec in
+          let checked =
+            if validate then
+              Some (Runner.advise_validate ~predictor ~config ~inputs b ~width)
+            else None
+          in
+          let advice =
+            match checked with
+            | Some c -> c.Runner.ac_advice
+            | None -> Runner.advise ~config b
+          in
+          (spec.Spec.name, advice, checked))
+        specs
+    in
+    let ppf =
+      if json = Some "-" then Format.err_formatter else Format.std_formatter
+    in
+    let gate severity fmt =
+      Printf.ksprintf
+        (fun msg ->
+          (match severity with
+          | `Error -> failed := true
+          | `Warning -> warned := true);
+          Format.fprintf ppf "advise %s: %s@."
+            (match severity with `Error -> "error" | `Warning -> "warning")
+            msg)
+        fmt
+    in
+    List.iter
+      (fun (name, advice, checked) ->
+        let n_sites = List.length advice.Advisor.sites in
+        let n_rec = List.length advice.Advisor.recommended in
+        Format.fprintf ppf "%s: %d branch site(s), %d recommended@." name
+          n_sites n_rec;
+        let shown = List.filteri (fun i _ -> i < top) advice.Advisor.sites in
+        if shown <> [] then
+          Format.fprintf ppf "%s@."
+            (Text.render
+               ~headers:
+                 [ "site"; "class"; "execs"; "pred"; "overlap"; "waste";
+                   "saved"; "verdict"
+                 ]
+               (List.map
+                  (fun r ->
+                    [ string_of_int r.Advisor.cost.Costmodel.site;
+                      Costmodel.pred_class_name
+                        r.Advisor.cost.Costmodel.pred_class;
+                      string_of_int r.Advisor.execs;
+                      Text.f3 r.Advisor.predictability;
+                      string_of_int r.Advisor.overlap;
+                      string_of_int r.Advisor.waste;
+                      Text.f1 r.Advisor.cycles_saved;
+                      (match r.Advisor.rejected with
+                      | None -> "recommend"
+                      | Some reason -> reason)
+                    ])
+                  shown));
+        match checked with
+        | None -> ()
+        | Some c ->
+          let v = c.Runner.ac_validation in
+          let joined = List.length v.Advisor.joined in
+          Format.fprintf ppf
+            "%s: validation over %d input(s): %d site(s) joined, peak DBB \
+             occupancy %d@."
+            name c.Runner.ac_inputs joined c.Runner.ac_max_outstanding;
+          if Float.is_nan v.Advisor.spearman then
+            Format.fprintf ppf
+              "%s: too few joined sites for a rank correlation@." name
+          else begin
+            Format.fprintf ppf "%s: spearman %.3f@." name v.Advisor.spearman;
+            if joined >= min_joined && v.Advisor.spearman < corr_floor then
+              gate
+                (if warn_only then `Warning else `Error)
+                "%s: rank correlation %.3f below floor %.2f over %d joined \
+                 site(s)"
+                name v.Advisor.spearman corr_floor joined
+          end;
+          List.iter
+            (fun (r, m, d) ->
+              gate `Warning
+                "%s: site %d static/measured rank divergence %d (saved %.1f \
+                 vs recovery %.0f)"
+                name r.Advisor.cost.Costmodel.site d r.Advisor.cycles_saved m)
+            v.Advisor.outliers)
+      results;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let open Bv_obs.Json in
+      write_json path
+        (Obj
+           [ ("schema_version", Int schema_version);
+             ("width", Int width);
+             ("predictor", String (Kind.name predictor));
+             ("dbb_entries", Int dbb);
+             ("corr_floor", float corr_floor);
+             ("inputs", List (List.map (fun i -> Int i) inputs));
+             ("scale", float (Runner.scale ()));
+             ( "targets",
+               List
+                 (List.map
+                    (fun (name, advice, checked) ->
+                      obj_add
+                        (Obj [ ("target", String name) ])
+                        ((match Advisor.to_json advice with
+                         | Obj fields -> fields
+                         | _ -> [])
+                        @
+                        match checked with
+                        | None -> []
+                        | Some c ->
+                          [ ( "validation",
+                              Advisor.validation_to_json
+                                c.Runner.ac_validation );
+                            ( "max_outstanding",
+                              Int c.Runner.ac_max_outstanding )
+                          ]))
+                    results) )
+           ]));
+    if !failed || (werror && !warned) then 1 else 0
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "b"; "benchmark" ]
+          ~doc:"Advise on a benchmark (repeatable; see `vanguard_cli list`).")
+  in
+  let suites_arg =
+    Arg.(
+      value & flag
+      & info [ "suites" ] ~doc:"Advise on every benchmark of every suite.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Join the static cycles-saved ranking against measured per-site \
+             recovery cycles from an accounted baseline simulation, and \
+             report the Spearman rank correlation.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Validate against all REF inputs, merged (default: input 1).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Sites to show per target.")
+  in
+  let corr_floor_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corr-floor" ] ~docv:"RHO"
+          ~doc:
+            "Fail validation when the rank correlation falls below $(docv) \
+             (with at least 5 joined sites).")
+  in
+  let warn_only_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:"Downgrade a correlation-floor failure to a warning.")
+  in
+  let dbb_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "dbb" ] ~docv:"ENTRIES"
+          ~doc:"Decoupled-branch-buffer capacity for the pressure gate.")
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Static profitability analysis: rank every branch site by \
+          estimated decomposition savings; optionally cross-validate the \
+          ranking against measured cycle attribution.")
+    Term.(
+      const run $ bench_opt_arg $ suites_arg $ validate_arg $ width_arg
+      $ all_arg $ predictor_arg $ top_arg $ corr_floor_arg $ warn_only_arg
+      $ dbb_arg $ werror_arg $ json_arg)
+
 (* ------------------------------------------------------------- assemble *)
 
 let assemble_cmd =
@@ -929,8 +1152,8 @@ let main =
   in
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
     [ list_cmd; run_cmd; report_cmd; profile_cmd; transform_cmd;
-      experiment_cmd; disasm_cmd; dot_cmd; lint_cmd; prove_cmd; assemble_cmd;
-      trace_cmd
+      experiment_cmd; disasm_cmd; dot_cmd; lint_cmd; prove_cmd; advise_cmd;
+      assemble_cmd; trace_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,261 @@
+open Bv_profile
+
+type config =
+  { redirect_penalty : int;
+    overlap_discount : float;
+    threshold : float;
+    min_executed : int;
+    growth_penalty : float;
+    dbb_entries : int;
+    nominal_execs : int
+  }
+
+let default_config =
+  { redirect_penalty = 14;
+    overlap_discount = 0.25;
+    threshold = 0.05;
+    min_executed = 100;
+    growth_penalty = 10.0;
+    dbb_entries = 16;
+    nominal_execs = 1000
+  }
+
+type recommendation =
+  { cost : Costmodel.site_cost;
+    profiled : bool;
+    execs : int;
+    predictability : float;
+    bias : float;
+    taken_rate : float;
+    overlap : int;
+    waste : int;
+    cycles_saved : float;
+    rejected : string option
+  }
+
+type t =
+  { sites : recommendation list;
+    recommended : recommendation list
+  }
+
+let score ~config ~profile (cost : Costmodel.site_cost) =
+  let stats = Option.bind profile (fun p -> Profile.find p cost.site) in
+  let profiled = stats <> None in
+  let execs, predictability, bias, taken_rate =
+    match stats with
+    | Some s ->
+      (s.Profile.executed, Profile.predictability s, Profile.bias s,
+       Profile.taken_rate s)
+    | None ->
+      let p = Costmodel.class_prior cost.Costmodel.pred_class in
+      (* Forward branches default not-taken; bias is degenerate without a
+         profile, so the margin gate is skipped for unprofiled sites. *)
+      (config.nominal_execs, p, p, 0.0)
+  in
+  (* Predicted side: the direction the site leans. Unprofiled forward
+     sites lean not-taken. *)
+  let side =
+    if taken_rate >= 0.5 then cost.Costmodel.taken
+    else cost.Costmodel.not_taken
+  in
+  let overlap =
+    max 0
+      (cost.Costmodel.slice_height + side.Costmodel.prefix_height
+     - side.Costmodel.merged_height)
+  in
+  let waste = max 0 (side.Costmodel.merged_height - cost.Costmodel.slice_height) in
+  (* Commit moves retire in the resolve's shadow, 4 wide. *)
+  let commit_tax = Float.of_int ((side.Costmodel.renamed + 3) / 4) in
+  (* The dominant saving is per expected misprediction: the baseline
+     squashes and refills the front end, while the decomposed resolve
+     keeps the path-independent slice and corrects locally, so the model
+     credits the redirect penalty less the (discounted) wrong-side work
+     burned past the slice. On a correct prediction only a fraction of
+     the merged-schedule overlap is new — the in-order front end already
+     overlaps adjacent blocks' issue — hence the same discount. *)
+  let per_exec =
+    ((1.0 -. predictability)
+    *. (Float.of_int config.redirect_penalty
+       -. (config.overlap_discount *. Float.of_int waste)))
+    +. (predictability *. config.overlap_discount *. Float.of_int overlap)
+    -. commit_tax
+  in
+  let cycles_saved =
+    (Float.of_int execs *. per_exec)
+    -. (config.growth_penalty *. Float.of_int cost.Costmodel.code_growth)
+  in
+  let rejected =
+    match cost.Costmodel.ineligible with
+    | Some r -> Some r
+    | None ->
+      if not cost.Costmodel.forward then
+        Some "backward branch (loop latch is never decomposed)"
+      else if execs < config.min_executed then
+        Some
+          (Printf.sprintf "cold: executed %d times, minimum is %d" execs
+             config.min_executed)
+      else if profiled && predictability -. bias < config.threshold then
+        Some
+          (Printf.sprintf
+             "predictability %.3f exceeds bias %.3f by less than %.2f"
+             predictability bias config.threshold)
+      else if cost.Costmodel.window_pressure > config.dbb_entries then
+        Some
+          (Printf.sprintf "window pressure %d exceeds %d DBB entries"
+             cost.Costmodel.window_pressure config.dbb_entries)
+      else if cycles_saved <= 0.0 then
+        Some (Printf.sprintf "estimated savings %.1f cycles" cycles_saved)
+      else None
+  in
+  { cost; profiled; execs; predictability; bias; taken_rate; overlap; waste;
+    cycles_saved; rejected }
+
+let advise ?(config = default_config) ?profile costs =
+  let sites =
+    List.sort
+      (fun a b ->
+        match Float.compare b.cycles_saved a.cycles_saved with
+        | 0 -> Int.compare a.cost.Costmodel.site b.cost.Costmodel.site
+        | c -> c)
+      (List.map (score ~config ~profile) costs)
+  in
+  { sites; recommended = List.filter (fun r -> r.rejected = None) sites }
+
+(* ---------------------------------------------------------- validation -- *)
+
+(* Average ranks: ties share the mean of the positions they occupy. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do incr j done;
+    let avg = Float.of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n < 2 then Float.nan
+  else begin
+    let rx = ranks xs and ry = ranks ys in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. Float.of_int n in
+    let mx = mean rx and my = mean ry in
+    let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy)
+    done;
+    if !vx = 0.0 || !vy = 0.0 then Float.nan
+    else !cov /. Float.sqrt (!vx *. !vy)
+  end
+
+type validation =
+  { joined : (recommendation * float) list;
+    spearman : float;
+    outliers : (recommendation * float * int) list
+  }
+
+let validate ?max_rank_divergence ~measured t =
+  (* Join over the sites the model scored as savers: rejected-but-costed
+     sites have no meaningful static rank, and measured data only covers
+     sites that actually ran. *)
+  let joined =
+    List.filter_map
+      (fun r ->
+        if r.rejected <> None && r.cycles_saved <= 0.0 then None
+        else
+          Option.map
+            (fun m -> (r, m))
+            (List.assoc_opt r.cost.Costmodel.site measured))
+      t.sites
+  in
+  let xs = Array.of_list (List.map (fun (r, _) -> r.cycles_saved) joined) in
+  let ys = Array.of_list (List.map snd joined) in
+  let rho = spearman xs ys in
+  (* A few positions of rank slip are noise in any decent-sized join; by
+     default only a site displaced across a third of the field is worth a
+     look. *)
+  let max_rank_divergence =
+    match max_rank_divergence with
+    | Some b -> b
+    | None -> max 3 (Array.length xs / 3)
+  in
+  let outliers =
+    if Array.length xs < 2 then []
+    else begin
+      let rx = ranks xs and ry = ranks ys in
+      List.mapi
+        (fun i (r, m) -> (r, m, Float.to_int (Float.abs (rx.(i) -. ry.(i)))))
+        joined
+      |> List.filter (fun (_, _, d) -> d > max_rank_divergence)
+    end
+  in
+  { joined; spearman = rho; outliers }
+
+(* ---------------------------------------------------------------- json -- *)
+
+let recommendation_to_json r =
+  let open Bv_obs.Json in
+  Obj
+    [ ("site", Int r.cost.Costmodel.site);
+      ("proc", String r.cost.Costmodel.proc);
+      ("block", String r.cost.Costmodel.block);
+      ("recommended", Bool (r.rejected = None));
+      ("rejected",
+       match r.rejected with Some s -> String s | None -> Null);
+      ("profiled", Bool r.profiled);
+      ("executed", Int r.execs);
+      ("predictability", Float r.predictability);
+      ("bias", Float r.bias);
+      ("taken_rate", Float r.taken_rate);
+      ("class",
+       String (Costmodel.pred_class_name r.cost.Costmodel.pred_class));
+      ("overlap", Int r.overlap);
+      ("waste", Int r.waste);
+      ("cycles_saved", Float r.cycles_saved);
+      ("cost", Costmodel.to_json r.cost)
+    ]
+
+let to_json ?label t =
+  let open Bv_obs.Json in
+  let fields =
+    [ ("schema_version", Int schema_version) ]
+    @ (match label with Some l -> [ ("label", String l) ] | None -> [])
+    @ [ ("sites", List (List.map recommendation_to_json t.sites));
+        ("recommended",
+         List
+           (List.map
+              (fun r -> Int r.cost.Costmodel.site)
+              t.recommended))
+      ]
+  in
+  Obj fields
+
+let validation_to_json v =
+  let open Bv_obs.Json in
+  Obj
+    [ ("joined", Int (List.length v.joined));
+      ("spearman",
+       if Float.is_nan v.spearman then Null else Float v.spearman);
+      ("outliers",
+       List
+         (List.map
+            (fun (r, m, d) ->
+              Obj
+                [ ("site", Int r.cost.Costmodel.site);
+                  ("static_cycles_saved", Float r.cycles_saved);
+                  ("measured_recovery", Float m);
+                  ("rank_divergence", Int d)
+                ])
+            v.outliers))
+    ]

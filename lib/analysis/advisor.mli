@@ -1,0 +1,113 @@
+(** Profitability advisor for branch decomposition.
+
+    Fuses {!Costmodel}'s static per-site estimates with a TRAIN-input
+    {!Bv_profile.Profile} (when one is present) into a cycles-saved
+    estimate and a ranked recommendation list.
+
+    The estimate, per execution of the site, with [p] the predicted-side
+    accuracy (profiled predictability, or the {!Costmodel.class_prior}
+    for the site's class):
+
+    - each expected {e misprediction} saves the baseline's
+      squash-and-refill: the decomposed resolve keeps the
+      path-independent slice and corrects locally, so the model credits
+      [redirect_penalty], less the (discounted) wrong-side work the
+      resolution block burned past the slice
+      ([waste = merged_height - slice_height]);
+    - a {e correct} prediction saves a discounted fraction of the
+      overlap the merged resolution block buys
+      ([slice_height + prefix_height - merged_height] of the predicted
+      side) — discounted because the in-order front end already
+      overlaps adjacent blocks' issue — minus the commit-move tax of
+      its renamed temporaries;
+
+    so [saved = (1 - p) * (penalty - k * waste) + p * k * overlap
+    - commit_tax] with [k = overlap_discount], scaled by execution
+    count, less a static-growth penalty. Sites are then gated
+    (eligibility, forwardness, heat, the paper's predictability-minus-
+    bias margin when profiled, DBB pressure, positive savings) and ranked
+    by total estimated cycles saved; ties break towards the lower site id
+    so reports are deterministic.
+
+    [validate] joins the static ranking against measured per-site
+    recovery cycles (e.g. {!Bv_pipeline.Acct}'s [by_site] on a baseline
+    run, passed in as plain pairs to keep this library independent of the
+    pipeline) and reports a Spearman rank correlation plus the sites
+    whose static and measured ranks diverge beyond a bound. *)
+
+open Bv_isa
+open Bv_profile
+
+type config =
+  { redirect_penalty : int;  (** front-end redirect cost, cycles *)
+    overlap_discount : float;
+        (** fraction of schedule overlap/waste counted as new *)
+    threshold : float;  (** required predictability-minus-bias margin *)
+    min_executed : int;
+    growth_penalty : float;  (** cycles charged per static instr added *)
+    dbb_entries : int;
+    nominal_execs : int  (** assumed site heat when unprofiled *)
+  }
+
+val default_config : config
+(** [redirect_penalty 14] (the harness's pipeline refill),
+    [overlap_discount 0.25], [threshold 0.05] and [min_executed 100]
+    (candidate selection's defaults), [growth_penalty 10.],
+    [dbb_entries 16], [nominal_execs 1000]. *)
+
+type recommendation =
+  { cost : Costmodel.site_cost;
+    profiled : bool;
+    execs : int;
+    predictability : float;
+    bias : float;
+    taken_rate : float;
+    overlap : int;  (** cycles hidden on a correct prediction *)
+    waste : int;  (** extra cycles burned on a misprediction *)
+    cycles_saved : float;  (** total estimate across [execs] *)
+    rejected : string option  (** [None] iff the site is recommended *)
+  }
+
+type t =
+  { sites : recommendation list;  (** every conditional branch, ranked *)
+    recommended : recommendation list  (** the [rejected = None] subset *)
+  }
+
+val advise :
+  ?config:config -> ?profile:Profile.t -> Costmodel.site_cost list -> t
+(** Rank the costed sites. With a profile, per-site heat/accuracy/bias
+    come from it (sites absent from the profile count as never executed);
+    without one, class priors and [nominal_execs] stand in. *)
+
+type validation =
+  { joined : (recommendation * float) list;
+        (** recommendation, measured recovery cycles — sites present on
+            both sides, in static rank order *)
+    spearman : float;  (** rank correlation, NaN when under 2 points *)
+    outliers : (recommendation * float * int) list
+        (** sites whose static and measured rank differ by more than the
+            bound: recommendation, measured cycles, rank divergence *)
+  }
+
+val validate :
+  ?max_rank_divergence:int ->
+  measured:(int * float) list ->
+  t ->
+  validation
+(** Join static estimates against measured per-site cost, over the sites
+    the advisor scored as savers ([cycles_saved > 0] or recommended).
+    [measured] maps site id to measured recovery cycles;
+    [max_rank_divergence] defaults to a third of the joined count (at
+    least 3). Spearman uses average ranks for ties. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation of two equal-length samples, average-tie ranks.
+    Exposed for the validation tests. *)
+
+val recommendation_to_json : recommendation -> Bv_obs.Json.t
+
+val to_json : ?label:Label.t -> t -> Bv_obs.Json.t
+(** [{schema_version; label?; sites; recommended}] — [sites] in rank
+    order, so reports diff cleanly. *)
+
+val validation_to_json : validation -> Bv_obs.Json.t

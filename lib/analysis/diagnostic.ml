@@ -38,9 +38,50 @@ let count sev diags =
 
 let has_errors diags = List.exists is_error diags
 
-let sort diags =
-  List.stable_sort
-    (fun a b -> Int.compare (severity_rank a.severity) (severity_rank b.severity))
+(* Stable location key: procedure, block and site in one string, so
+   reports can be ordered, joined and diffed on it across runs. *)
+let site_key d =
+  Printf.sprintf "%s/%s#%s" d.proc
+    (Option.value d.block ~default:"-")
+    (match d.site with Some s -> string_of_int s | None -> "-")
+
+let compare_site a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> Int.compare x y
+
+(* Total order: severity, then pass, then location, then message — a
+   deterministic report order independent of analysis traversal order. *)
+let compare a b =
+  let cmp =
+    [ (fun () -> Int.compare (severity_rank a.severity) (severity_rank b.severity));
+      (fun () -> String.compare a.pass b.pass);
+      (fun () -> Label.compare a.proc b.proc);
+      (fun () ->
+        Option.compare Label.compare a.block b.block);
+      (fun () -> compare_site a.site b.site);
+      (fun () -> String.compare a.message b.message)
+    ]
+  in
+  List.fold_left (fun acc f -> if acc <> 0 then acc else f ()) 0 cmp
+
+let sort diags = List.stable_sort compare diags
+
+(* Drop exact repeats at the same site (a shared condition slice or a
+   joined fact can surface one finding once per path), keeping first
+   occurrences in order. *)
+let dedup diags =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.severity, d.pass, site_key d, d.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
     diags
 
 let pp ppf d =
@@ -58,15 +99,17 @@ let to_json d =
       ("proc", String d.proc);
       ("block", match d.block with Some b -> String b | None -> Null);
       ("site", match d.site with Some s -> Int s | None -> Null);
+      ("site_key", String (site_key d));
       ("message", String d.message)
     ]
 
 let report_to_json diags =
   let open Bv_obs.Json in
+  let diags = dedup (sort diags) in
   Obj
     [ ("schema_version", Int schema_version);
       ("errors", Int (count Error diags));
       ("warnings", Int (count Warning diags));
       ("infos", Int (count Info diags));
-      ("diagnostics", List (List.map to_json (sort diags)))
+      ("diagnostics", List (List.map to_json diags))
     ]

@@ -52,12 +52,26 @@ val count : severity -> t list -> int
 
 val has_errors : t list -> bool
 
+val site_key : t -> string
+(** Stable location key ["proc/block#site"] (missing parts printed as
+    ["-"]); the join/diff key for report consumers. *)
+
+val compare : t -> t -> int
+(** Total order: severity, then pass, proc, block, site, message. Two
+    runs of the same analyses produce identically-ordered reports. *)
+
 val sort : t list -> t list
-(** Stable sort, errors first, then warnings, then infos. *)
+(** Stable sort by {!compare}: errors first, then warnings, then infos,
+    location-ordered within each severity. *)
+
+val dedup : t list -> t list
+(** Drop diagnostics identical in severity, pass, {!site_key} and
+    message, keeping the first occurrence of each. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Bv_obs.Json.t
 
 val report_to_json : t list -> Bv_obs.Json.t
-(** [{schema_version; errors; warnings; infos; diagnostics}]. *)
+(** [{schema_version; errors; warnings; infos; diagnostics}], with
+    diagnostics deduped and in {!sort} order. *)

@@ -22,7 +22,11 @@ let endpoint_name = function
    truth of [term <> 0]) — and the symbolic state at its endpoint. *)
 type path = { endpoint : endpoint; lits : (int * bool) list; state : S.state }
 
-exception Budget
+(* [at] is the block whose terminator forked the overflowing path,
+   [explored] how many paths had been emitted when the budget tripped —
+   both surfaced in the diagnostic so the hot fork is findable without
+   re-running under a tracer. *)
+exception Budget of { at : Label.t; explored : int }
 
 let add_lit lits ((id, v) as lit) =
   if List.mem (id, not v) lits then None
@@ -40,15 +44,17 @@ let compatible l1 l2 =
    choice is an oracle the relation must be insensitive to. *)
 let explore ctx proc ~cuts ~budget ~state ~start =
   let paths = ref [] and count = ref 0 in
+  let current = ref start in
   let emit endpoint lits state =
     incr count;
-    if !count > budget then raise Budget;
+    if !count > budget then raise (Budget { at = !current; explored = !count });
     paths := { endpoint; lits; state } :: !paths
   in
   let rec continue lab state lits =
     if Lset.mem lab cuts then emit (Cut lab) lits state
     else step (Proc.find_block proc lab) state lits
   and step block state lits =
+    current := block.Block.label;
     let state = S.exec_body ctx state block.Block.body in
     let cond src = state.S.regs.(Reg.index src) in
     match block.Block.term with
@@ -155,10 +161,12 @@ let check_region ~diags ~proc_name ~live ~scratch ~exit_set ~budget ~p_o
     ( explore ctx p_o ~cuts ~budget ~state:(state "o") ~start:cut,
       explore ctx p_t ~cuts ~budget ~state:(state "t") ~start:cut )
   with
-  | exception Budget ->
+  | exception Budget { at; explored } ->
     diags :=
       Diagnostic.error ~block:cut ~pass ~proc:proc_name
-        "path budget (%d) exceeded exploring the region at %s" budget cut
+        "path budget (%d) exceeded exploring the region at %s: %d paths \
+         explored, overflow at branch %s"
+        budget cut explored at
       :: !diags;
     0
   | paths_o, paths_t ->
@@ -317,11 +325,12 @@ let verify_self ?(scratch = []) ?exit_live ?(max_paths = 4096) program =
             match
               explore ctx proc ~cuts ~budget:max_paths ~state ~start:cut
             with
-            | exception Budget ->
+            | exception Budget { at; explored } ->
               diags :=
                 Diagnostic.error ~block:cut ~pass ~proc:proc_name
-                  "path budget (%d) exceeded exploring the region at %s"
-                  max_paths cut
+                  "path budget (%d) exceeded exploring the region at %s: %d \
+                   paths explored, overflow at branch %s"
+                  max_paths cut explored at
                 :: !diags
             | paths ->
               let arr = Array.of_list paths in

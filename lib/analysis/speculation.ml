@@ -382,6 +382,25 @@ let reachability_pass facts =
              "block is unreachable from the procedure entry"))
     facts.proc.Proc.blocks
 
+(* Peak DBB occupancy: the largest may-outstanding predict set at any
+   block boundary (block-exit facts, so a predict terminator counts at
+   the block that issues it). The cost-model advisor cross-checks its
+   static window estimates against this on transformed programs. *)
+let max_outstanding proc =
+  let may =
+    Sites_may.solve ~direction:Dataflow.Forward ~boundary:Intset.empty
+      ~transfer:sites_transfer proc
+  in
+  List.fold_left
+    (fun acc b ->
+      let fact_in =
+        Option.value
+          (Sites_may.fact_in may b.Block.label)
+          ~default:Intset.empty
+      in
+      max acc (Intset.cardinal (sites_transfer b fact_in)))
+    0 proc.Proc.blocks
+
 let verify_proc ?(dbb_entries = default_dbb_entries) ?(scratch = []) proc =
   let facts = compute_facts proc in
   let scratch = Regset.of_list scratch in

@@ -48,6 +48,12 @@ open Bv_ir
 val pass_names : string list
 (** In the order the passes run. *)
 
+val max_outstanding : Proc.t -> int
+(** Peak DBB occupancy: the largest may-outstanding predict set at any
+    block boundary. [0] for an untransformed procedure. The cost-model
+    advisor compares its static occupancy estimate against this measure
+    of the transformed program it recommends. *)
+
 val verify_proc :
   ?dbb_entries:int -> ?scratch:Reg.t list -> Proc.t -> Diagnostic.t list
 (** [dbb_entries] defaults to {!Bv_pipeline.Config.dbb_entries}'s value

@@ -320,7 +320,7 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
 let alias_oracle proc = Bv_analysis.Alias.may_alias (Bv_analysis.Alias.analyze proc)
 
 let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
-    ?(verify = true) ?(prove = false) ?exit_live ~candidates program =
+    ?(verify = true) ?(prove = false) ?exit_live ?select ~candidates program =
   let original = program in
   let exit_live_set = Option.map Liveness.Regset.of_list exit_live in
   if temp_pool_clash program temp_pool then
@@ -331,13 +331,17 @@ let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
   let skipped = ref [] in
   List.iter
     (fun cand ->
-      match
-        transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set program
-          cand
-      with
-      | report -> reports := report :: !reports
-      | exception Skip reason ->
-        skipped := (cand.Select.site, reason) :: !skipped)
+      match select with
+      | Some keep when not (keep cand) ->
+        skipped := (cand.Select.site, "deselected") :: !skipped
+      | _ -> (
+        match
+          transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set
+            program cand
+        with
+        | report -> reports := report :: !reports
+        | exception Skip reason ->
+          skipped := (cand.Select.site, reason) :: !skipped))
     candidates;
   if schedule then Bv_sched.Sched.schedule_program ~alias:alias_oracle program;
   Validate.check_exn program;

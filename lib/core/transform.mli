@@ -92,10 +92,15 @@ val apply :
   ?verify:bool ->
   ?prove:bool ->
   ?exit_live:Reg.t list ->
+  ?select:(Select.candidate -> bool) ->
   candidates:Select.candidate list ->
   Program.t ->
   result
 (** [max_hoist] caps the hoisted prefix per successor (default 16).
+    [select] (default: keep everything) filters the candidate list —
+    typically {!Bv_analysis.Advisor}'s recommendation set; a candidate it
+    drops lands in [skipped] with reason ["deselected"] and the program
+    is not touched at that site.
     [schedule] (default true) re-runs the list scheduler — alias-aware,
     via {!alias_oracle} — on the program afterwards. [verify] (default
     true) runs the speculation-safety verifier

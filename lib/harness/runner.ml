@@ -338,3 +338,54 @@ let merge_accounted a b =
     acc_base = Acct.merge a.acc_base b.acc_base;
     acc_exp = Acct.merge a.acc_exp b.acc_exp
   }
+
+(* ------------------------------------------------- advise & validate -- *)
+
+let advise ?config b =
+  (* The TRAIN program the profile and selection were built from: the
+     spec in the bench record is already scaled. *)
+  let train = Gen.generate ~input:0 b.spec in
+  let costs =
+    Bv_analysis.Costmodel.analyze ?max_hoist:b.max_hoist
+      ~exit_live:Gen.live_at_exit train
+  in
+  Bv_analysis.Advisor.advise ?config ~profile:b.profile costs
+
+type advice_checked =
+  { ac_advice : Bv_analysis.Advisor.t;
+    ac_validation : Bv_analysis.Advisor.validation;
+    ac_inputs : int;
+    ac_max_outstanding : int
+  }
+
+let max_outstanding_of program =
+  List.fold_left
+    (fun acc p -> max acc (Bv_analysis.Speculation.max_outstanding p))
+    0 program.Program.procs
+
+let advise_validate ?predictor ?cache ?config ?inputs b ~width =
+  let advice = advise ?config b in
+  let inputs = Option.value inputs ~default:[ 1 ] in
+  let acc =
+    match
+      List.map
+        (fun input -> simulate_accounted ?predictor ?cache b ~input ~width)
+        inputs
+    with
+    | [] -> invalid_arg "Runner.advise_validate: no inputs"
+    | first :: rest -> List.fold_left merge_accounted first rest
+  in
+  (* Measured cost per site: the baseline run's recovery cycles — what a
+     mispredicting branch actually stalls the front end for, the quantity
+     the static cycles-saved ranking claims to predict. *)
+  let measured =
+    List.map
+      (fun sa -> (sa.Acct.sa_site, Float.of_int sa.Acct.sa_recovery))
+      (Acct.by_site acc.acc_base)
+  in
+  { ac_advice = advice;
+    ac_validation = Bv_analysis.Advisor.validate ~measured advice;
+    ac_inputs = List.length inputs;
+    ac_max_outstanding =
+      max_outstanding_of b.transform.Vanguard.Transform.program
+  }

@@ -129,3 +129,34 @@ val merge_accounted : accounted -> accounted -> accounted
     from the summed cycle totals — cross-input aggregation. Raises
     [Invalid_argument] when the two runs cover different code
     ({!Acct.merge}). *)
+
+val advise : ?config:Bv_analysis.Advisor.config -> bench -> Bv_analysis.Advisor.t
+(** Run the static cost-model advisor over the bench's TRAIN program,
+    fused with its TRAIN profile — ranked per-site recommendations with
+    no simulation beyond what {!prepare} already did. *)
+
+type advice_checked =
+  { ac_advice : Bv_analysis.Advisor.t;
+    ac_validation : Bv_analysis.Advisor.validation;
+    ac_inputs : int;  (** REF inputs the measured side aggregates *)
+    ac_max_outstanding : int
+        (** peak DBB occupancy {!Bv_analysis.Speculation.max_outstanding}
+            proves for the transformed program — the advisor's static
+            window-pressure estimate must cover it *)
+  }
+(** Marshal-safe (plain data throughout): an advise-and-validate result
+    can come back from a {!Sim.map} fork-pool worker. *)
+
+val advise_validate :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  ?config:Bv_analysis.Advisor.config ->
+  ?inputs:int list ->
+  bench ->
+  width:int ->
+  advice_checked
+(** {!advise}, then join the static cycles-saved ranking against measured
+    per-site recovery cycles from accounted baseline runs of the REF
+    [inputs] (default [[1]]; pass {!input_indices} for all of them,
+    merged) at [width]. The validation reports the Spearman rank
+    correlation and the sites whose static and measured ranks diverge. *)

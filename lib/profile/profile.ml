@@ -68,6 +68,8 @@ let predictability s =
   if s.executed = 0 then 1.0
   else Float.of_int s.correct /. Float.of_int s.executed
 
+let mispredicts s = s.executed - s.correct
+
 let mppki t =
   if t.instr_count = 0 then 0.0
   else 1000.0 *. Float.of_int t.mispredicts /. Float.of_int t.instr_count

@@ -42,6 +42,11 @@ val taken_rate : site -> float
 val predictability : site -> float
 (** Fraction of correct predictions. Zero executions give 1.0. *)
 
+val mispredicts : site -> int
+(** Mispredicted executions of the site ([executed - correct]) — the
+    count whose recovery cost {!Bv_pipeline.Acct} attributes per site and
+    the advisor's validation joins against. *)
+
 val mppki : t -> float
 (** Branch mispredictions per thousand executed instructions. *)
 

@@ -191,12 +191,12 @@ let schedule_program ?alias ?latency ?width program =
       schedule_proc ?may_alias ?latency ?width proc)
     program.Program.procs
 
-let critical_path_cycles ?(latency = default_latency) body =
+let critical_path_cycles ?may_alias ?(latency = default_latency) body =
   let instrs = Array.of_list body in
   let n = Array.length instrs in
   if n = 0 then 0
   else begin
-    let preds = build_preds ~latency instrs in
+    let preds = build_preds ?may_alias ~latency instrs in
     let finish = Array.make n 0 in
     for i = 0 to n - 1 do
       let start =

@@ -62,6 +62,14 @@ val schedule_program :
 (** [alias] builds a per-procedure [may_alias] oracle (typically
     [fun proc -> Bv_analysis.Alias.(may_alias (analyze proc))]). *)
 
-val critical_path_cycles : ?latency:(Instr.t -> int) -> Instr.t list -> int
+val critical_path_cycles :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
+  ?latency:(Instr.t -> int) ->
+  Instr.t list ->
+  int
 (** Length in cycles of the longest dependence chain through the body
-    (a lower bound on in-order execution time of the block). *)
+    (a lower bound on in-order execution time of the block). [may_alias]
+    relaxes the store-barrier rule exactly as in {!schedule_body}, so a
+    provably-disjoint store does not lengthen a load's chain — the
+    cost-model advisor uses this to measure condition-slice dependence
+    height without false memory edges. *)

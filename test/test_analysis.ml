@@ -83,6 +83,48 @@ let test_engine_matches_liveness () =
       | None -> Alcotest.fail (label ^ ": engine computed no fact"))
     (Cfg.reverse_postorder p)
 
+module SS = Set.Make (String)
+
+module Reach = Dataflow.Make (struct
+  type t = SS.t
+
+  let equal = SS.equal
+  let join = SS.union
+end)
+
+let test_engine_backward_irreducible () =
+  (* Two entries into the {l1, l2} cycle — an irreducible-looking region
+     (neither cycle block dominates the other) — solved backwards. The
+     fact at each block is the set of labels on some path from it to an
+     exit, so the fixpoint must carry both exits all the way around the
+     cycle and into both of its entry edges. *)
+  let p =
+    proc "main"
+      [ block "entry" [ mov 5 1 ]
+          (branch 5 ~taken:"l1" ~not_taken:"l2" 1);
+        block "l1" [] (branch 6 ~taken:"l2" ~not_taken:"exit_a" 2);
+        block "l2" [] (branch 7 ~taken:"l1" ~not_taken:"exit_b" 3);
+        block "exit_a" [] Term.Halt;
+        block "exit_b" [] Term.Halt
+      ]
+  in
+  let sol =
+    Reach.solve ~direction:Dataflow.Backward ~boundary:SS.empty
+      ~transfer:(fun b s -> SS.add b.Block.label s)
+      p
+  in
+  let check label expect =
+    match Reach.fact_in sol label with
+    | None -> Alcotest.failf "%s: engine computed no fact" label
+    | Some s ->
+      Alcotest.(check (list string)) label expect (SS.elements s)
+  in
+  check "exit_a" [ "exit_a" ];
+  check "exit_b" [ "exit_b" ];
+  check "l1" [ "exit_a"; "exit_b"; "l1"; "l2" ];
+  check "l2" [ "exit_a"; "exit_b"; "l1"; "l2" ];
+  check "entry" [ "entry"; "exit_a"; "exit_b"; "l1"; "l2" ]
+
 let test_engine_skips_unreachable () =
   let p =
     proc "main"
@@ -469,11 +511,50 @@ let test_report_counts () =
   | { Diagnostic.severity = Diagnostic.Error; _ } :: _ -> ()
   | _ -> Alcotest.fail "sort must put errors first"
 
+let test_diagnostic_order_dedup () =
+  let e1 =
+    Diagnostic.error ~block:"b2" ~site:4 ~pass:"pairing" ~proc:"main" "boom"
+  in
+  let e1' =
+    Diagnostic.error ~block:"b2" ~site:4 ~pass:"pairing" ~proc:"main" "boom"
+  in
+  let e2 = Diagnostic.error ~pass:"spec-window" ~proc:"main" "later pass" in
+  let w =
+    Diagnostic.warning ~block:"b1" ~site:3 ~pass:"pairing" ~proc:"main" "w"
+  in
+  let i = Diagnostic.info ~pass:"pairing" ~proc:"aux" "i" in
+  Alcotest.(check string) "site key" "main/b2#4" (Diagnostic.site_key e1);
+  Alcotest.(check string) "site key with missing parts" "main/-#-"
+    (Diagnostic.site_key e2);
+  (* Total order: severity first, then pass/location, whatever the input
+     permutation. *)
+  let messages ds = List.map (fun d -> d.Diagnostic.message) ds in
+  Alcotest.(check (list string))
+    "sorted order"
+    [ "boom"; "later pass"; "w"; "i" ]
+    (messages (Diagnostic.sort [ i; w; e2; e1 ]));
+  Alcotest.(check (list string))
+    "order is permutation-independent"
+    (messages (Diagnostic.sort [ i; w; e2; e1 ]))
+    (messages (Diagnostic.sort [ e1; e2; w; i ]));
+  Alcotest.(check int) "compare equal on duplicates" 0
+    (Diagnostic.compare e1 e1');
+  (* Dedup keeps the first occurrence of each repeated finding. *)
+  Alcotest.(check (list string))
+    "dedup drops repeats" [ "boom"; "w" ]
+    (messages (Diagnostic.dedup [ e1; e1'; w; e1 ]));
+  (* report_to_json counts the deduped list, not the raw one. *)
+  Alcotest.(check bool) "report counts post-dedup" true
+    (Bv_obs.Json.member "errors" (Diagnostic.report_to_json [ e1; e1'; e2 ])
+    = Some (Bv_obs.Json.Int 2))
+
 let () =
   Alcotest.run "bv_analysis"
     [ ( "dataflow engine",
         [ Alcotest.test_case "matches the liveness fixpoint" `Quick
             test_engine_matches_liveness;
+          Alcotest.test_case "backward over an irreducible cycle" `Quick
+            test_engine_backward_irreducible;
           Alcotest.test_case "no facts for unreachable blocks" `Quick
             test_engine_skips_unreachable
         ] );
@@ -525,6 +606,8 @@ let () =
         [ Alcotest.test_case "json round-trip" `Quick
             test_diagnostic_json_roundtrip;
           Alcotest.test_case "report counts and ordering" `Quick
-            test_report_counts
+            test_report_counts;
+          Alcotest.test_case "site keys, total order, dedup" `Quick
+            test_diagnostic_order_dedup
         ] )
     ]

@@ -176,6 +176,60 @@ let test_alias_join () =
   Alcotest.(check bool) "conflicting defs join to Top" true
     (Alias.may_alias t st ld)
 
+let test_alias_top_meets_anchor () =
+  (* One arm leaves r2 anchored to its entry value, the other pins it to
+     an absolute constant. The regions share nothing, so the join must
+     land on Unknown — keeping either operand would let the offsets
+     below "prove" disjointness that doesn't hold. *)
+  let st = Instr.Store { src = r 6; base = r 2; offset = 0 } in
+  let ld =
+    Instr.Load { dst = r 7; base = r 2; offset = 64; speculative = false }
+  in
+  let proc =
+    Proc.make ~name:"p"
+      [ block "entry" []
+          (Term.Branch
+             { on = true; src = r 5; taken = "pin"; not_taken = "keep"; id = 1 });
+        block "pin"
+          [ Instr.Mov { dst = r 2; src = Instr.Imm 0 } ]
+          (Term.Jump "join");
+        block "keep" [] (Term.Jump "join");
+        block "join" [ st; ld ] Term.Halt
+      ]
+  in
+  let t = Alias.analyze proc in
+  (match Alias.address_of t st with
+  | Alias.Unknown -> ()
+  | _ -> Alcotest.fail "anchored-meets-absolute join must be Unknown");
+  Alcotest.(check bool) "offsets alone cannot separate the pair" true
+    (Alias.may_alias t st ld)
+
+let test_alias_havoc_rejoin () =
+  (* A call on one arm havocs the base register; rejoining with the
+     untouched anchored arm must stay havocked — the join cannot wash
+     out the call's effect. *)
+  let st = Instr.Store { src = r 6; base = r 1; offset = 0 } in
+  let ld =
+    Instr.Load { dst = r 7; base = r 1; offset = 32; speculative = false }
+  in
+  let proc =
+    Proc.make ~name:"p"
+      [ block "entry" []
+          (Term.Branch
+             { on = true; src = r 5; taken = "call"; not_taken = "skip"; id = 1 });
+        block "call" [] (Term.Call { target = "leaf"; return_to = "ret" });
+        block "ret" [] (Term.Jump "join");
+        block "skip" [] (Term.Jump "join");
+        block "join" [ st; ld ] Term.Halt
+      ]
+  in
+  let t = Alias.analyze proc in
+  (match Alias.address_of t ld with
+  | Alias.Unknown -> ()
+  | _ -> Alcotest.fail "call havoc must survive the rejoin");
+  Alcotest.(check bool) "havocked base may alias" true
+    (Alias.may_alias t st ld)
+
 (* ------------------------------------------------- alias-aware scheduling *)
 
 let positions body =
@@ -317,17 +371,52 @@ let test_equiv_rejects_swapped_arms () =
   Alcotest.(check bool) "swapped arms are refuted" true
     (errors (Equiv.verify ~scratch ~original mutant) <> [])
 
-(* ------------------------------------------------------- mutation killing *)
-
-(* Seeded semantic mutations of transformed programs. Each mutator edits a
-   deep copy in place and reports whether it found a victim site. *)
-
 let contains hay needle =
   let hl = String.length hay and nl = String.length needle in
   let rec go i =
     i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1))
   in
   go 0
+
+let test_equiv_budget_overflow_message () =
+  (* A branch tree with no reconvergence is one region with 2^depth
+     paths; a budget of 4 trips on the fifth. The diagnostic must be
+     actionable: budget, region, paths-explored count, and the branch
+     block where exploration overflowed. *)
+  let leaf l = block l [] Term.Halt in
+  let br src ~taken ~not_taken id =
+    Term.Branch { on = true; src = r src; taken; not_taken; id }
+  in
+  let prog =
+    Program.make ~main:"main"
+      [ Proc.make ~name:"main"
+          [ block "entry" [] (br 5 ~taken:"a" ~not_taken:"b" 1);
+            block "a" [] (br 6 ~taken:"aa" ~not_taken:"ab" 2);
+            block "b" [] (br 7 ~taken:"ba" ~not_taken:"bb" 3);
+            block "aa" [] (br 8 ~taken:"l0" ~not_taken:"l1" 4);
+            block "ab" [] (br 9 ~taken:"l2" ~not_taken:"l3" 5);
+            block "ba" [] (br 10 ~taken:"l4" ~not_taken:"l5" 6);
+            block "bb" [] (br 11 ~taken:"l6" ~not_taken:"l7" 7);
+            leaf "l0"; leaf "l1"; leaf "l2"; leaf "l3";
+            leaf "l4"; leaf "l5"; leaf "l6"; leaf "l7"
+          ]
+      ]
+  in
+  match errors (Equiv.verify_self ~max_paths:4 prog) with
+  | [] -> Alcotest.fail "blown budget must be an error, not an accept"
+  | d :: _ ->
+    let msg = d.Diagnostic.message in
+    Alcotest.(check bool) "names the budget" true
+      (contains msg "path budget (4) exceeded");
+    Alcotest.(check bool) "names the paths-explored count" true
+      (contains msg "paths explored");
+    Alcotest.(check bool) "names the overflowing branch block" true
+      (contains msg "overflow at branch ")
+
+(* ------------------------------------------------------- mutation killing *)
+
+(* Seeded semantic mutations of transformed programs. Each mutator edits a
+   deep copy in place and reports whether it found a victim site. *)
 
 let each_block p f =
   let hit = ref false in
@@ -545,11 +634,17 @@ let () =
         [ Alcotest.test_case "verdicts" `Quick test_alias_verdicts;
           Alcotest.test_case "call havoc" `Quick test_alias_call_havoc;
           Alcotest.test_case "join to top" `Quick test_alias_join;
+          Alcotest.test_case "top meets anchored interval" `Quick
+            test_alias_top_meets_anchor;
+          Alcotest.test_case "call havoc survives a rejoin" `Quick
+            test_alias_havoc_rejoin;
           Alcotest.test_case "alias-aware scheduling" `Quick test_alias_sched
         ] );
       ( "equiv",
         [ Alcotest.test_case "rejects swapped resolve arms" `Quick
             test_equiv_rejects_swapped_arms;
+          Alcotest.test_case "budget overflow names the branch" `Quick
+            test_equiv_budget_overflow_message;
           Alcotest.test_case "mutation kill" `Slow test_mutation_kill
         ]
         @ List.map QCheck_alcotest.to_alcotest
