@@ -361,7 +361,9 @@ let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
                      ])
                  throughput) );
           ( "micro_ns_per_run",
-            Obj (List.map (fun (name, est) -> (name, float est)) micro) )
+            Obj (List.map (fun (name, est) -> (name, float est)) micro) );
+          ( "dag",
+            Bv_harness.Sim.counters_json (Bv_harness.Sim.the ()) )
         ]
     in
     (try
@@ -437,19 +439,28 @@ let run_trend argv =
       run.Trend.file summary.Trend.s_runs
       (if summary.Trend.s_runs = 1 then "" else "s")
       summary.Trend.s_threshold_pct;
+    if summary.Trend.s_runs = 0 then
+      Printf.printf
+        "bench-trend note: no history under %s — this run seeds the \
+         trajectory; verdicts below are baselines, not comparisons\n"
+        !dir;
     List.iter
       (fun v ->
-        let line =
-          Printf.sprintf
-            "%s %.0f cycles/s vs median %.0f (%+.1f%%, history %d)"
-            v.Trend.v_workload v.Trend.v_latest v.Trend.v_median
-            v.Trend.v_delta_pct v.Trend.v_history
-        in
-        if not v.Trend.v_regressed then
-          Printf.printf "bench-trend ok: %s\n" line
-        else if summary.Trend.s_gating && not !warn_only then
-          Printf.printf "bench-trend error: %s\n" line
-        else Printf.printf "bench-trend warning: %s\n" line)
+        if v.Trend.v_history = 0 then
+          Printf.printf "bench-trend seed: %s %.0f cycles/s (no history)\n"
+            v.Trend.v_workload v.Trend.v_latest
+        else
+          let line =
+            Printf.sprintf
+              "%s %.0f cycles/s vs median %.0f (%+.1f%%, history %d)"
+              v.Trend.v_workload v.Trend.v_latest v.Trend.v_median
+              v.Trend.v_delta_pct v.Trend.v_history
+          in
+          if not v.Trend.v_regressed then
+            Printf.printf "bench-trend ok: %s\n" line
+          else if summary.Trend.s_gating && not !warn_only then
+            Printf.printf "bench-trend error: %s\n" line
+          else Printf.printf "bench-trend warning: %s\n" line)
       summary.Trend.s_verdicts;
     if !json <> "" then
       Out_channel.with_open_text !json (fun oc ->

@@ -84,6 +84,12 @@ let obj_add json fields =
   | Bv_obs.Json.Obj base -> Bv_obs.Json.Obj (base @ fields)
   | other -> other
 
+(* Every --json emitter reports the run's DAG provenance: how many
+   pipeline nodes were memo/store hits, computed here, or computed by a
+   cooperating process. Read at report-construction time — i.e. after
+   the command's work is done. *)
+let dag_field () = ("dag", Sim.counters_json (Sim.the ()))
+
 (* ----------------------------------------------------------------- list *)
 
 let list_cmd =
@@ -109,7 +115,7 @@ let run_cmd =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
-      let b = Runner.prepare ~predictor spec in
+      let b = Sim.prepare ~predictor (Sim.the ()) spec in
       let telemetry = json <> None || trace <> None in
       let pair, inst, traces =
         if telemetry then begin
@@ -185,7 +191,8 @@ let run_cmd =
                   ("width", Bv_obs.Json.Int width);
                   ("predictor", Bv_obs.Json.String (Kind.name predictor));
                   ("input", Bv_obs.Json.Int input);
-                  ("scale", Bv_obs.Json.float (Runner.scale ()))
+                  ("scale", Bv_obs.Json.float (Runner.scale ()));
+                  dag_field ()
                 ])
              (match report with Bv_obs.Json.Obj f -> f | _ -> []))
       | _ -> ());
@@ -224,16 +231,12 @@ let report_cmd =
     | Error e -> prerr_endline e; 1
     | Ok spec ->
       let sim = Sim.the () in
-      let b = Sim.prepare ~predictor sim spec in
       let inputs = if all then Runner.input_indices () else [ input ] in
       let acc =
-        (* accounted records are flat tables, so per-input runs fan out
-           across the fork pool and merge pointwise *)
-        match
-          Sim.map sim
-            (fun input -> Runner.simulate_accounted ~predictor b ~input ~width)
-            inputs
-        with
+        (* each accounted per-input run is a DAG node (flat tables, so
+           the store holds them whole); they fan out across the fork
+           pool with claim arbitration and merge pointwise *)
+        match Sim.accounted_list ~predictor sim spec ~inputs ~width with
         | [] -> assert false
         | first :: rest -> List.fold_left Runner.merge_accounted first rest
       in
@@ -357,7 +360,8 @@ let report_cmd =
                ("speedup_pct", float acc.Runner.acc_speedup_pct);
                ("baseline", Acct.to_json base);
                ("vanguard", Acct.to_json exp);
-               ("sites", List (List.map site_json ranked))
+               ("sites", List (List.map site_json ranked));
+               dag_field ()
              ]));
       0
   in
@@ -385,7 +389,7 @@ let profile_cmd =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
-      let b = Runner.prepare ~predictor spec in
+      let b = Sim.prepare ~predictor (Sim.the ()) spec in
       Format.printf "%a@." Bv_profile.Profile.pp (Runner.profile b);
       0
   in
@@ -402,7 +406,7 @@ let transform_cmd =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
-      let b = Runner.prepare spec in
+      let b = Sim.bench (Sim.the ()) spec in
       let sel = Runner.selection b in
       let tr = Runner.transform b in
       Format.printf
@@ -486,7 +490,8 @@ let experiment_cmd =
         (Bv_obs.Json.Obj
            [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("scale", Bv_obs.Json.float (Runner.scale ()));
-             ("experiments", Bv_obs.Json.List (List.rev !entries))
+             ("experiments", Bv_obs.Json.List (List.rev !entries));
+             dag_field ()
            ])
     | _ -> ());
     status
@@ -516,7 +521,8 @@ let dot_cmd =
     | Ok spec ->
       let program =
         if transformed then
-          (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program
+          (Runner.transform (Sim.bench (Sim.the ()) spec))
+            .Vanguard.Transform.program
         else Gen.generate ~input:1 spec
       in
       Format.printf "%a@." (Bv_ir.Dot.program ~bodies:false) program;
@@ -538,7 +544,7 @@ let trace_cmd =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
-      let b = Runner.prepare spec in
+      let b = Sim.bench (Sim.the ()) spec in
       let image =
         if transformed then Runner.experimental_program b ~input:1
         else Runner.baseline_program b ~input:1
@@ -601,7 +607,8 @@ let lint_cmd =
       | Ok spec ->
         add (name ^ ":baseline") (Gen.generate ~input:1 spec);
         add (name ^ ":transformed")
-          (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program));
+          (Runner.transform (Sim.bench (Sim.the ()) spec))
+            .Vanguard.Transform.program));
     if suites then
       List.iter
         (fun suite ->
@@ -611,7 +618,7 @@ let lint_cmd =
             add
               (Printf.sprintf "%s:%s:transformed" (Spec.suite_name suite)
                  spec.Spec.name)
-              (Runner.transform (Runner.prepare spec))
+              (Runner.transform (Sim.bench (Sim.the ()) spec))
                 .Vanguard.Transform.program)
         [ Spec.Int_2006; Spec.Fp_2006; Spec.Int_2000; Spec.Fp_2000 ];
     let targets = List.rev !targets in
@@ -641,6 +648,7 @@ let lint_cmd =
         (Bv_obs.Json.Obj
            [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("dbb_entries", Bv_obs.Json.Int dbb_entries);
+             dag_field ();
              ( "targets",
                Bv_obs.Json.List
                  (List.map
@@ -731,48 +739,62 @@ let prove_cmd =
                internal consistency of its predict/resolve regions *)
             add path (Equiv.verify_self ~scratch ~max_paths prog)))
       files;
+    (* Each bench proof and each fuzz seed is a DAG node: proofs fan out
+       across the session's workers, persist in the store, and re-prove
+       nothing on an unchanged re-run. The verdict diagnostics are plain
+       data, so the store holds them whole. *)
     List.iter
-      (fun name ->
-        match spec_of_name name with
+      (function
         | Error e ->
           prerr_endline e;
           failed := true
-        | Ok spec ->
-          (* the harness transforms the TRAIN program; regenerate it as the
-             reference and validate the transform output against it *)
-          let original = Gen.generate ~input:0 spec in
-          let transformed =
-            (Runner.transform (Runner.prepare spec)).Vanguard.Transform.program
-          in
-          add (name ^ ":transform")
-            (Equiv.verify ~scratch ~exit_live:Gen.live_at_exit ~max_paths
-               ~original transformed);
-          add (name ^ ":self")
-            (Equiv.verify_self ~scratch ~exit_live:Gen.live_at_exit ~max_paths
-               transformed))
-      benches;
+        | Ok pairs -> List.iter (fun (n, ds) -> add n ds) pairs)
+      (Sim.dag_map (Sim.the ()) ~kind:"prove"
+         ~label:(fun (name, _) -> name)
+         (fun (name, max_paths) ->
+           match spec_of_name name with
+           | Error e -> Error e
+           | Ok spec ->
+             (* the harness transforms the TRAIN program; regenerate it as
+                the reference and validate the transform output against it *)
+             let original = Gen.generate ~input:0 spec in
+             let transformed =
+               (Runner.transform (Sim.bench (Sim.the ()) spec))
+                 .Vanguard.Transform.program
+             in
+             Ok
+               [ ( name ^ ":transform",
+                   Equiv.verify ~scratch ~exit_live:Gen.live_at_exit
+                     ~max_paths ~original transformed );
+                 ( name ^ ":self",
+                   Equiv.verify_self ~scratch ~exit_live:Gen.live_at_exit
+                     ~max_paths transformed )
+               ])
+         (List.map (fun name -> (name, max_paths)) benches));
     (match fuzz with
     | None -> ()
     | Some n ->
-      for seed = 0 to n - 1 do
-        let prog = Fuzzgen.generate ~seed in
-        let image = Layout.program (Program.copy prog) in
-        let profile =
-          Bv_profile.Profile.collect
-            ~predictor:(Kind.create Kind.Always_not_taken)
-            image
-        in
-        let candidates =
-          (Vanguard.Select.select ~threshold:(-2.0) ~min_executed:0 ~profile
-             prog)
-            .Vanguard.Select.candidates
-        in
-        let result = Vanguard.Transform.apply ~candidates prog in
-        add
-          (Printf.sprintf "fuzz:%d" seed)
-          (Equiv.verify ~scratch ~max_paths ~original:prog
-             result.Vanguard.Transform.program)
-      done);
+      List.iteri
+        (fun seed diags -> add (Printf.sprintf "fuzz:%d" seed) diags)
+        (Sim.dag_map (Sim.the ()) ~kind:"prove-fuzz"
+           ~label:(fun (seed, _) -> Printf.sprintf "seed%d" seed)
+           (fun (seed, max_paths) ->
+             let prog = Fuzzgen.generate ~seed in
+             let image = Layout.program (Program.copy prog) in
+             let profile =
+               Bv_profile.Profile.collect
+                 ~predictor:(Kind.create Kind.Always_not_taken)
+                 image
+             in
+             let candidates =
+               (Vanguard.Select.select ~threshold:(-2.0) ~min_executed:0
+                  ~profile prog)
+                 .Vanguard.Select.candidates
+             in
+             let result = Vanguard.Transform.apply ~candidates prog in
+             Equiv.verify ~scratch ~max_paths ~original:prog
+               result.Vanguard.Transform.program)
+           (List.init n (fun seed -> (seed, max_paths)))));
     let results = List.rev !results in
     if results = [] && not !failed then begin
       prerr_endline
@@ -803,6 +825,7 @@ let prove_cmd =
              ("errors", Bv_obs.Json.Int errors);
              ("warnings", Bv_obs.Json.Int warnings);
              ("infos", Bv_obs.Json.Int (count Diagnostic.Info));
+             dag_field ();
              ( "targets",
                Bv_obs.Json.List
                  (List.map
@@ -906,12 +929,15 @@ let advise_cmd =
     let config = { Advisor.default_config with Advisor.dbb_entries = dbb } in
     let sim = Sim.the () in
     let inputs = if all then Runner.input_indices () else [ 1 ] in
-    (* Prepare, advise and (optionally) validate fan out across the fork
-       pool: everything a worker returns is plain marshal-safe data. *)
+    (* Prepare, advise and (optionally) validate are DAG nodes — one per
+       target, keyed by everything the verdict depends on — fanned out
+       across the session's workers. Everything a worker returns is
+       plain marshal-safe data. *)
     let results =
-      Sim.map sim
-        (fun spec ->
-          let b = Runner.prepare ~predictor spec in
+      Sim.dag_map sim ~kind:"advise"
+        ~label:(fun (spec, _) -> spec.Spec.name)
+        (fun (spec, (predictor, config, inputs, width, validate)) ->
+          let b = Sim.prepare ~predictor sim spec in
           let checked =
             if validate then
               Some (Runner.advise_validate ~predictor ~config ~inputs b ~width)
@@ -923,7 +949,9 @@ let advise_cmd =
             | None -> Runner.advise ~config b
           in
           (spec.Spec.name, advice, checked))
-        specs
+        (List.map
+           (fun spec -> (spec, (predictor, config, inputs, width, validate)))
+           specs)
     in
     let ppf =
       if json = Some "-" then Format.err_formatter else Format.std_formatter
@@ -1010,6 +1038,7 @@ let advise_cmd =
              ("corr_floor", float corr_floor);
              ("inputs", List (List.map (fun i -> Int i) inputs));
              ("scale", float (Runner.scale ()));
+             dag_field ();
              ( "targets",
                List
                  (List.map
@@ -1130,6 +1159,182 @@ let assemble_cmd =
        ~doc:"Assemble a hidden-ISA source file; print its layout.")
     Term.(const run $ path_arg $ simulate_arg)
 
+(* ------------------------------------------------------------------ dag *)
+
+let dag_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Cache directory to operate on (default: the session's store, \
+           \\$(b,BV_CACHE) or .bv-cache).")
+
+let resolve_dag_dir = function
+  | Some dir -> Ok dir
+  | None -> (
+    match Sim.cache_dir (Sim.the ()) with
+    | Some dir -> Ok dir
+    | None -> Error "cache disabled (BV_CACHE=none); pass --dir")
+
+let short_key k = if String.length k > 12 then String.sub k 0 12 else k
+
+let dag_status_cmd =
+  let run dir json =
+    match resolve_dag_dir dir with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+    | Ok dir ->
+      (match json with
+      | Some path -> write_json path (Dag.status_json dir)
+      | None ->
+        let es = Dag.entries dir in
+        let bytes = List.fold_left (fun a e -> a + e.Dag.e_bytes) 0 es in
+        Printf.printf "cache %s: %d node(s), %d bytes, code format %d\n" dir
+          (List.length es) bytes Dag.code_format;
+        let kinds =
+          List.sort_uniq compare (List.map (fun e -> e.Dag.e_kind) es)
+        in
+        List.iter
+          (fun kind ->
+            let of_kind = List.filter (fun e -> e.Dag.e_kind = kind) es in
+            Printf.printf "  %-12s %5d node(s) %12d bytes\n" kind
+              (List.length of_kind)
+              (List.fold_left (fun a e -> a + e.Dag.e_bytes) 0 of_kind))
+          kinds;
+        List.iter
+          (fun c ->
+            Printf.printf "  claim %s pid %d@%s age %.0fs%s\n"
+              (short_key c.Dag.c_key) c.Dag.c_pid c.Dag.c_host c.Dag.c_age
+              (if c.Dag.c_stale then " (stale)" else ""))
+          (Dag.claims dir));
+      0
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Summarize the DAG store: nodes per kind, bytes, live claims.")
+    Term.(const run $ dag_dir_arg $ json_arg)
+
+let dag_gc_cmd =
+  let run dir max_age_days max_size_mb dry_run json =
+    match resolve_dag_dir dir with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+    | Ok dir ->
+      let report =
+        Dag.gc
+          ?max_age:(Option.map (fun d -> d *. 86400.0) max_age_days)
+          ?max_bytes:
+            (Option.map (fun mb -> Float.to_int (mb *. 1024.0 *. 1024.0))
+               max_size_mb)
+          ~dry_run dir
+      in
+      (match json with
+      | Some path -> write_json path (Dag.gc_report_to_json report)
+      | None ->
+        let verb = if dry_run then "would remove" else "removed" in
+        Printf.printf
+          "cache %s: %d node(s), %d bytes; %s %d node(s), %d bytes%s\n" dir
+          report.Dag.gcr_examined report.Dag.gcr_bytes verb
+          (List.length report.Dag.gcr_removed)
+          report.Dag.gcr_removed_bytes
+          (if report.Dag.gcr_claims_broken = 0 then ""
+           else
+             Printf.sprintf "; %s %d stale claim(s)"
+               (if dry_run then "would break" else "broke")
+               report.Dag.gcr_claims_broken);
+        List.iter
+          (fun e ->
+            Printf.printf "  %s %s %-10s %s (%d bytes)\n" verb
+              (short_key e.Dag.e_key) e.Dag.e_kind e.Dag.e_label e.Dag.e_bytes)
+          report.Dag.gcr_removed);
+      0
+  in
+  let max_age_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-age-days" ] ~docv:"DAYS"
+          ~doc:"Prune nodes whose last use is older than $(docv).")
+  in
+  let max_size_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-size-mb" ] ~docv:"MB"
+          ~doc:
+            "After age pruning, evict least-recently-used nodes until the \
+             store fits in $(docv).")
+  in
+  let dry_run_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ] ~doc:"Report what would be pruned; touch nothing.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Prune the DAG store by age and size (least-recently-used first); \
+          always sweeps stale claims.")
+    Term.(
+      const run $ dag_dir_arg $ max_age_arg $ max_size_arg $ dry_run_arg
+      $ json_arg)
+
+let dag_explain_cmd =
+  let run dir key json =
+    match resolve_dag_dir dir with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+    | Ok dir -> (
+      match Dag.explain dir key with
+      | Error e ->
+        prerr_endline ("error: " ^ e);
+        1
+      | Ok x ->
+        (match json with
+        | Some path -> write_json path (Dag.explanation_to_json x)
+        | None ->
+          Printf.printf "node %s\n" x.Dag.x_key;
+          Printf.printf "  kind %s, label %s\n" x.Dag.x_kind x.Dag.x_label;
+          Printf.printf "  hash inputs: format %d, ocaml %s, inputs %s\n"
+            x.Dag.x_format x.Dag.x_ocaml x.Dag.x_inputs;
+          List.iter
+            (fun d -> Printf.printf "  dep %s\n" d)
+            x.Dag.x_deps;
+          Printf.printf "  created %s by pid %d in %.3fs\n" x.Dag.x_created_at
+            x.Dag.x_pid x.Dag.x_compute_seconds;
+          Printf.printf "  %d bytes, last used %.0fs ago\n" x.Dag.x_bytes
+            x.Dag.x_age;
+          if x.Dag.x_events <> [] then begin
+            Printf.printf "  provenance:\n";
+            List.iter (fun e -> Printf.printf "    %s\n" e) x.Dag.x_events
+          end);
+        0)
+  in
+  let key_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Node key (a unique hex prefix suffices).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show one stored node's hash inputs, dependencies and hit/miss \
+          provenance.")
+    Term.(const run $ dag_dir_arg $ key_arg $ json_arg)
+
+let dag_cmd =
+  Cmd.group
+    (Cmd.info "dag"
+       ~doc:
+         "Inspect and maintain the memoized experiment DAG store that every \
+          run path persists into (BV_CACHE).")
+    [ dag_status_cmd; dag_gc_cmd; dag_explain_cmd ]
+
 (* --------------------------------------------------------------- disasm *)
 
 let disasm_cmd =
@@ -1153,7 +1358,7 @@ let main =
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
     [ list_cmd; run_cmd; report_cmd; profile_cmd; transform_cmd;
       experiment_cmd; disasm_cmd; dot_cmd; lint_cmd; prove_cmd; advise_cmd;
-      assemble_cmd; trace_cmd
+      assemble_cmd; trace_cmd; dag_cmd
     ]
 
 let () = exit (Cmd.eval' main)

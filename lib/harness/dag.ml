@@ -1,0 +1,732 @@
+(* Bump whenever any cached stage changes meaning — pipeline semantics,
+   node payload types, experiment row formulas: cached values from older
+   formats then miss instead of lying. (Format 1 was the pre-DAG
+   [.bench] artifact cache.) *)
+let code_format = 2
+
+type counters =
+  { hits : int;
+    misses : int;
+    stolen : int
+  }
+
+type mut_counters =
+  { mutable m_hits : int;
+    mutable m_misses : int;
+    mutable m_stolen : int
+  }
+
+type t =
+  { dir : string option;
+    format : int;
+    c : mut_counters;
+    memo : (string, Obj.t) Hashtbl.t
+  }
+
+type 'a node =
+  { n_kind : string;
+    n_label : string;
+    n_inputs : string;  (* fingerprint of the inputs value *)
+    n_deps : string list;
+    n_compute : unit -> 'a
+  }
+
+let fingerprint v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let node ~kind ?label ?(deps = []) ~inputs compute =
+  { n_kind = kind;
+    n_label = (match label with Some l -> l | None -> kind);
+    n_inputs = fingerprint inputs;
+    n_deps = deps;
+    n_compute = compute
+  }
+
+let create ?(format = code_format) ?dir () =
+  { dir;
+    format;
+    c = { m_hits = 0; m_misses = 0; m_stolen = 0 };
+    memo = Hashtbl.create 64
+  }
+
+(* The key chains dependency keys, so invalidation propagates: change one
+   node's inputs and exactly its downstream cone gets new keys. The
+   compiler version rides along because marshalled payloads are not
+   stable across it. *)
+let key t n =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.format, Sys.ocaml_version, n.n_kind, n.n_inputs, n.n_deps)
+          []))
+
+type provenance = Hit | Miss | Stolen
+
+let count t = function
+  | Hit -> t.c.m_hits <- t.c.m_hits + 1
+  | Miss -> t.c.m_misses <- t.c.m_misses + 1
+  | Stolen -> t.c.m_stolen <- t.c.m_stolen + 1
+
+let counters t = { hits = t.c.m_hits; misses = t.c.m_misses; stolen = t.c.m_stolen }
+
+let counters_json t =
+  let open Bv_obs.Json in
+  Obj
+    [ ("hits", Int t.c.m_hits);
+      ("misses", Int t.c.m_misses);
+      ("stolen", Int t.c.m_stolen);
+      ("nodes", Int (t.c.m_hits + t.c.m_misses + t.c.m_stolen))
+    ]
+
+(* ------------------------------------------------------------- the store *)
+
+let node_path dir k = Filename.concat dir (k ^ ".node")
+let meta_path dir k = Filename.concat dir (k ^ ".meta")
+let claim_path dir k = Filename.concat dir (k ^ ".claim")
+let log_path dir = Filename.concat dir "dag.log"
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let env_seconds name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+(* How long an awaiting process waits for a claimed node before giving up
+   (the owner may legitimately be simulating for a long time). *)
+let wait_budget = lazy (env_seconds "BV_DAG_WAIT" 3600.0)
+
+(* Age past which a claim from another host is presumed abandoned (pid
+   liveness is only checkable on this host). *)
+let claim_ttl = lazy (env_seconds "BV_DAG_CLAIM_TTL" 900.0)
+
+let poll_interval = 0.05
+
+let iso8601 time =
+  let tm = Unix.gmtime time in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* One O_APPEND write per event: short lines are atomic, so concurrent
+   evaluators interleave whole records. This is the provenance [explain]
+   replays. *)
+let log_event dir event k ~kind ~label =
+  try
+    let fd =
+      Unix.openfile (log_path dir)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    let line =
+      Printf.sprintf "%s pid=%d %s %s %s %s\n"
+        (iso8601 (Unix.time ()))
+        (Unix.getpid ()) event k kind label
+    in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    Unix.close fd
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let load_value dir k =
+  let path = node_path dir k in
+  if Sys.file_exists path then (
+    match In_channel.with_open_bin path Marshal.from_channel with
+    | v ->
+      (* touch: gc prunes least-recently-used first *)
+      (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+      Some v
+    | exception _ -> None)
+  else None
+
+let store_value t dir k n v ~seconds =
+  try
+    ensure_dir dir;
+    let tmp = Printf.sprintf "%s.tmp.%d" (node_path dir k) (Unix.getpid ()) in
+    Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc v []);
+    (* rename is atomic: concurrent readers never see a torn value *)
+    Sys.rename tmp (node_path dir k);
+    let meta =
+      let open Bv_obs.Json in
+      Obj
+        [ ("key", String k);
+          ("kind", String n.n_kind);
+          ("label", String n.n_label);
+          ("format", Int t.format);
+          ("ocaml", String Sys.ocaml_version);
+          ("inputs", String n.n_inputs);
+          ("deps", List (List.map (fun d -> String d) n.n_deps));
+          ("created_at", String (iso8601 (Unix.time ())));
+          ("pid", Int (Unix.getpid ()));
+          ("compute_seconds", float seconds)
+        ]
+    in
+    let mtmp = Printf.sprintf "%s.tmp.%d" (meta_path dir k) (Unix.getpid ()) in
+    Out_channel.with_open_text mtmp (fun oc ->
+        Bv_obs.Json.to_channel oc meta);
+    Sys.rename mtmp (meta_path dir k)
+  with _ -> ()
+
+(* ----------------------------------------------------------- claim files *)
+
+let try_claim dir k =
+  ensure_dir dir;
+  match
+    Unix.openfile (claim_path dir k)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ]
+      0o644
+  with
+  | fd ->
+    let line =
+      Printf.sprintf "%d %s %.0f\n" (Unix.getpid ()) (Unix.gethostname ())
+        (Unix.time ())
+    in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    Unix.close fd;
+    true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  (* A store that cannot take claims (permissions, read-only mount)
+     degrades to uncoordinated-but-correct: compute locally. *)
+  | exception Unix.Unix_error _ -> true
+
+let release_claim dir k =
+  try Sys.remove (claim_path dir k) with Sys_error _ -> ()
+
+let claim_info dir k =
+  match
+    In_channel.with_open_text (claim_path dir k) In_channel.input_all
+  with
+  | exception Sys_error _ -> None (* vanished: owner finished or crashed *)
+  | text -> (
+    match String.split_on_char ' ' (String.trim text) with
+    | pid :: host :: stamp :: _ ->
+      let pid = try int_of_string pid with _ -> 0 in
+      let age =
+        try Unix.time () -. float_of_string stamp with _ -> infinity
+      in
+      Some (pid, host, age)
+    | _ -> Some (0, "", infinity))
+
+let claim_stale dir k =
+  match claim_info dir k with
+  | None -> false
+  | Some (pid, host, age) ->
+    if host = Unix.gethostname () && pid > 0 then (
+      (* same host: the pid tells the truth, no TTL guessing *)
+      match Unix.kill pid 0 with
+      | () -> false
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+      | exception Unix.Unix_error _ -> age > Lazy.force claim_ttl)
+    else age > Lazy.force claim_ttl
+
+(* ------------------------------------------------------------ evaluation *)
+
+let memoize t k v = Hashtbl.replace t.memo k (Obj.repr v)
+
+(* Claim-or-skip: compute [n] only if nobody has published it and we win
+   the claim; [None] means someone else owns it (or already stored it).
+   Safe to run in a forked worker — the store and log writes are atomic,
+   and the claim is released even if compute raises. *)
+let attempt_exclusive t n k =
+  match t.dir with
+  | None ->
+    let v = n.n_compute () in
+    memoize t k v;
+    Some v
+  | Some dir ->
+    if Sys.file_exists (node_path dir k) then None
+    else if try_claim dir k then
+      Some
+        (Fun.protect
+           ~finally:(fun () -> release_claim dir k)
+           (fun () ->
+             let t0 = Unix.gettimeofday () in
+             let v = n.n_compute () in
+             store_value t dir k n v ~seconds:(Unix.gettimeofday () -. t0);
+             log_event dir "miss" k ~kind:n.n_kind ~label:n.n_label;
+             memoize t k v;
+             v))
+    else None
+
+(* Somebody else claimed [k]: poll for their published value, take over
+   if their claim disappears without a value (crash before store) or
+   goes stale (dead pid / cross-host TTL). *)
+let await t n k =
+  let dir = match t.dir with Some d -> d | None -> assert false in
+  let deadline = Unix.gettimeofday () +. Lazy.force wait_budget in
+  let rec loop () =
+    match load_value dir k with
+    | Some v ->
+      memoize t k v;
+      log_event dir "stolen" k ~kind:n.n_kind ~label:n.n_label;
+      (Stolen, v)
+    | None ->
+      if not (Sys.file_exists (claim_path dir k)) then (
+        match attempt_exclusive t n k with
+        | Some v -> (Miss, v)
+        | None ->
+          (* lost the re-acquire race; the new owner is at work *)
+          Unix.sleepf poll_interval;
+          loop ())
+      else if claim_stale dir k then begin
+        release_claim dir k;
+        loop ()
+      end
+      else if Unix.gettimeofday () > deadline then
+        failwith
+          (Printf.sprintf
+             "Dag: timed out after %.0fs awaiting node %s (%s %s); if its \
+              owner is gone, remove %s"
+             (Lazy.force wait_budget) k n.n_kind n.n_label
+             (claim_path dir k))
+      else begin
+        Unix.sleepf poll_interval;
+        loop ()
+      end
+  in
+  loop ()
+
+let eval t n =
+  let k = key t n in
+  match Hashtbl.find_opt t.memo k with
+  | Some v ->
+    count t Hit;
+    Obj.obj v
+  | None -> (
+    match t.dir with
+    | None -> (
+      match attempt_exclusive t n k with
+      | Some v -> count t Miss; v
+      | None -> assert false)
+    | Some dir -> (
+      match load_value dir k with
+      | Some v ->
+        memoize t k v;
+        log_event dir "hit" k ~kind:n.n_kind ~label:n.n_label;
+        count t Hit;
+        v
+      | None -> (
+        match attempt_exclusive t n k with
+        | Some v -> count t Miss; v
+        | None ->
+          let p, v = await t n k in
+          count t p;
+          v)))
+
+(* Cooperative sweep. Pass 1 resolves memo and store hits in the parent;
+   the rest fan out over {!Pool.scatter} workers whose plans all cover
+   every pending node from different offsets — the claim files arbitrate
+   who computes what (work stealing both between our workers and against
+   other processes on the same store). Workers send back only values
+   they computed; anything still missing afterwards was computed by a
+   foreign process and is awaited in the parent. Results reassemble by
+   index, so [jobs:n] output is byte-identical to [jobs:1]. *)
+let eval_list ?(jobs = 1) t ns =
+  let ns = Array.of_list ns in
+  let n = Array.length ns in
+  if n = 0 then []
+  else begin
+    let keys = Array.map (key t) ns in
+    let results = Array.make n None in
+    Array.iteri
+      (fun i k ->
+        match Hashtbl.find_opt t.memo k with
+        | Some v ->
+          results.(i) <- Some (Obj.obj v);
+          count t Hit
+        | None -> (
+          match t.dir with
+          | None -> ()
+          | Some dir -> (
+            match load_value dir k with
+            | Some v ->
+              memoize t k v;
+              log_event dir "hit" k ~kind:ns.(i).n_kind ~label:ns.(i).n_label;
+              results.(i) <- Some v;
+              count t Hit
+            | None -> ())))
+      keys;
+    let pend =
+      Array.of_list
+        (List.filter
+           (fun i -> Option.is_none results.(i))
+           (List.init n Fun.id))
+    in
+    let m = Array.length pend in
+    if m > 0 then begin
+      let plan =
+        match t.dir with
+        | Some _ ->
+          (* circular scan from a per-worker offset: full coverage, so a
+             worker that drains its own region steals the tail *)
+          fun jobs w ->
+            let off = w * m / jobs in
+            Seq.init m (fun j -> (off + j) mod m)
+        | None ->
+          (* no claims to arbitrate: disjoint strides, as Pool.map *)
+          fun jobs w ->
+            Seq.unfold (fun j -> if j < m then Some (j, j + jobs) else None) w
+      in
+      let step j = attempt_exclusive t ns.(pend.(j)) keys.(pend.(j)) in
+      let gathered = Hashtbl.create 8 in
+      let gather j =
+        Hashtbl.replace gathered j ();
+        let i = pend.(j) in
+        match t.dir with
+        | None ->
+          raise
+            (Pool.Worker_failure
+               { index = i;
+                 message = "worker died before finishing item";
+                 backtrace = ""
+               })
+        | Some dir -> (
+          match load_value dir keys.(i) with
+          | Some v ->
+            memoize t keys.(i) v;
+            log_event dir "stolen" keys.(i) ~kind:ns.(i).n_kind
+              ~label:ns.(i).n_label;
+            count t Stolen;
+            v
+          | None ->
+            let p, v = await t ns.(i) keys.(i) in
+            count t p;
+            v)
+      in
+      let vs = Pool.scatter ~jobs ~plan ~step ~gather m in
+      List.iteri
+        (fun j v ->
+          let i = pend.(j) in
+          results.(i) <- Some v;
+          memoize t keys.(i) v;
+          if not (Hashtbl.mem gathered j) then count t Miss)
+        vs
+    end;
+    Array.to_list (Array.map Option.get results)
+  end
+
+(* ------------------------------------------------------------ maintenance *)
+
+type entry =
+  { e_key : string;
+    e_kind : string;
+    e_label : string;
+    e_bytes : int;
+    e_age : float
+  }
+
+let read_meta dir k =
+  let str field json d =
+    match Bv_obs.Json.member field json with
+    | Some (Bv_obs.Json.String s) -> s
+    | _ -> d
+  in
+  match In_channel.with_open_text (meta_path dir k) In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+    match Bv_obs.Json.of_string text with
+    | Error _ -> None
+    | Ok json -> Some (json, str "kind" json "?", str "label" json "?"))
+
+let entry_of dir suffix file =
+  let k = Filename.chop_suffix file suffix in
+  match Unix.stat (Filename.concat dir file) with
+  | exception Unix.Unix_error _ -> None
+  | st ->
+    let kind, label =
+      if suffix = ".bench" then ("legacy", "pre-dag artifact")
+      else
+        match read_meta dir k with
+        | Some (_, kind, label) -> (kind, label)
+        | None -> ("?", "?")
+    in
+    Some
+      { e_key = k;
+        e_kind = kind;
+        e_label = label;
+        e_bytes = st.Unix.st_size;
+        e_age = Unix.time () -. st.Unix.st_mtime
+      }
+
+let entries dir =
+  let files =
+    match Sys.readdir dir with
+    | files -> Array.to_list files
+    | exception Sys_error _ -> []
+  in
+  let of_suffix suffix =
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f suffix then entry_of dir suffix f else None)
+      files
+  in
+  List.sort
+    (fun a b -> Float.compare b.e_age a.e_age)
+    (of_suffix ".node" @ of_suffix ".bench")
+
+type claim =
+  { c_key : string;
+    c_pid : int;
+    c_host : string;
+    c_age : float;
+    c_stale : bool
+  }
+
+let claims dir =
+  let files =
+    match Sys.readdir dir with
+    | files -> Array.to_list files
+    | exception Sys_error _ -> []
+  in
+  List.filter_map
+    (fun f ->
+      if not (Filename.check_suffix f ".claim") then None
+      else
+        let k = Filename.chop_suffix f ".claim" in
+        match claim_info dir k with
+        | None -> None
+        | Some (pid, host, age) ->
+          Some
+            { c_key = k;
+              c_pid = pid;
+              c_host = host;
+              c_age = age;
+              c_stale = claim_stale dir k
+            })
+    files
+
+let status_json dir =
+  let open Bv_obs.Json in
+  let es = entries dir in
+  let kinds =
+    List.sort_uniq compare (List.map (fun e -> e.e_kind) es)
+  in
+  let by_kind kind =
+    let of_kind = List.filter (fun e -> e.e_kind = kind) es in
+    Obj
+      [ ("kind", String kind);
+        ("entries", Int (List.length of_kind));
+        ("bytes", Int (List.fold_left (fun a e -> a + e.e_bytes) 0 of_kind))
+      ]
+  in
+  Obj
+    [ ("schema_version", Int schema_version);
+      ("dir", String dir);
+      ("format", Int code_format);
+      ("entries", Int (List.length es));
+      ("bytes", Int (List.fold_left (fun a e -> a + e.e_bytes) 0 es));
+      ("kinds", List (List.map by_kind kinds));
+      ( "claims",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [ ("key", String c.c_key);
+                   ("pid", Int c.c_pid);
+                   ("host", String c.c_host);
+                   ("age_seconds", float c.c_age);
+                   ("stale", Bool c.c_stale)
+                 ])
+             (claims dir)) )
+    ]
+
+type gc_report =
+  { gcr_examined : int;
+    gcr_bytes : int;
+    gcr_removed : entry list;
+    gcr_removed_bytes : int;
+    gcr_claims_broken : int;
+    gcr_dry_run : bool
+  }
+
+let max_log_bytes = 512 * 1024
+let kept_log_lines = 2000
+
+let gc ?max_age ?max_bytes ~dry_run dir =
+  let es = entries dir in
+  let total = List.fold_left (fun a e -> a + e.e_bytes) 0 es in
+  let aged, kept =
+    match max_age with
+    | None -> ([], es)
+    | Some age -> List.partition (fun e -> e.e_age > age) es
+  in
+  (* [entries] sorts oldest first, so dropping from the front of [kept]
+     evicts least-recently-used entries until the budget fits. *)
+  let over_budget =
+    match max_bytes with
+    | None -> []
+    | Some budget ->
+      let rec drop kept size =
+        match kept with
+        | e :: rest when size > budget -> e :: drop rest (size - e.e_bytes)
+        | _ -> []
+      in
+      drop kept (List.fold_left (fun a e -> a + e.e_bytes) 0 kept)
+  in
+  let removed = aged @ over_budget in
+  let stale = List.filter (fun c -> c.c_stale) (claims dir) in
+  if not dry_run then begin
+    List.iter
+      (fun e ->
+        let rm suffix =
+          try Sys.remove (Filename.concat dir (e.e_key ^ suffix))
+          with Sys_error _ -> ()
+        in
+        if e.e_kind = "legacy" then rm ".bench" else rm ".node";
+        rm ".meta")
+      removed;
+    List.iter (fun c -> release_claim dir c.c_key) stale;
+    (* keep the provenance log from growing without bound *)
+    (try
+       if (Unix.stat (log_path dir)).Unix.st_size > max_log_bytes then begin
+         let lines =
+           String.split_on_char '\n'
+             (In_channel.with_open_text (log_path dir) In_channel.input_all)
+         in
+         let keep = List.filteri
+             (fun i _ -> i >= List.length lines - kept_log_lines)
+             lines
+         in
+         let tmp = log_path dir ^ ".tmp" in
+         Out_channel.with_open_text tmp (fun oc ->
+             Out_channel.output_string oc (String.concat "\n" keep));
+         Sys.rename tmp (log_path dir)
+       end
+     with Unix.Unix_error _ | Sys_error _ -> ())
+  end;
+  { gcr_examined = List.length es;
+    gcr_bytes = total;
+    gcr_removed = removed;
+    gcr_removed_bytes = List.fold_left (fun a e -> a + e.e_bytes) 0 removed;
+    gcr_claims_broken = List.length stale;
+    gcr_dry_run = dry_run
+  }
+
+let gc_report_to_json r =
+  let open Bv_obs.Json in
+  Obj
+    [ ("schema_version", Int schema_version);
+      ("examined", Int r.gcr_examined);
+      ("bytes", Int r.gcr_bytes);
+      ("removed", Int (List.length r.gcr_removed));
+      ("removed_bytes", Int r.gcr_removed_bytes);
+      ("claims_broken", Int r.gcr_claims_broken);
+      ("dry_run", Bool r.gcr_dry_run);
+      ( "removed_entries",
+        List
+          (List.map
+             (fun e ->
+               Obj
+                 [ ("key", String e.e_key);
+                   ("kind", String e.e_kind);
+                   ("label", String e.e_label);
+                   ("bytes", Int e.e_bytes)
+                 ])
+             r.gcr_removed) )
+    ]
+
+type explanation =
+  { x_key : string;
+    x_kind : string;
+    x_label : string;
+    x_format : int;
+    x_ocaml : string;
+    x_inputs : string;
+    x_deps : string list;
+    x_created_at : string;
+    x_pid : int;
+    x_compute_seconds : float;
+    x_bytes : int;
+    x_age : float;
+    x_events : string list
+  }
+
+let explain dir prefix =
+  let matching =
+    List.filter
+      (fun e -> String.starts_with ~prefix e.e_key)
+      (entries dir)
+  in
+  match matching with
+  | [] -> Error (Printf.sprintf "no stored node matches %s" prefix)
+  | _ :: _ :: _ ->
+    Error
+      (Printf.sprintf "%d stored nodes match %s; give more hex digits"
+         (List.length matching) prefix)
+  | [ e ] ->
+    let json_str field json d =
+      match Bv_obs.Json.member field json with
+      | Some (Bv_obs.Json.String s) -> s
+      | _ -> d
+    in
+    let json_int field json d =
+      match Bv_obs.Json.member field json with
+      | Some (Bv_obs.Json.Int i) -> i
+      | _ -> d
+    in
+    let meta = read_meta dir e.e_key in
+    let json = match meta with Some (j, _, _) -> j | None -> Bv_obs.Json.Null in
+    let events =
+      match
+        In_channel.with_open_text (log_path dir) In_channel.input_all
+      with
+      | exception Sys_error _ -> []
+      | text ->
+        List.filter
+          (fun line ->
+            let contains =
+              let kl = String.length e.e_key and ll = String.length line in
+              let rec scan i =
+                i + kl <= ll && (String.sub line i kl = e.e_key || scan (i + 1))
+              in
+              scan 0
+            in
+            line <> "" && contains)
+          (String.split_on_char '\n' text)
+    in
+    Ok
+      { x_key = e.e_key;
+        x_kind = e.e_kind;
+        x_label = e.e_label;
+        x_format = json_int "format" json 0;
+        x_ocaml = json_str "ocaml" json "?";
+        x_inputs = json_str "inputs" json "?";
+        x_deps =
+          (match Bv_obs.Json.member "deps" json with
+          | Some (Bv_obs.Json.List ds) ->
+            List.filter_map
+              (function Bv_obs.Json.String s -> Some s | _ -> None)
+              ds
+          | _ -> []);
+        x_created_at = json_str "created_at" json "?";
+        x_pid = json_int "pid" json 0;
+        x_compute_seconds =
+          (match Bv_obs.Json.member "compute_seconds" json with
+          | Some (Bv_obs.Json.Float f) -> f
+          | Some (Bv_obs.Json.Int i) -> float_of_int i
+          | _ -> 0.0);
+        x_bytes = e.e_bytes;
+        x_age = e.e_age;
+        x_events = events
+      }
+
+let explanation_to_json x =
+  let open Bv_obs.Json in
+  Obj
+    [ ("schema_version", Int schema_version);
+      ("key", String x.x_key);
+      ("kind", String x.x_kind);
+      ("label", String x.x_label);
+      ("format", Int x.x_format);
+      ("ocaml", String x.x_ocaml);
+      ("inputs", String x.x_inputs);
+      ("deps", List (List.map (fun d -> String d) x.x_deps));
+      ("created_at", String x.x_created_at);
+      ("pid", Int x.x_pid);
+      ("compute_seconds", float x.x_compute_seconds);
+      ("bytes", Int x.x_bytes);
+      ("age_seconds", float x.x_age);
+      ("events", List (List.map (fun e -> String e) x.x_events))
+    ]

@@ -12,16 +12,21 @@ let progress fmt =
 (* ------------------------------------------------------------------ lab *)
 
 (* All prepare/simulate traffic goes through the shared default session:
-   prepared benches are memoised there, compile artifacts hit the
-   content-hashed disk cache, and [pmap] fans row-level work out across
-   the session's workers (BV_JOBS / --jobs). Worker results are
-   reassembled by index, so a parallel run emits byte-identical tables
-   to a serial one. *)
+   every stage is a node of its memoized experiment DAG, persisted in
+   the content-hashed BV_CACHE store, and [rows] fans row-level work out
+   across the session's workers (BV_JOBS / --jobs) with claim-file work
+   stealing. Worker results are reassembled by index, so a parallel run
+   emits byte-identical tables to a serial one — and a re-run with
+   unchanged inputs recomputes nothing. *)
 let sim = lazy (Sim.the ())
 
 let bench spec = Sim.bench (Lazy.force sim) spec
 
-let pmap f items = Sim.map (Lazy.force sim) f items
+(* One DAG node per table row: kind ["row:<experiment>"], keyed by the
+   item and the workload scale. The worker body must be a pure function
+   of its item (plus code frozen under {!Dag.code_format}). *)
+let rows ~id ?label f items =
+  Sim.dag_map (Lazy.force sim) ~kind:("row:" ^ id) ?label f items
 
 (* Collapse whitespace runs so multi-line string literals render cleanly. *)
 let normalize text =
@@ -88,7 +93,8 @@ let table1 ppf =
 let bias_predictability_curve suite =
   let points = 40 in
   let curves =
-    pmap
+    rows ~id:"curve"
+      ~label:(fun spec -> spec.Spec.name)
       (fun spec ->
         let profile = Runner.profile (bench spec) in
         let sites =
@@ -151,15 +157,19 @@ let fig3 ppf =
 
 let table2 ppf =
   heading ppf "Table 2: SPEC 2006 Int and FP metrics (4-wide), sorted by SPD";
-  let rows =
-    pmap
+  let data =
+    rows ~id:"table2"
+      ~label:(fun spec -> spec.Spec.name)
       (fun spec ->
         progress "table2 %s" spec.Spec.name;
-        Metrics.table2_row (bench spec))
+        (* avg speedup via the shared summary nodes — table2 and the
+           speedup figures then reuse each other's simulations *)
+        let spd = Sim.avg_speedup (Lazy.force sim) spec ~width:4 in
+        Metrics.table2_row ~spd (bench spec))
       (Suites.int_2006 @ Suites.fp_2006)
   in
   let rows =
-    List.sort (fun a b -> Float.compare b.Metrics.spd a.Metrics.spd) rows
+    List.sort (fun a b -> Float.compare b.Metrics.spd a.Metrics.spd) data
   in
   emit ~csv:"table2" ppf
     ~headers:
@@ -189,11 +199,12 @@ let speedup_figure ?csv ppf ~title ~suite ~pick =
   (* One work item per benchmark: each returns its per-width speedups, so
      workers carry only (name, floats) back and the parent renders. *)
   let data =
-    pmap
+    rows
+      ~id:(Option.value csv ~default:"fig")
+      ~label:(fun spec -> spec.Spec.name)
       (fun spec ->
         progress "%s %s" title spec.Spec.name;
-        let b = bench spec in
-        (spec.Spec.name, List.map (fun w -> pick b ~width:w) widths))
+        (spec.Spec.name, List.map (fun w -> pick spec ~width:w) widths))
       (Suites.of_suite suite)
   in
   let s4 speedups = List.nth speedups 1 (* widths = [2; 4; 8] *) in
@@ -216,8 +227,8 @@ let speedup_figure ?csv ppf ~title ~suite ~pick =
     ~headers:[ "Benchmark"; "2-wide"; "4-wide"; "8-wide"; "(4-wide bar)" ]
     (rows @ [ ("GEOMEAN" :: geos) @ [ "" ] ])
 
-let avg b ~width = Runner.avg_speedup b ~width
-let best b ~width = Runner.best_speedup b ~width
+let avg spec ~width = Sim.avg_speedup (Lazy.force sim) spec ~width
+let best spec ~width = Sim.best_speedup (Lazy.force sim) spec ~width
 
 let fig8 ppf =
   speedup_figure ~csv:"fig8" ppf
@@ -251,11 +262,11 @@ let fig13 ppf =
 
 (* ---------------------------------------------------------------- fig14 *)
 
-let issued_increase b =
+let issued_increase spec =
   let per_input input =
-    let pair = Runner.simulate b ~input ~width:4 in
-    let bi = pair.Runner.base.Machine.stats.Stats.issued in
-    let ei = pair.Runner.exp.Machine.stats.Stats.issued in
+    let s = Sim.summary (Lazy.force sim) spec ~input ~width:4 in
+    let bi = s.Runner.sum_base.Stats.issued in
+    let ei = s.Runner.sum_exp.Stats.issued in
     100.0 *. (Float.of_int ei /. Float.of_int (max 1 bi) -. 1.0)
   in
   Agg.mean (List.map per_input (List.init Suites.ref_inputs (fun k -> k + 1)))
@@ -264,15 +275,16 @@ let fig14 ppf =
   heading ppf
     "Figure 14: % increase in instructions issued, 4-wide experimental vs \
      baseline, SPEC 2006";
-  let rows =
-    pmap
+  let data =
+    rows ~id:"fig14"
+      ~label:(fun spec -> spec.Spec.name)
       (fun spec ->
         progress "fig14 %s" spec.Spec.name;
-        let v = issued_increase (bench spec) in
+        let v = issued_increase spec in
         [ spec.Spec.name; Text.f2 v; Text.bar v ~width:30 ~scale:0.25 ])
       (Suites.int_2006 @ Suites.fp_2006)
   in
-  emit ~csv:"fig14" ppf ~headers:[ "Benchmark"; "%issued increase"; "" ] rows
+  emit ~csv:"fig14" ppf ~headers:[ "Benchmark"; "%issued increase"; "" ] data
 
 (* ---------------------------------------------------------- sensitivity *)
 
@@ -281,18 +293,20 @@ let sensitivity ppf =
     "Sensitivity (5.3): speedup vs branch predictor, hard-to-predict \
      benchmarks";
   let names = [ "astar"; "sjeng"; "gobmk"; "mcf" ] in
-  let rows =
+  let data =
     List.concat
-      (pmap
+      (rows ~id:"sens" ~label:Fun.id
          (fun name ->
            let spec = Option.get (Suites.find name) in
-           let b = bench spec in
            List.map
              (fun kind ->
                progress "sensitivity %s/%s" name (Kind.name kind);
-            let pair = Runner.simulate ~predictor:kind b ~input:1 ~width:4 in
+            let sum =
+              Sim.summary ~predictor:kind (Lazy.force sim) spec ~input:1
+                ~width:4
+            in
             let mr =
-              let s = pair.Runner.base.Machine.stats in
+              let s = sum.Runner.sum_base in
               100.0
               *. Float.of_int (Stats.mispredicts s)
               /. Float.of_int (max 1 s.Stats.branch_execs)
@@ -300,14 +314,14 @@ let sensitivity ppf =
             [ name;
               Kind.name kind;
               Text.f2 mr;
-              Text.f2 pair.Runner.speedup_pct
+              Text.f2 sum.Runner.sum_speedup_pct
             ])
              Kind.sensitivity_ladder)
          names)
   in
   emit ~csv:"sensitivity" ppf
     ~headers:[ "Benchmark"; "Predictor"; "mispredict%"; "speedup%" ]
-    rows
+    data
 
 (* --------------------------------------------------------------- icache *)
 
@@ -321,21 +335,24 @@ let icache ppf =
     }
   in
   let specs = Suites.int_2006 @ Suites.fp_2006 in
-  let rows =
-    pmap
+  let data =
+    rows ~id:"icache"
+      ~label:(fun spec -> spec.Spec.name)
       (fun spec ->
         progress "icache %s" spec.Spec.name;
-        let b = bench spec in
-        let big = Runner.simulate b ~input:1 ~width:4 in
-        let small = Runner.simulate ~cache:small_cache b ~input:1 ~width:4 in
+        let big = Sim.summary (Lazy.force sim) spec ~input:1 ~width:4 in
+        let small =
+          Sim.summary ~cache:small_cache (Lazy.force sim) spec ~input:1
+            ~width:4
+        in
         let delta =
           100.0
-          *. (Float.of_int small.Runner.exp.Machine.stats.Stats.cycles
-              /. Float.of_int (max 1 big.Runner.exp.Machine.stats.Stats.cycles)
+          *. (Float.of_int small.Runner.sum_exp.Stats.cycles
+              /. Float.of_int (max 1 big.Runner.sum_exp.Stats.cycles)
              -. 1.0)
         in
         let shadow =
-          let s = big.Runner.exp.Machine.stats in
+          let s = big.Runner.sum_exp in
           if s.Stats.icache_misses = 0 then 0.0
           else
             100.0
@@ -346,17 +363,17 @@ let icache ppf =
           [ spec.Spec.name;
             Text.f2 delta;
             Text.f1 shadow;
-            Text.f1 (Runner.piscs b)
+            Text.f1 (Runner.piscs (bench spec))
           ] ))
       specs
   in
   let geo =
-    Agg.geomean_speedup_pct (List.map (fun (d, _) -> d) rows)
+    Agg.geomean_speedup_pct (List.map (fun (d, _) -> d) data)
   in
   emit ~csv:"icache" ppf
     ~headers:
       [ "Benchmark"; "%slowdown 24KB I$"; "%I$ miss in shadow"; "PISCS" ]
-    (List.map snd rows @ [ [ "GEOMEAN"; Text.f2 geo; ""; "" ] ])
+    (List.map snd data @ [ [ "GEOMEAN"; Text.f2 geo; ""; "" ] ])
 
 (* ------------------------------------------------------------------ dbb *)
 
@@ -368,30 +385,31 @@ let dbb ppf =
       Format.fprintf ppf
         "%-10s avg occupancy %.2f, max %d, full-stall cycles %d@." name
         avg_occ max_occ full)
-    (pmap
+    (rows ~id:"dbb-occ" ~label:Fun.id
        (fun name ->
          let spec = Option.get (Suites.find name) in
-         let b = bench spec in
-         let pair = Runner.simulate b ~input:1 ~width:4 in
-         let s = pair.Runner.exp.Machine.stats in
+         let s =
+           (Sim.summary (Lazy.force sim) spec ~input:1 ~width:4)
+             .Runner.sum_exp
+         in
          ( name,
            Stats.dbb_avg_occupancy s,
            s.Stats.dbb_max_occupancy,
            s.Stats.dbb_full_stalls ))
        names);
   Format.fprintf ppf "@.Entry-count sweep (h264ref, 4-wide):@.";
-  let spec = Option.get (Suites.find "h264ref") in
-  let b = bench spec in
-  let base_img = Runner.baseline_program b ~input:1 in
-  let exp_img = Runner.experimental_program b ~input:1 in
   List.iter
     (fun (entries, spd, full) ->
       Format.fprintf ppf
         "  %2d entries: speedup %+6.2f%%, full-stall cycles %d@." entries spd
         full)
-    (pmap
+    (rows ~id:"dbb-sweep"
+       ~label:(Printf.sprintf "h264ref.e%d")
        (fun entries ->
          progress "dbb sweep %d entries" entries;
+         let b = bench (Option.get (Suites.find "h264ref")) in
+         let base_img = Runner.baseline_program b ~input:1 in
+         let exp_img = Runner.experimental_program b ~input:1 in
          let config =
            { (Config.make ~width:4 ()) with Config.dbb_entries = entries }
          in
@@ -415,7 +433,8 @@ let ablation_hoist ppf =
   (* Every (benchmark, cap) cell is an independent prepare+simulate: fan
      them all out, then fold back into one row per benchmark. *)
   let cells =
-    pmap
+    rows ~id:"abl-hoist"
+      ~label:(fun (name, cap) -> Printf.sprintf "%s.cap%d" name cap)
       (fun (name, cap) ->
         progress "abl-hoist %s cap=%d" name cap;
         let spec = Option.get (Suites.find name) in
@@ -426,7 +445,7 @@ let ablation_hoist ppf =
          names)
   in
   let ncaps = List.length caps in
-  let rows =
+  let data =
     List.mapi
       (fun i name -> name :: List.filteri (fun j _ -> j / ncaps = i) cells)
       names
@@ -434,15 +453,16 @@ let ablation_hoist ppf =
   emit ~csv:"abl_hoist" ppf
     ~headers:
       ("Benchmark" :: List.map (fun c -> Printf.sprintf "cap=%d" c) caps)
-    rows
+    data
 
 let ablation_select ppf =
   heading ppf
     "Ablation: selection threshold (predictability - bias margin), SPEC \
      2006 Int geomean";
   let thresholds = [ 0.0; 0.02; 0.05; 0.10; 0.20 ] in
-  let rows =
-    pmap
+  let data =
+    rows ~id:"abl-select"
+      ~label:(Printf.sprintf "threshold%.2f")
       (fun th ->
         progress "abl-select threshold=%.2f" th;
         let speedups, pbcs =
@@ -461,7 +481,7 @@ let ablation_select ppf =
       thresholds
   in
   emit ~csv:"abl_select" ppf
-    ~headers:[ "threshold"; "geomean speedup%"; "mean PBC" ] rows
+    ~headers:[ "threshold"; "geomean speedup%"; "mean PBC" ] data
 
 (* The Figure 1 taxonomy, quantified: sweep the bias/predictability plane
    on a fixed kernel and compare the three strategies — plain branches,
@@ -545,8 +565,10 @@ let ablation_predication ppf =
           [ 0.55; 0.80; 0.97 ])
       [ 0.55; 0.70; 0.95 ]
   in
-  let rows =
-    pmap
+  let data =
+    rows ~id:"abl-pred"
+      ~label:(fun (rate, pred) ->
+        Printf.sprintf "bias%.2f.pred%.2f" rate pred)
       (fun (rate, pred) ->
         progress "abl-pred bias=%.2f pred=%.2f" rate pred;
         let (p, pi), (v, vi), (a, _) = cell ~rate ~pred in
@@ -572,7 +594,7 @@ let ablation_predication ppf =
       [ "bias"; "predictability"; "predication%"; "decomposition%";
         "superblock%"; "winner"; "pred +issued%"; "decomp +issued%"
       ]
-    rows;
+    data;
   Format.fprintf ppf
     "On raw cycles the in-order favours decomposition broadly (mispredict \
      cost is symmetric with the baseline), while superblock straightening \
@@ -591,8 +613,8 @@ let runahead ppf =
   heading ppf
     "Extension: runahead-style prefetch-under-stall x decomposition      (4-wide, memory-bound benchmarks)";
   let names = [ "mcf"; "omnetpp"; "soplex"; "milc" ] in
-  let rows =
-    pmap
+  let data =
+    rows ~id:"runahead" ~label:Fun.id
       (fun name ->
         progress "runahead %s" name;
         let b = bench (Option.get (Suites.find name)) in
@@ -614,7 +636,7 @@ let runahead ppf =
   emit ~csv:"runahead" ppf
     ~headers:
       [ "Benchmark"; "decompose%"; "runahead%"; "runahead+decompose%" ]
-    rows;
+    data;
   Format.fprintf ppf "%s@."
     (normalize
        "Speedups are relative to the plain baseline. Caveat: the synthetic \

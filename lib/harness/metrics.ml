@@ -99,9 +99,13 @@ type row =
     piscs : float
   }
 
-let table2_row bench =
+let table2_row ?spd bench =
   let spec = Runner.spec bench in
-  let spd = Runner.avg_speedup bench ~width:4 in
+  let spd =
+    match spd with
+    | Some spd -> spd
+    | None -> Runner.avg_speedup bench ~width:4
+  in
   let pair = Runner.simulate bench ~input:1 ~width:4 in
   let base = pair.Runner.base in
   { name = spec.Spec.name;

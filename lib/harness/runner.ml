@@ -215,6 +215,21 @@ let best_speedup ?predictor ?cache b ~width =
        (fun input -> (simulate ?predictor ?cache b ~input ~width).speedup_pct)
        (input_indices ()))
 
+(* The marshal-safe essence of a paired run — what the experiment DAG
+   persists for speedup/stat rows ({!Machine.result} itself drags the
+   cache hierarchy and config along, so it never crosses the store). *)
+type sim_summary =
+  { sum_speedup_pct : float;
+    sum_base : Stats.t;
+    sum_exp : Stats.t
+  }
+
+let summarize pair =
+  { sum_speedup_pct = pair.speedup_pct;
+    sum_base = pair.base.Machine.stats;
+    sum_exp = pair.exp.Machine.stats
+  }
+
 let pair_to_json pair =
   let open Bv_obs.Json in
   Obj

@@ -77,6 +77,18 @@ val input_indices : unit -> int list
 val pair_to_json : sim_pair -> Bv_obs.Json.t
 (** Speedup plus both runs' {!Machine.result_to_json}. *)
 
+type sim_summary =
+  { sum_speedup_pct : float;
+    sum_base : Stats.t;  (** baseline run's counters *)
+    sum_exp : Stats.t
+  }
+(** The marshal-safe essence of a {!sim_pair}: speedup plus both runs'
+    stat counters — everything the experiment tables read, none of the
+    hierarchy/config state {!Machine.result} drags along. This is the
+    payload {!Sim}'s DAG persists for simulation nodes. *)
+
+val summarize : sim_pair -> sim_summary
+
 type instrumented =
   { pair : sim_pair;
     base_samples : Sampler.t;

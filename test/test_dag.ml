@@ -1,0 +1,333 @@
+(* The memoized experiment DAG: key derivation, invalidation cones,
+   crash-resume, cross-process cooperation on one store, gc and explain.
+   Tier-1 semantics for the engine under every run path. *)
+
+open Bv_harness
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bv-dag-test.%d.%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- keys and counters ------------------------------------------------ *)
+
+let counters_of_json j =
+  let open Bv_obs.Json in
+  let geti k = match member k j with Some (Int i) -> i | _ -> -1 in
+  (geti "hits", geti "misses", geti "stolen", geti "nodes")
+
+let test_hit_miss_counters () =
+  with_dir (fun dir ->
+      let computes = ref 0 in
+      let n =
+        Dag.node ~kind:"t" ~inputs:(1, "x") (fun () -> incr computes; 41 + 1)
+      in
+      let d1 = Dag.create ~dir () in
+      Alcotest.(check int) "first eval computes" 42 (Dag.eval d1 n);
+      Alcotest.(check int) "second eval memo-hits" 42 (Dag.eval d1 n);
+      Alcotest.(check int) "computed once" 1 !computes;
+      let c = Dag.counters d1 in
+      Alcotest.(check int) "miss counted" 1 c.Dag.misses;
+      Alcotest.(check int) "hit counted" 1 c.Dag.hits;
+      (* a fresh engine on the same store hits the disk, not the compute *)
+      let d2 = Dag.create ~dir () in
+      Alcotest.(check int) "store hit" 42 (Dag.eval d2 n);
+      Alcotest.(check int) "no recompute" 1 !computes;
+      let c2 = Dag.counters d2 in
+      Alcotest.(check int) "store hit counted" 1 c2.Dag.hits;
+      Alcotest.(check int) "no miss" 0 c2.Dag.misses;
+      let h, m, s, nodes = counters_of_json (Dag.counters_json d2) in
+      Alcotest.(check (list int)) "counters_json" [ 1; 0; 0; 1 ]
+        [ h; m; s; nodes ])
+
+let test_key_sensitivity () =
+  let d = Dag.create () in
+  let mk ?deps inputs = Dag.node ~kind:"k" ?deps ~inputs (fun () -> 0) in
+  let a1 = mk 1 and a2 = mk 2 in
+  Alcotest.(check bool) "inputs change the key" false
+    (Dag.key d a1 = Dag.key d a2);
+  let b1 = mk ~deps:[ Dag.key d a1 ] 9 in
+  let b2 = mk ~deps:[ Dag.key d a2 ] 9 in
+  Alcotest.(check bool) "dep keys chain" false (Dag.key d b1 = Dag.key d b2);
+  let fmt = Dag.create ~format:(Dag.code_format + 1) () in
+  Alcotest.(check bool) "format stamp mixes in" false
+    (Dag.key d a1 = Dag.key fmt a1)
+
+(* Changing one upstream input recomputes exactly its downstream cone;
+   unrelated nodes keep their cached values. *)
+let test_invalidation_cone () =
+  with_dir (fun dir ->
+      let computes = ref [] in
+      let mark tag v =
+        computes := tag :: !computes;
+        v
+      in
+      let graph d x =
+        let a =
+          Dag.node ~kind:"a" ~inputs:x (fun () -> mark "a" (x * 10))
+        in
+        let ka = Dag.key d a in
+        let b =
+          Dag.node ~kind:"b" ~deps:[ ka ] ~inputs:"fold" (fun () ->
+              mark "b" (Dag.eval d a + 1))
+        in
+        let u =
+          Dag.node ~kind:"u" ~inputs:"constant" (fun () -> mark "u" 7)
+        in
+        (Dag.eval d b, Dag.eval d u)
+      in
+      let d1 = Dag.create ~dir () in
+      Alcotest.(check (pair int int)) "cold graph" (11, 7) (graph d1 1);
+      Alcotest.(check (list string)) "cold computes all"
+        [ "u"; "a"; "b" ] (List.rev !computes);
+      computes := [];
+      let d2 = Dag.create ~dir () in
+      Alcotest.(check (pair int int)) "changed input" (21, 7) (graph d2 2);
+      Alcotest.(check (list string)) "only the cone recomputes"
+        [ "a"; "b" ] (List.rev !computes))
+
+(* ---- crash-resume ----------------------------------------------------- *)
+
+let test_crash_resume () =
+  with_dir (fun dir ->
+      let computes = ref 0 in
+      let nodes () =
+        List.init 8 (fun i ->
+            Dag.node ~kind:"step"
+              ~label:(string_of_int i)
+              ~inputs:i
+              (fun () -> incr computes; i * i))
+      in
+      (* a sweep that dies after landing 5 of 8 nodes *)
+      let d1 = Dag.create ~dir () in
+      List.iteri
+        (fun i n -> if i < 5 then ignore (Dag.eval d1 n : int))
+        (nodes ());
+      Alcotest.(check int) "partial sweep" 5 !computes;
+      (* the resumed sweep recomputes only the missing tail *)
+      let d2 = Dag.create ~dir () in
+      let vs = Dag.eval_list d2 (nodes ()) in
+      Alcotest.(check (list int)) "values in order"
+        [ 0; 1; 4; 9; 16; 25; 36; 49 ] vs;
+      Alcotest.(check int) "zero clean nodes recomputed" 8 !computes;
+      let c = Dag.counters d2 in
+      Alcotest.(check int) "5 store hits" 5 c.Dag.hits;
+      Alcotest.(check int) "3 misses" 3 c.Dag.misses)
+
+(* ---- determinism ------------------------------------------------------ *)
+
+let test_jobs_deterministic () =
+  let nodes () =
+    List.init 17 (fun i ->
+        Dag.node ~kind:"det" ~inputs:i (fun () ->
+            Printf.sprintf "v%d" (i * 3)))
+  in
+  with_dir (fun dir1 ->
+      with_dir (fun dir2 ->
+          let serial = Dag.eval_list ~jobs:1 (Dag.create ~dir:dir1 ()) (nodes ()) in
+          let parallel =
+            Dag.eval_list ~jobs:4 (Dag.create ~dir:dir2 ()) (nodes ())
+          in
+          Alcotest.(check (list string)) "jobs:4 == jobs:1" serial parallel));
+  (* no store: strided fork/join, still order-preserving *)
+  let bare = Dag.eval_list ~jobs:3 (Dag.create ()) (nodes ()) in
+  Alcotest.(check (list string)) "uncached jobs:3 == jobs:1"
+    (List.init 17 (fun i -> Printf.sprintf "v%d" (i * 3)))
+    bare
+
+(* ---- cross-process cooperation --------------------------------------- *)
+
+let append_mark path line =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let s = line ^ "\n" in
+  ignore (Unix.write_substring fd s 0 (String.length s) : int);
+  Unix.close fd
+
+let count_marks path =
+  if not (Sys.file_exists path) then 0
+  else
+    In_channel.with_open_text path (fun ic ->
+        List.length (In_channel.input_lines ic))
+
+(* Two independent processes sweep the same 8 nodes against one store:
+   the claim files must arbitrate so each node is computed exactly once
+   between them, and both come back with the full result list. *)
+let test_two_processes_one_store () =
+  with_dir (fun dir ->
+      let marks = Filename.concat dir "computes.marks" in
+      let nodes () =
+        List.init 8 (fun i ->
+            Dag.node ~kind:"shared" ~inputs:i (fun () ->
+                append_mark marks (string_of_int i);
+                (* widen the overlap window so both processes race *)
+                Unix.sleepf 0.02;
+                i + 100))
+      in
+      let child () =
+        match Unix.fork () with
+        | 0 ->
+          let ok =
+            try
+              let d = Dag.create ~dir () in
+              Dag.eval_list ~jobs:1 d (nodes ())
+              = List.init 8 (fun i -> i + 100)
+            with _ -> false
+          in
+          Unix._exit (if ok then 0 else 1)
+        | pid -> pid
+      in
+      let p1 = child () in
+      let p2 = child () in
+      let status pid =
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED c -> c
+        | _ -> 255
+      in
+      Alcotest.(check int) "first process succeeds" 0 (status p1);
+      Alcotest.(check int) "second process succeeds" 0 (status p2);
+      Alcotest.(check int) "each node computed exactly once" 8
+        (count_marks marks))
+
+(* ---- worker failure --------------------------------------------------- *)
+
+let test_worker_failure () =
+  match
+    Pool.map ~jobs:2
+      (fun i -> if i = 7 then failwith "boom 7" else i)
+      (List.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Pool.Worker_failure { index; message; backtrace = _ } ->
+    Alcotest.(check int) "failing index carried" 7 index;
+    Alcotest.(check bool) "child exception text carried" true
+      (let needle = "boom 7" in
+       let rec has i =
+         i + String.length needle <= String.length message
+         && (String.sub message i (String.length needle) = needle || has (i + 1))
+       in
+       has 0)
+
+let test_worker_failure_lowest_index () =
+  match
+    Pool.map ~jobs:3
+      (fun i -> if i = 3 || i = 7 then failwith "bang" else i)
+      (List.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Pool.Worker_failure { index; _ } ->
+    Alcotest.(check int) "lowest failing index wins" 3 index
+
+(* ---- gc and explain --------------------------------------------------- *)
+
+let test_gc () =
+  with_dir (fun dir ->
+      let d = Dag.create ~dir () in
+      let nodes =
+        List.init 4 (fun i ->
+            Dag.node ~kind:"gc" ~label:(Printf.sprintf "n%d" i) ~inputs:i
+              (fun () -> String.make 64 'x'))
+      in
+      List.iter (fun n -> ignore (Dag.eval d n : string)) nodes;
+      Alcotest.(check int) "4 entries" 4 (List.length (Dag.entries dir));
+      (* age two of them far past any plausible max_age *)
+      let old = Unix.time () -. 10_000.0 in
+      List.iteri
+        (fun i n ->
+          if i < 2 then
+            Unix.utimes (Filename.concat dir (Dag.key d n ^ ".node")) old old)
+        nodes;
+      let dry = Dag.gc ~max_age:100.0 ~dry_run:true dir in
+      Alcotest.(check int) "dry run sees the old pair" 2
+        (List.length dry.Dag.gcr_removed);
+      Alcotest.(check bool) "dry run flagged" true dry.Dag.gcr_dry_run;
+      Alcotest.(check int) "dry run touches nothing" 4
+        (List.length (Dag.entries dir));
+      let live = Dag.gc ~max_age:100.0 ~dry_run:false dir in
+      Alcotest.(check int) "gc removes the old pair" 2
+        (List.length live.Dag.gcr_removed);
+      Alcotest.(check int) "2 entries survive" 2
+        (List.length (Dag.entries dir));
+      let all = Dag.gc ~max_bytes:0 ~dry_run:false dir in
+      Alcotest.(check int) "size bound evicts the rest" 2
+        (List.length all.Dag.gcr_removed);
+      Alcotest.(check int) "store emptied" 0 (List.length (Dag.entries dir)))
+
+let test_explain () =
+  with_dir (fun dir ->
+      let d = Dag.create ~dir () in
+      let n =
+        Dag.node ~kind:"probe" ~label:"the-probe" ~inputs:(3, "z") (fun () ->
+            true)
+      in
+      ignore (Dag.eval d n : bool);
+      ignore (Dag.eval (Dag.create ~dir ()) n : bool);
+      let key = Dag.key d n in
+      (match Dag.explain dir (String.sub key 0 10) with
+      | Error e -> Alcotest.fail ("explain: " ^ e)
+      | Ok x ->
+        Alcotest.(check string) "full key resolved" key x.Dag.x_key;
+        Alcotest.(check string) "kind" "probe" x.Dag.x_kind;
+        Alcotest.(check string) "label" "the-probe" x.Dag.x_label;
+        Alcotest.(check int) "format stamp" Dag.code_format x.Dag.x_format;
+        Alcotest.(check bool) "provenance recorded" true
+          (x.Dag.x_events <> []));
+      (match Dag.explain dir "no-such-key" with
+      | Ok _ -> Alcotest.fail "unknown prefix must not resolve"
+      | Error _ -> ());
+      let m =
+        Dag.node ~kind:"probe" ~label:"other" ~inputs:(4, "z") (fun () ->
+            false)
+      in
+      ignore (Dag.eval d m : bool);
+      match Dag.explain dir "" with
+      | Ok _ -> Alcotest.fail "ambiguous prefix must not resolve"
+      | Error e ->
+        Alcotest.(check bool) "ambiguity reported" true
+          (String.length e > 0))
+
+let () =
+  Alcotest.run "dag"
+    [ ( "engine",
+        [ Alcotest.test_case "hit-miss-counters" `Quick test_hit_miss_counters;
+          Alcotest.test_case "key-sensitivity" `Quick test_key_sensitivity;
+          Alcotest.test_case "invalidation-cone" `Quick test_invalidation_cone;
+          Alcotest.test_case "crash-resume" `Quick test_crash_resume;
+          Alcotest.test_case "jobs-deterministic" `Quick
+            test_jobs_deterministic
+        ] );
+      ( "cooperation",
+        [ Alcotest.test_case "two-processes-one-store" `Quick
+            test_two_processes_one_store
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "worker-failure-payload" `Quick
+            test_worker_failure;
+          Alcotest.test_case "worker-failure-lowest-index" `Quick
+            test_worker_failure_lowest_index
+        ] );
+      ( "store",
+        [ Alcotest.test_case "gc" `Quick test_gc;
+          Alcotest.test_case "explain" `Quick test_explain
+        ] )
+    ]
