@@ -30,7 +30,9 @@ let run_experiments () =
   let ppf = Format.std_formatter in
   let wanted =
     match Sys.getenv_opt "BV_EXPERIMENTS" with
-    | Some ids -> String.split_on_char ',' ids
+    | Some ids ->
+      (* BV_EXPERIMENTS= (empty) cleanly skips the experiment suite *)
+      List.filter (fun id -> id <> "") (String.split_on_char ',' ids)
     | None -> List.map (fun (id, _, _) -> id) Bv_harness.Experiments.all
   in
   Format.fprintf ppf
@@ -118,6 +120,7 @@ let throughput_cases () =
 
 type throughput_row =
   { tp_workload : string;
+    tp_mode : string;  (* "compiled" | "interpreted" | "sampled" *)
     tp_host_seconds : float;
     tp_sim_cycles : int;
     tp_sim_instructions : int;
@@ -125,6 +128,11 @@ type throughput_row =
     tp_mips : float
   }
 
+(* Every workload is timed in all three execution modes: block-compiled
+   dispatch (the default fast path), interpreted dispatch (the
+   byte-identical slow path) and SMARTS interval sampling (estimated
+   cycles — fastest, approximate timing). The mode rides in the row so
+   the trend analysis never compares across modes. *)
 let run_throughput ~warmup =
   let budget =
     match Sys.getenv_opt "BV_THROUGHPUT_BUDGET" with
@@ -134,31 +142,66 @@ let run_throughput ~warmup =
   Printf.printf "\n=== Simulator throughput (warmup %d%s) ===\n" warmup
     (if budget = max_int then ""
      else Printf.sprintf ", budget %d instrs" budget);
-  Printf.printf "  %-28s %9s %13s %14s %9s\n" "workload" "host s" "sim cycles"
-    "sim cycles/s" "sim MIPS";
-  List.map
+  Printf.printf "  %-28s %-12s %9s %13s %14s %9s\n" "workload" "mode"
+    "host s" "sim cycles" "sim cycles/s" "sim MIPS";
+  List.concat_map
     (fun (name, config, image) ->
-      for _ = 1 to warmup do
-        ignore (Bv_pipeline.Machine.run ~max_retired:budget ~config image)
-      done;
-      let t0 = Unix.gettimeofday () in
-      let res = Bv_pipeline.Machine.run ~max_retired:budget ~config image in
-      let host = Unix.gettimeofday () -. t0 in
-      let cycles = res.Bv_pipeline.Machine.stats.Bv_pipeline.Stats.cycles in
-      let retired = Bv_pipeline.Stats.retired res.Bv_pipeline.Machine.stats in
-      let per s = if host > 0. then float_of_int s /. host else 0. in
-      let row =
-        { tp_workload = name;
-          tp_host_seconds = host;
-          tp_sim_cycles = cycles;
-          tp_sim_instructions = retired;
-          tp_cycles_per_sec = per cycles;
-          tp_mips = per retired /. 1e6
-        }
+      let timed mode run extract =
+        for _ = 1 to warmup do
+          ignore (run ())
+        done;
+        let t0 = Unix.gettimeofday () in
+        let res = run () in
+        let host = Unix.gettimeofday () -. t0 in
+        let cycles, retired = extract res in
+        let per s = if host > 0. then float_of_int s /. host else 0. in
+        let row =
+          { tp_workload = name;
+            tp_mode = mode;
+            tp_host_seconds = host;
+            tp_sim_cycles = cycles;
+            tp_sim_instructions = retired;
+            tp_cycles_per_sec = per cycles;
+            tp_mips = per retired /. 1e6
+          }
+        in
+        Printf.printf "  %-28s %-12s %9.3f %13d %14.0f %9.2f\n%!" name mode
+          host cycles row.tp_cycles_per_sec row.tp_mips;
+        row
       in
-      Printf.printf "  %-28s %9.3f %13d %14.0f %9.2f\n%!" name host cycles
-        row.tp_cycles_per_sec row.tp_mips;
-      row)
+      let detailed (res : Bv_pipeline.Machine.result) =
+        ( res.Bv_pipeline.Machine.stats.Bv_pipeline.Stats.cycles,
+          Bv_pipeline.Stats.retired res.Bv_pipeline.Machine.stats )
+      in
+      (* the sampled row reports the extrapolated cycle estimate; the
+         retired-instruction budget does not apply (sampling already
+         bounds the detailed work) *)
+      let sampled (s : Bv_pipeline.Machine.sampled) =
+        ( int_of_float
+            s.Bv_pipeline.Machine.sam_estimate.Bv_pipeline.Smarts.est_cycles,
+          s.Bv_pipeline.Machine.sam_estimate
+            .Bv_pipeline.Smarts.est_total_instrs )
+      in
+      let compiled_row =
+        timed "compiled"
+          (fun () ->
+            Bv_pipeline.Machine.run ~compile:true ~max_retired:budget ~config
+              image)
+          detailed
+      in
+      let interpreted_row =
+        timed "interpreted"
+          (fun () ->
+            Bv_pipeline.Machine.run ~compile:false ~max_retired:budget ~config
+              image)
+          detailed
+      in
+      let sampled_row =
+        timed "sampled"
+          (fun () -> Bv_pipeline.Machine.run_sampled ~config image)
+          sampled
+      in
+      [ compiled_row; interpreted_row; sampled_row ])
     (throughput_cases ())
 
 (* ---------------------------------------------------------------- micro *)
@@ -210,6 +253,46 @@ let micro_tests () =
            ignore
              (Bv_pipeline.Machine.run ~config:Bv_pipeline.Config.four_wide
                 tiny_image)))
+  in
+  (* the block-closure dispatch win in isolation: the same tiny run with
+     compiled dispatch forced on vs off *)
+  let machine_mode_test compile =
+    Test.make
+      ~name:
+        (Printf.sprintf "machine.run-%s (tiny benchmark)"
+           (if compile then "compiled" else "interpreted"))
+      (Staged.stage (fun () ->
+           ignore
+             (Bv_pipeline.Machine.run ~compile
+                ~config:Bv_pipeline.Config.four_wide tiny_image)))
+  in
+  (* fetch/pending ring and release-calendar micros: the structures every
+     simulated cycle turns over *)
+  let ring_test =
+    let open Bv_pipeline.Machine_state in
+    let ring = Ring.create 64 in
+    let i = ref 0 in
+    Test.make ~name:"machine.ring push/pop x4"
+      (Staged.stage (fun () ->
+           incr i;
+           Ring.push ring !i;
+           Ring.push ring (!i + 1);
+           Ring.push ring (!i + 2);
+           Ring.push ring (!i + 3);
+           ignore (Ring.pop ring);
+           ignore (Ring.pop ring);
+           ignore (Ring.pop ring);
+           ignore (Ring.pop ring)))
+  in
+  let release_test =
+    let open Bv_pipeline.Machine_state in
+    let cal = Release.create ~horizon:512 in
+    let now = ref 0 in
+    Test.make ~name:"machine.release schedule/drain"
+      (Staged.stage (fun () ->
+           incr now;
+           Release.schedule cal ~at:(!now + 40);
+           Release.drain cal ~now:!now))
   in
   let interp_test =
     Test.make ~name:"interp.run (tiny benchmark)"
@@ -271,13 +354,17 @@ let micro_tests () =
       pred_test "bpred.tage" Bv_bpred.Kind.Tage;
       pred_test "bpred.isl-tage" Bv_bpred.Kind.Isl_tage;
       cache_test;
+      ring_test;
+      release_test;
       sched_test;
       encode_test;
       liveness_test;
       recover_test;
       transform_test;
       interp_test;
-      machine_test
+      machine_test;
+      machine_mode_test true;
+      machine_mode_test false
     ]
 
 let run_micro () =
@@ -353,6 +440,7 @@ let write_artifact ~started_at ~experiments ~throughput ~warmup ~micro
                  (fun r ->
                    Obj
                      [ ("workload", String r.tp_workload);
+                       ("mode", String r.tp_mode);
                        ("host_seconds", float r.tp_host_seconds);
                        ("sim_cycles", Int r.tp_sim_cycles);
                        ("sim_instructions", Int r.tp_sim_instructions);

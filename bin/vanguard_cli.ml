@@ -54,20 +54,72 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let positive =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let sample_interval_arg =
   let doc = "Interval-sampler window in cycles (for --json)." in
-  let positive =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n > 0 -> Ok n
-      | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
   Arg.(
     value
     & opt (some positive) None
     & info [ "sample-interval" ] ~doc ~docv:"CYCLES")
+
+(* -------------------------------------------- sampling & compilation *)
+
+let sample_mode_arg =
+  let doc =
+    "SMARTS-style interval sampling: simulate short detailed windows, \
+     functionally fast-forward between them (predictors and caches stay \
+     warm), and report whole-run estimates with 95% confidence \
+     intervals. Architectural results stay exact."
+  in
+  Arg.(value & flag & info [ "sample-mode" ] ~doc)
+
+let sample_period_arg =
+  let doc = "Sampling period in instructions (with --sample-mode)." in
+  Arg.(
+    value
+    & opt positive Machine.default_sample_params.Machine.sp_period
+    & info [ "sample-period" ] ~doc ~docv:"INSTRS")
+
+let sample_detail_arg =
+  let doc = "Detailed (measured) instructions per period." in
+  Arg.(
+    value
+    & opt positive Machine.default_sample_params.Machine.sp_detail
+    & info [ "sample-detail" ] ~doc ~docv:"INSTRS")
+
+let sample_warmup_arg =
+  let doc = "Detailed warmup instructions before each measured window." in
+  Arg.(
+    value
+    & opt positive Machine.default_sample_params.Machine.sp_warmup
+    & info [ "sample-warmup" ] ~doc ~docv:"INSTRS")
+
+let no_compile_arg =
+  let doc =
+    "Disable the block-compiled fast path and simulate with interpreted \
+     dispatch (results are byte-identical either way; this is a \
+     performance switch). BV_NO_COMPILE=1 does the same globally."
+  in
+  Arg.(value & flag & info [ "no-compile" ] ~doc)
+
+let sample_params_of ~period ~detail ~warmup =
+  { Machine.sp_period = period; sp_detail = detail; sp_warmup = warmup }
+
+let check_identity_arg =
+  let doc =
+    "Verify that the block-compiled fast path produces a byte-identical \
+     result to interpreted dispatch for this configuration (both sides of \
+     the transform), then exit. Non-zero exit on divergence. CI greps the \
+     identity ok:/error: line."
+  in
+  Arg.(value & flag & info [ "check-identity" ] ~doc)
 
 let write_json path json =
   if path = "-" then Bv_obs.Json.to_channel ~indent:true stdout json
@@ -111,9 +163,84 @@ let list_cmd =
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
-  let run name width input predictor json trace sample_interval =
+  let run name width input predictor json trace sample_interval sample_mode
+      sample_period sample_detail sample_warmup no_compile check_identity =
+    if no_compile then Machine.set_compile_default false;
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
+    | Ok spec when check_identity -> (
+      match
+        Sim.compiled_check ~predictor (Sim.the ()) spec ~input ~width
+      with
+      | idt ->
+        Printf.printf
+          "identity ok: %s w%d %s input %d (base %d cycles, exp %d cycles)\n"
+          name width (Kind.name predictor) input idt.Runner.idt_base_cycles
+          idt.Runner.idt_exp_cycles;
+        0
+      | exception Failure msg ->
+        Printf.printf "identity error: %s\n" msg;
+        1)
+    | Ok spec when sample_mode ->
+      let b = Sim.prepare ~predictor (Sim.the ()) spec in
+      let params =
+        sample_params_of ~period:sample_period ~detail:sample_detail
+          ~warmup:sample_warmup
+      in
+      let sp = Runner.simulate_sampled ~predictor ~params b ~input ~width in
+      let ppf =
+        if json = Some "-" then Format.err_formatter else Format.std_formatter
+      in
+      Format.fprintf ppf
+        "%s, %d-wide, %s, input %d, sampled (period %d, detail %d, warmup \
+         %d)@.@."
+        name width (Kind.name predictor) input sample_period sample_detail
+        sample_warmup;
+      let show tag (s : Machine.sampled) =
+        let e = s.Machine.sam_estimate in
+        Format.fprintf ppf "--- %s ---@." tag;
+        Format.fprintf ppf "windows %d, coverage %.2f%% of %d instructions@."
+          (List.length e.Smarts.est_windows)
+          e.Smarts.est_coverage_pct e.Smarts.est_total_instrs;
+        Format.fprintf ppf
+          "estimated cycles %.0f, CPI %.4f \xc2\xb1 %.4f (95%% CI, \xc2\xb1 \
+           %.2f%%)@.@."
+          e.Smarts.est_cycles e.Smarts.est_cpi.Smarts.mean
+          (e.Smarts.est_cpi.Smarts.ci_high -. e.Smarts.est_cpi.Smarts.mean)
+          e.Smarts.est_cpi.Smarts.rel_err_pct
+      in
+      show "baseline" sp.Runner.samp_base;
+      show "decomposed-branch (vanguard)" sp.Runner.samp_exp;
+      Format.fprintf ppf "estimated speedup: %+.2f%%@."
+        sp.Runner.samp_speedup_pct;
+      (match json with
+      | None -> ()
+      | Some path ->
+        let side (s : Machine.sampled) =
+          Machine.result_to_json ~sampled:s.Machine.sam_estimate
+            s.Machine.sam_result
+        in
+        write_json path
+          (Bv_obs.Json.Obj
+             [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
+               ("benchmark", Bv_obs.Json.String name);
+               ("suite", Bv_obs.Json.String (Spec.suite_name spec.Spec.suite));
+               ("width", Bv_obs.Json.Int width);
+               ("predictor", Bv_obs.Json.String (Kind.name predictor));
+               ("input", Bv_obs.Json.Int input);
+               ("scale", Bv_obs.Json.float (Runner.scale ()));
+               ( "sample_params",
+                 Bv_obs.Json.Obj
+                   [ ("period", Bv_obs.Json.Int sample_period);
+                     ("detail", Bv_obs.Json.Int sample_detail);
+                     ("warmup", Bv_obs.Json.Int sample_warmup)
+                   ] );
+               ("speedup_pct", Bv_obs.Json.float sp.Runner.samp_speedup_pct);
+               ("baseline", side sp.Runner.samp_base);
+               ("experimental", side sp.Runner.samp_exp);
+               dag_field ()
+             ]));
+      0
     | Ok spec ->
       let b = Sim.prepare ~predictor (Sim.the ()) spec in
       let telemetry = json <> None || trace <> None in
@@ -218,7 +345,116 @@ let run_cmd =
           (optionally as JSON and a Perfetto trace).")
     Term.(
       const run $ bench_arg $ width_arg $ input_arg $ predictor_arg
-      $ json_arg $ trace_arg $ sample_interval_arg)
+      $ json_arg $ trace_arg $ sample_interval_arg $ sample_mode_arg
+      $ sample_period_arg $ sample_detail_arg $ sample_warmup_arg
+      $ no_compile_arg $ check_identity_arg)
+
+(* ------------------------------------------------------ sample-validate *)
+
+(* The accuracy gate behind --sample-mode: estimated CPI vs the exact
+   full-run CPI on every benchmark, both sides of the transform. CI
+   greps the ok:/error: lines. *)
+let sample_validate_cmd =
+  let run width predictor input max_cpi_err sample_period sample_detail
+      sample_warmup json =
+    let t = Sim.the () in
+    let params =
+      sample_params_of ~period:sample_period ~detail:sample_detail
+        ~warmup:sample_warmup
+    in
+    let cpi (s : Stats.t) =
+      Float.of_int s.Stats.cycles /. Float.of_int (max 1 (Stats.retired s))
+    in
+    let err est full =
+      if full = 0.0 then 0.0 else 100.0 *. Float.abs (est -. full) /. full
+    in
+    let rows =
+      List.map
+        (fun spec ->
+          let full = Sim.summary ~predictor t spec ~input ~width in
+          let samp = Sim.sampled ~predictor ~params t spec ~input ~width in
+          let base_err =
+            err samp.Runner.ss_base.Smarts.est_cpi.Smarts.mean
+              (cpi full.Runner.sum_base)
+          in
+          let exp_err =
+            err samp.Runner.ss_exp.Smarts.est_cpi.Smarts.mean
+              (cpi full.Runner.sum_exp)
+          in
+          (spec.Spec.name, base_err, exp_err))
+        Suites.all
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, base_err, exp_err) ->
+        let worst = Float.max base_err exp_err in
+        if worst > max_cpi_err then begin
+          incr failures;
+          Printf.printf
+            "sample-validate error: %s CPI error %.2f%% exceeds bound %.2f%% \
+             (base %.2f%%, exp %.2f%%)\n"
+            name worst max_cpi_err base_err exp_err
+        end
+        else
+          Printf.printf
+            "sample-validate ok: %s base %.2f%% exp %.2f%% (bound %.2f%%)\n"
+            name base_err exp_err max_cpi_err)
+      rows;
+    let worst =
+      List.fold_left
+        (fun acc (_, b, e) -> Float.max acc (Float.max b e))
+        0.0 rows
+    in
+    Printf.printf
+      "sample-validate summary: %d benchmarks, worst CPI error %.2f%%, bound \
+       %.2f%%, %d violation(s)\n"
+      (List.length rows) worst max_cpi_err !failures;
+    (match json with
+    | None -> ()
+    | Some path ->
+      write_json path
+        (Bv_obs.Json.Obj
+           [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
+             ("width", Bv_obs.Json.Int width);
+             ("predictor", Bv_obs.Json.String (Kind.name predictor));
+             ("input", Bv_obs.Json.Int input);
+             ("scale", Bv_obs.Json.float (Runner.scale ()));
+             ( "sample_params",
+               Bv_obs.Json.Obj
+                 [ ("period", Bv_obs.Json.Int sample_period);
+                   ("detail", Bv_obs.Json.Int sample_detail);
+                   ("warmup", Bv_obs.Json.Int sample_warmup)
+                 ] );
+             ("max_cpi_err_pct", Bv_obs.Json.float max_cpi_err);
+             ("worst_cpi_err_pct", Bv_obs.Json.float worst);
+             ("violations", Bv_obs.Json.Int !failures);
+             ( "benchmarks",
+               Bv_obs.Json.List
+                 (List.map
+                    (fun (name, base_err, exp_err) ->
+                      Bv_obs.Json.Obj
+                        [ ("benchmark", Bv_obs.Json.String name);
+                          ("base_cpi_err_pct", Bv_obs.Json.float base_err);
+                          ("exp_cpi_err_pct", Bv_obs.Json.float exp_err)
+                        ])
+                    rows) );
+             dag_field ()
+           ]));
+    if !failures > 0 then 1 else 0
+  in
+  let max_cpi_err_arg =
+    let doc = "Maximum tolerated |sampled - full| CPI error, in percent." in
+    Arg.(value & opt float 10.0 & info [ "max-cpi-err" ] ~doc ~docv:"PCT")
+  in
+  Cmd.v
+    (Cmd.info "sample-validate"
+       ~doc:
+         "Validate interval sampling against exact full runs on every \
+          benchmark: compare estimated vs measured CPI on both sides and \
+          fail if any error exceeds the bound.")
+    Term.(
+      const run $ width_arg $ predictor_arg $ input_arg $ max_cpi_err_arg
+      $ sample_period_arg $ sample_detail_arg $ sample_warmup_arg $ json_arg)
 
 (* --------------------------------------------------------------- report *)
 
@@ -1356,9 +1592,9 @@ let main =
      reproduction."
   in
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
-    [ list_cmd; run_cmd; report_cmd; profile_cmd; transform_cmd;
-      experiment_cmd; disasm_cmd; dot_cmd; lint_cmd; prove_cmd; advise_cmd;
-      assemble_cmd; trace_cmd; dag_cmd
+    [ list_cmd; run_cmd; sample_validate_cmd; report_cmd; profile_cmd;
+      transform_cmd; experiment_cmd; disasm_cmd; dot_cmd; lint_cmd;
+      prove_cmd; advise_cmd; assemble_cmd; trace_cmd; dag_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -7,8 +7,8 @@ type loop_entry =
 
 let confidence_threshold = 3
 
-(* meta layout: TAGE meta (5 slots) ++ [| final_pred; loop_hit; loop_pred;
-   sc_index |] appended at offsets 5..8. *)
+(* meta layout: TAGE meta (variable length) ++ [| final_pred; loop_hit;
+   loop_pred; sc_index |] appended as the last four slots. *)
 
 let create ?(num_tables = 8) ?(table_bits = 12) ?(loop_entries = 64) () =
   let tage = Tage.create ~num_tables ~table_bits ~tag_bits:10 () in
@@ -85,15 +85,16 @@ let create ?(num_tables = 8) ?(table_bits = 12) ?(loop_entries = 64) () =
     (pred, meta)
   in
   let update meta ~pc ~taken =
-    let tmeta = Array.sub meta 0 5 in
+    let tlen = Array.length meta - 4 in
+    let tmeta = Array.sub meta 0 tlen in
     tage.Predictor.update tmeta ~pc ~taken;
     loop_update pc ~taken;
-    let tage_pred = meta.(7) = 1 in
-    let si = meta.(8) in
+    let tage_pred = meta.(tlen + 2) = 1 in
+    let si = meta.(tlen + 3) in
     sc.(si) <- Predictor.counter_update sc.(si) ~taken:(tage_pred = taken) ~max:31
   in
   let recover meta ~taken =
-    tage.Predictor.recover (Array.sub meta 0 5) ~taken
+    tage.Predictor.recover (Array.sub meta 0 (Array.length meta - 4)) ~taken
   in
   { Predictor.name = Printf.sprintf "isl-tage-%dx%db" num_tables table_bits;
     storage_bits =

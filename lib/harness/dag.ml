@@ -1,8 +1,9 @@
 (* Bump whenever any cached stage changes meaning — pipeline semantics,
    node payload types, experiment row formulas: cached values from older
    formats then miss instead of lying. (Format 1 was the pre-DAG
-   [.bench] artifact cache.) *)
-let code_format = 2
+   [.bench] artifact cache; format 3 added the block-compiled fast path
+   and the sample/compiled node kinds.) *)
+let code_format = 3
 
 type counters =
   { hits : int;

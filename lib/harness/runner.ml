@@ -354,6 +354,89 @@ let merge_accounted a b =
     acc_exp = Acct.merge a.acc_exp b.acc_exp
   }
 
+(* --------------------------------------------- sampled & compiled -- *)
+
+type sampled_pair =
+  { samp_base : Machine.sampled;
+    samp_exp : Machine.sampled;
+    samp_speedup_pct : float
+  }
+
+let simulate_sampled ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) ?params b ~input ~width =
+  let base_img, exp_img = images b ~input in
+  let dbase, dexp = reference_digests b ~input in
+  let config = Config.make ~predictor ~cache ~width () in
+  let base = Machine.run_sampled ?params ~config base_img in
+  let exp = Machine.run_sampled ?params ~config exp_img in
+  (* Fast-forward is committed-semantics functional execution, so the
+     architectural results must still match the interpreter exactly —
+     only the timing is an estimate. *)
+  let check name want (got : Machine.sampled) =
+    let r = got.Machine.sam_result in
+    if not r.Machine.finished then
+      failwith
+        (Printf.sprintf "%s/%s: sampled simulation hit a run limit"
+           b.spec.Spec.name name);
+    if r.Machine.arch_digest <> want then
+      failwith
+        (Printf.sprintf
+           "%s/%s: sampled run diverged architecturally from the interpreter"
+           b.spec.Spec.name name)
+  in
+  check "baseline" dbase base;
+  check "experimental" dexp exp;
+  let bc = base.Machine.sam_estimate.Smarts.est_cycles in
+  let ec = exp.Machine.sam_estimate.Smarts.est_cycles in
+  { samp_base = base;
+    samp_exp = exp;
+    samp_speedup_pct = 100.0 *. ((bc /. Float.max 1.0 ec) -. 1.0)
+  }
+
+(* The marshal-safe essence of a sampled pair: both extrapolated
+   estimates (plain floats/ints/lists throughout) and the speedup they
+   imply — what the DAG persists for sample nodes. *)
+type sampled_summary =
+  { ss_speedup_pct : float;
+    ss_base : Smarts.estimate;
+    ss_exp : Smarts.estimate
+  }
+
+let summarize_sampled s =
+  { ss_speedup_pct = s.samp_speedup_pct;
+    ss_base = s.samp_base.Machine.sam_estimate;
+    ss_exp = s.samp_exp.Machine.sam_estimate
+  }
+
+(* Marshal-safe witness that the block-compiled fast path reproduced the
+   interpreted run byte-for-byte on one paired config. *)
+type identity =
+  { idt_base_cycles : int;
+    idt_exp_cycles : int
+  }
+
+let compiled_identity ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) b ~input ~width =
+  let base_img, exp_img = images b ~input in
+  let config = Config.make ~predictor ~cache ~width () in
+  let side name img =
+    let compiled = Machine.run ~compile:true ~config img in
+    let interp = Machine.run ~compile:false ~config img in
+    let jc = Bv_obs.Json.to_string (Machine.result_to_json compiled) in
+    let ji = Bv_obs.Json.to_string (Machine.result_to_json interp) in
+    if not (String.equal jc ji) then
+      failwith
+        (Printf.sprintf
+           "%s/%s: compiled run is not byte-identical to interpreted"
+           b.spec.Spec.name name);
+    compiled
+  in
+  let base = side "baseline" base_img in
+  let exp = side "experimental" exp_img in
+  { idt_base_cycles = base.Machine.stats.Stats.cycles;
+    idt_exp_cycles = exp.Machine.stats.Stats.cycles
+  }
+
 (* ------------------------------------------------- advise & validate -- *)
 
 let advise ?config b =

@@ -142,6 +142,56 @@ val merge_accounted : accounted -> accounted -> accounted
     [Invalid_argument] when the two runs cover different code
     ({!Acct.merge}). *)
 
+type sampled_pair =
+  { samp_base : Machine.sampled;
+    samp_exp : Machine.sampled;
+    samp_speedup_pct : float
+        (** from the extrapolated cycle estimates, not detailed cycles *)
+  }
+
+val simulate_sampled :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  ?params:Machine.sample_params ->
+  bench ->
+  input:int ->
+  width:int ->
+  sampled_pair
+(** {!Machine.run_sampled} on both sides of one REF input. Fast-forward
+    executes committed semantics, so the architectural digests are
+    checked against the interpreter exactly as {!simulate} does — only
+    the timing is an estimate. Not memoised. *)
+
+type sampled_summary =
+  { ss_speedup_pct : float;
+    ss_base : Smarts.estimate;  (** baseline extrapolation + CIs *)
+    ss_exp : Smarts.estimate
+  }
+(** The marshal-safe essence of a {!sampled_pair}: both whole-run
+    estimates (plain data throughout) and the speedup they imply. The
+    payload {!Sim}'s DAG persists for sample nodes. *)
+
+val summarize_sampled : sampled_pair -> sampled_summary
+
+type identity =
+  { idt_base_cycles : int;
+    idt_exp_cycles : int
+  }
+(** Marshal-safe witness of a passed compiled-vs-interpreted
+    byte-identity check (the cycle counts both paths agreed on). *)
+
+val compiled_identity :
+  ?predictor:Kind.t ->
+  ?cache:Hierarchy.config ->
+  bench ->
+  input:int ->
+  width:int ->
+  identity
+(** Run both sides of one REF input twice — block-compiled and
+    interpreted — and fail unless the full result JSON (stats, cache
+    hierarchy, digests) is byte-identical. The CI smoke leg and the
+    ["compiled"] DAG node route here. Not memoised. *)
+
 val advise : ?config:Bv_analysis.Advisor.config -> bench -> Bv_analysis.Advisor.t
 (** Run the static cost-model advisor over the bench's TRAIN program,
     fused with its TRAIN profile — ranked per-site recommendations with

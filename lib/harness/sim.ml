@@ -1,5 +1,6 @@
 open Bv_bpred
 open Bv_cache
+open Bv_pipeline
 open Bv_workloads
 
 type t =
@@ -100,6 +101,52 @@ let best_speedup ?predictor ?cache t spec ~width =
          (summary ?predictor ?cache t spec ~input ~width)
            .Runner.sum_speedup_pct)
        (Runner.input_indices ()))
+
+(* Sampled runs persist only the marshal-safe estimates; the params ride
+   in the key so changing the sampling regime misses cleanly. *)
+let sampled ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config)
+    ?(params = Machine.default_sample_params) t spec ~input ~width =
+  let pn = prepare_node spec in
+  let n =
+    Dag.node ~kind:"sample"
+      ~label:
+        (Printf.sprintf "%s.i%d.w%d.%s.p%d" spec.Spec.name input width
+           (Kind.name predictor) params.Machine.sp_period)
+      ~deps:[ Dag.key t.dag pn ]
+      ~inputs:
+        ( input,
+          width,
+          Kind.name predictor,
+          cache,
+          ( params.Machine.sp_period,
+            params.Machine.sp_detail,
+            params.Machine.sp_warmup ),
+          Runner.scale () )
+      (fun () ->
+        Runner.summarize_sampled
+          (Runner.simulate_sampled ~predictor ~cache ~params (bench t spec)
+             ~input ~width))
+  in
+  Dag.eval t.dag n
+
+(* A passed byte-identity check is itself a cacheable fact: the node
+   only ever stores a witness, never a divergence (those raise). *)
+let compiled_check ?(predictor = Kind.Tournament)
+    ?(cache = Hierarchy.default_config) t spec ~input ~width =
+  let pn = prepare_node spec in
+  let n =
+    Dag.node ~kind:"compiled"
+      ~label:
+        (Printf.sprintf "%s.i%d.w%d.%s" spec.Spec.name input width
+           (Kind.name predictor))
+      ~deps:[ Dag.key t.dag pn ]
+      ~inputs:(input, width, Kind.name predictor, cache, Runner.scale ())
+      (fun () ->
+        Runner.compiled_identity ~predictor ~cache (bench t spec) ~input
+          ~width)
+  in
+  Dag.eval t.dag n
 
 (* Accounted runs profile-prepare with the same predictor they simulate
    with (the report pipeline's convention). *)

@@ -19,6 +19,7 @@
 
 open Bv_bpred
 open Bv_cache
+open Bv_pipeline
 open Bv_workloads
 
 type t
@@ -80,6 +81,22 @@ val avg_speedup :
 val best_speedup :
   ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->
   Spec.t -> width:int -> float
+
+val sampled :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config ->
+  ?params:Machine.sample_params -> t ->
+  Spec.t -> input:int -> width:int -> Runner.sampled_summary
+(** One SMARTS-sampled paired run as a DAG node (kind ["sample"],
+    keyed additionally by the sampling params): both whole-run
+    estimates with confidence intervals, persisted. *)
+
+val compiled_check :
+  ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->
+  Spec.t -> input:int -> width:int -> Runner.identity
+(** One compiled-vs-interpreted byte-identity check as a DAG node (kind
+    ["compiled"]). Raises on divergence — the store only ever holds
+    passed witnesses, so a cache hit is itself a proof the check passed
+    for this code format. *)
 
 val accounted :
   ?predictor:Kind.t -> ?cache:Hierarchy.config -> t ->

@@ -27,6 +27,16 @@ let sample_of_json j =
   | Some (Json.String workload), Some v -> (
     match num v with
     | Some cycles_per_sec ->
+      (* Execution modes never mix in a trajectory: non-default modes get
+         a "workload/mode" key. Rows without a mode predate the field and
+         were interpreted runs, so plain "interpreted" keeps their
+         trajectory continuous. *)
+      let workload =
+        match Json.member "mode" j with
+        | Some (Json.String mode) when mode <> "interpreted" ->
+          workload ^ "/" ^ mode
+        | _ -> workload
+      in
       Some
         { workload;
           cycles_per_sec;

@@ -10,6 +10,11 @@
 
 type sample =
   { workload : string;
+        (** trend key: the row's workload name, suffixed with ["/mode"]
+            for non-default execution modes (e.g. ["int_w4/compiled"]).
+            Rows without a ["mode"] field — artifacts predating it — are
+            interpreted runs and keep the bare name, so their trajectory
+            stays continuous. Modes never compare against each other. *)
     cycles_per_sec : float;
     mips : float
   }

@@ -1,0 +1,20 @@
+(** Functional fast-forward between sampled windows.
+
+    Executes committed architectural semantics directly on a drained
+    {!Machine_state.t} — registers, memory, call stack and the retired
+    store count move exactly as a full detailed run would move them —
+    while warming the long-lived microarchitectural state: branch
+    predictor, BTB, RAS, DBB and both cache hierarchies. No simulated
+    cycles pass and no {!Stats.t} counters change. *)
+
+type outcome =
+  { executed : int;  (** instructions executed, [Halt] included *)
+    halted : bool  (** hit [Halt] (or ran off the program) *)
+  }
+
+val run : Machine_state.t -> max_instrs:int -> outcome
+(** Fast-forward up to [max_instrs] instructions from [st.fetch_pc].
+    Requires a drained pipeline (empty fetch buffer and pending deque,
+    no live checkpoints) — asserted. On return [st.fetch_pc] is the next
+    pc to fetch and [st.current_line] is reset so the detailed front end
+    re-fetches the line. *)

@@ -15,6 +15,13 @@ val fetch_group : t -> unit
     steer, an I-cache stall, a speculative halt, or a full fetch
     buffer. *)
 
+val predict_outcome_oracle : t -> int -> bool
+(** Resolve a [Predict]'s eventual outcome by walking ahead to its
+    paired [Resolve] on the current speculative state. Used by the
+    perfect predictor's [~outcome] channel; exposed for {!Ffwd}, whose
+    committed state is exactly the speculative state of a drained
+    machine. *)
+
 val fetch_one : t -> bool
 (** Fetch a single instruction at the current pc (I-cache access
     included); [false] ends the cycle's fetch group. Exposed for

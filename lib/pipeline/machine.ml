@@ -19,38 +19,56 @@ type result =
 
 let fnv_fold acc v = (acc lxor v) * 0x100000001B3 land max_int
 
-(* The cycle loop. Stage order within a cycle: complete (which may flush),
-   issue, fetch — an instruction fetched this cycle cannot issue this
-   cycle (the front-stage delay enforces that anyway). *)
-let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
-    ?on_cycle ?acct ~config image =
-  let st = Machine_state.create ~config ?on_event ?acct image in
+(* Block-compiled dispatch is on by default; BV_NO_COMPILE=1 (or the CLI
+   --no-compile flag, via [set_compile_default]) reverts every run to
+   the interpreted front end. Byte-identity between the two is a hard
+   invariant, so this is an escape hatch for debugging and for the
+   compiled-vs-interpreted CI leg, not a semantics switch. *)
+let compile_default =
+  ref
+    (match Sys.getenv_opt "BV_NO_COMPILE" with
+    | None | Some "" | Some "0" -> true
+    | Some _ -> false)
+
+let set_compile_default enabled = compile_default := enabled
+let compile_enabled () = !compile_default
+
+(* One simulated cycle. Stage order within a cycle: complete (which may
+   flush), issue, fetch — an instruction fetched this cycle cannot issue
+   this cycle (the front-stage delay enforces that anyway). *)
+let cycle st ~on_cycle =
+  Backend.process_completions st;
+  if not st.Machine_state.finished then begin
+    let stats = st.Machine_state.stats in
+    Scoreboard.issue st;
+    Frontend.fetch_group st;
+    let dbb_occupancy = Dbb.occupancy st.Machine_state.dbb in
+    stats.Stats.dbb_occupancy_sum <-
+      stats.Stats.dbb_occupancy_sum + dbb_occupancy;
+    stats.Stats.dbb_samples <- stats.Stats.dbb_samples + 1;
+    Spec_state.log_trim st;
+    if st.Machine_state.acct_enabled then Machine_state.account_cycle st;
+    st.Machine_state.now <- st.Machine_state.now + 1;
+    stats.Stats.cycles <- st.Machine_state.now;
+    match on_cycle with
+    | Some f -> f ~cycle:st.Machine_state.now ~stats ~dbb_occupancy
+    | None -> ()
+  end
+
+let run_to st ~max_cycles ~max_retired ~on_cycle =
   let stats = st.Machine_state.stats in
   while
     (not st.Machine_state.finished)
     && st.Machine_state.now < max_cycles
     && Stats.retired stats < max_retired
   do
-    Backend.process_completions st;
-    if not st.Machine_state.finished then begin
-      Scoreboard.issue st;
-      Frontend.fetch_group st;
-      let dbb_occupancy = Dbb.occupancy st.Machine_state.dbb in
-      stats.Stats.dbb_occupancy_sum <-
-        stats.Stats.dbb_occupancy_sum + dbb_occupancy;
-      stats.Stats.dbb_samples <- stats.Stats.dbb_samples + 1;
-      Spec_state.log_trim st;
-      if st.Machine_state.acct_enabled then Machine_state.account_cycle st;
-      st.Machine_state.now <- st.Machine_state.now + 1;
-      stats.Stats.cycles <- st.Machine_state.now;
-      match on_cycle with
-      | Some f -> f ~cycle:st.Machine_state.now ~stats ~dbb_occupancy
-      | None -> ()
-    end
-  done;
-  (match acct with Some a -> Acct.check a ~cycles:stats.Stats.cycles | None -> ());
+    if st.Machine_state.compiled then Compile.skip_stalls st ~limit:max_cycles;
+    if st.Machine_state.now < max_cycles then cycle st ~on_cycle
+  done
+
+let result_of st =
   let mem_digest = Array.fold_left fnv_fold 0xcbf29ce4 st.Machine_state.mem in
-  { stats;
+  { stats = st.Machine_state.stats;
     hierarchy = st.Machine_state.hier;
     config = st.Machine_state.cfg;
     finished = st.Machine_state.finished;
@@ -59,7 +77,129 @@ let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
     arch_digest = fnv_fold mem_digest st.Machine_state.stores_retired
   }
 
-let result_to_json ?acct r =
+let run ?(max_cycles = 1_000_000_000) ?(max_retired = max_int) ?on_event
+    ?on_cycle ?acct ?compile ~config image =
+  let st = Machine_state.create ~config ?on_event ?acct image in
+  let want = match compile with Some b -> b | None -> !compile_default in
+  (* Observers see per-instruction / per-cycle detail the fused closures
+     skip, so any observer forces the interpreted path. *)
+  if
+    want && Option.is_none on_event && Option.is_none on_cycle
+    && Option.is_none acct
+  then Compile.attach st;
+  run_to st ~max_cycles ~max_retired ~on_cycle;
+  (match acct with
+  | Some a -> Acct.check a ~cycles:st.Machine_state.stats.Stats.cycles
+  | None -> ());
+  result_of st
+
+(* ---- SMARTS-style interval sampling ------------------------------------ *)
+
+type sample_params =
+  { sp_period : int;  (* instructions per sampling period *)
+    sp_detail : int;  (* measured (detailed) instructions per period *)
+    sp_warmup : int  (* detailed warmup instructions before each window *)
+  }
+
+let default_sample_params =
+  { sp_period = 10_000; sp_detail = 1_000; sp_warmup = 300 }
+
+type sampled =
+  { sam_result : result;
+    sam_estimate : Smarts.estimate
+  }
+
+(* Alternate detailed simulation (warmup + measured window, measured
+   through pipeline drain so every window's instructions are fully
+   costed) with functional fast-forward on one machine. The drain runs
+   with fetch frozen until the fetch buffer and pending deque empty,
+   which releases every checkpoint — at that point the speculative state
+   IS the committed state and [Ffwd.run] can take over. Architectural
+   results (memory digest, store count) are exact: both modes execute
+   the same committed semantics, only the timing of the fast-forwarded
+   stretches is extrapolated. *)
+let run_sampled ?(max_cycles = 1_000_000_000) ?compile
+    ?(params = default_sample_params) ~config image =
+  let p =
+    { sp_period = max 1 params.sp_period;
+      sp_detail = max 1 params.sp_detail;
+      sp_warmup = max 0 params.sp_warmup
+    }
+  in
+  let st = Machine_state.create ~config image in
+  let want = match compile with Some b -> b | None -> !compile_default in
+  if want then Compile.attach st;
+  let stats = st.Machine_state.stats in
+  let windows = ref [] in
+  let ff_instrs = ref 0 in
+  let ff_halted = ref false in
+  let drain () =
+    st.Machine_state.fetch_frozen <- true;
+    while
+      (not st.Machine_state.finished)
+      && st.Machine_state.now < max_cycles
+      && (Machine_state.Ring.length st.Machine_state.fbuf > 0
+         || Machine_state.Ring.length st.Machine_state.pending > 0)
+    do
+      if st.Machine_state.compiled then
+        Compile.skip_stalls st ~limit:max_cycles;
+      if st.Machine_state.now < max_cycles then cycle st ~on_cycle:None
+    done;
+    st.Machine_state.fetch_frozen <- false
+  in
+  while
+    (not st.Machine_state.finished)
+    && (not !ff_halted)
+    && st.Machine_state.now < max_cycles
+  do
+    (* Detailed warmup: simulated in full, excluded from the window. *)
+    run_to st ~max_cycles
+      ~max_retired:(Stats.retired stats + p.sp_warmup)
+      ~on_cycle:None;
+    (* Measured window, costed through the drain. *)
+    let w0_instr = Stats.retired stats in
+    let w0_cycles = st.Machine_state.now in
+    let w0_misp = Stats.mispredicts stats in
+    run_to st ~max_cycles ~max_retired:(w0_instr + p.sp_detail)
+      ~on_cycle:None;
+    drain ();
+    let w_instrs = Stats.retired stats - w0_instr in
+    if w_instrs > 0 then
+      windows :=
+        { Smarts.w_start_instr = !ff_instrs + w0_instr;
+          w_instrs;
+          w_cycles = st.Machine_state.now - w0_cycles;
+          w_mispredicts = Stats.mispredicts stats - w0_misp
+        }
+        :: !windows;
+    (* Functional fast-forward to the next period. *)
+    if (not st.Machine_state.finished) && st.Machine_state.now < max_cycles
+    then begin
+      let ff_n = p.sp_period - p.sp_detail - p.sp_warmup in
+      if ff_n > 0 then begin
+        let o = Ffwd.run st ~max_instrs:ff_n in
+        ff_instrs := !ff_instrs + o.Ffwd.executed;
+        (* [executed = 0] without a halt means fetch ran off the program
+           with an idle pipeline — nothing left to simulate. *)
+        if o.Ffwd.halted || o.Ffwd.executed = 0 then ff_halted := true
+      end
+      else if w_instrs = 0 then
+        (* detail >= period and no forward progress: bail out rather
+           than spin (a wedged machine exits via max_cycles instead). *)
+        ff_halted := true
+    end
+  done;
+  if !ff_halted then st.Machine_state.finished <- true;
+  let est =
+    Smarts.estimate
+      ~windows:(List.rev !windows)
+      ~total_instrs:(Stats.retired stats + !ff_instrs)
+      ~detailed_instrs:(Stats.retired stats)
+      ~detailed_cycles:st.Machine_state.now
+  in
+  { sam_result = result_of st; sam_estimate = est }
+
+let result_to_json ?acct ?sampled r =
   let open Bv_obs.Json in
   Obj
     [ ("config", String (Config.name r.config));
@@ -67,6 +207,6 @@ let result_to_json ?acct r =
       ("predictor", String (Bv_bpred.Kind.name r.config.Config.predictor));
       ("finished", Bool r.finished);
       ("stores_retired", Int r.stores_retired);
-      ("stats", Stats.to_json ?acct r.stats);
+      ("stats", Stats.to_json ?acct ?sampled r.stats);
       ("cache", Hierarchy.to_json r.hierarchy)
     ]

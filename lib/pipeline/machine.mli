@@ -45,12 +45,22 @@ type result =
         (** comparable with {!Bv_exec.Interp.arch_digest} when [finished] *)
   }
 
+val set_compile_default : bool -> unit
+(** Set the process-wide default for block-compiled dispatch (initially
+    on, unless the [BV_NO_COMPILE] environment variable is set to a
+    non-empty value other than ["0"]). The CLI's [--no-compile] flag
+    routes here. Per-run [?compile] overrides win. *)
+
+val compile_enabled : unit -> bool
+(** The current process-wide compiled-dispatch default. *)
+
 val run :
   ?max_cycles:int ->
   ?max_retired:int ->
   ?on_event:(event -> unit) ->
   ?on_cycle:(cycle:int -> stats:Stats.t -> dbb_occupancy:int -> unit) ->
   ?acct:Acct.t ->
+  ?compile:bool ->
   config:Config.t ->
   Layout.image ->
   result
@@ -66,9 +76,50 @@ val run :
     attributed per pc; on return the conservation invariant
     {!Acct.check} has been asserted against the cycle count. Accounting
     never perturbs timing — results are bit-identical with it on or
-    off. *)
+    off.
 
-val result_to_json : ?acct:Acct.t -> result -> Bv_obs.Json.t
+    [compile] selects the block-compiled fast path (see {!Compile});
+    default from {!set_compile_default}. Compiled runs are byte-identical
+    to interpreted runs; attaching any observer ([on_event], [on_cycle]
+    or [acct]) forces the interpreted path regardless. *)
+
+(** {2 SMARTS-style interval sampling} *)
+
+type sample_params =
+  { sp_period : int;  (** instructions per sampling period *)
+    sp_detail : int;  (** measured (detailed) instructions per period *)
+    sp_warmup : int  (** detailed warmup instructions before each window *)
+  }
+
+val default_sample_params : sample_params
+(** period 10k / detail 1k / warmup 300. *)
+
+type sampled =
+  { sam_result : result;
+        (** Architectural results ([mem_digest], [stores_retired],
+            [arch_digest], [finished]) are exact — identical to a full
+            run's. [stats] covers only the detailed stretches; use
+            [sam_estimate] for whole-run timing. *)
+    sam_estimate : Smarts.estimate
+  }
+
+val run_sampled :
+  ?max_cycles:int ->
+  ?compile:bool ->
+  ?params:sample_params ->
+  config:Config.t ->
+  Bv_ir.Layout.image ->
+  sampled
+(** Interval-sampled simulation: per period, [sp_warmup] instructions of
+    detailed warmup, then a measured window of [sp_detail] instructions
+    costed through pipeline drain, then functional fast-forward
+    ({!Ffwd}) over the rest of the period with predictor, BTB, RAS, DBB
+    and caches still being warmed. Setting [sp_detail >= sp_period]
+    degenerates to an exact full detailed run (one window). *)
+
+val result_to_json :
+  ?acct:Acct.t -> ?sampled:Smarts.estimate -> result -> Bv_obs.Json.t
 (** Configuration summary, {!Stats.to_json} and cache-hierarchy stats of a
     finished run; pass the run's [acct] to include its [cpi_stack] /
-    [top_branches] sections. *)
+    [top_branches] sections, or a sampled run's estimate to include the
+    ["sampled"] confidence-interval section. *)

@@ -252,6 +252,13 @@ type t =
     mutable park_h : handle;  (* -1 when nothing is parked *)
     mutable park_seq : int;
     mutable park_until : int;
+    (* Conservative lower bound on the earliest cycle the runahead
+       prefetch sweep could act: the min readiness over unprefetched
+       memory entries in [fbuf]. Folded down at fetch, recomputed by the
+       sweep itself, reset to 0 (= unknown, walk) whenever a flush can
+       lower [ready] ({!rebuild_scoreboard}). While [now] < bound, the
+       per-cycle sweep walk is provably a no-op and is skipped. *)
+    mutable sweep_bound : int;
     mutable fetch_pc : int;
     mutable fetch_stall_until : int;
     mutable current_line : int;
@@ -318,9 +325,23 @@ type t =
         (* set at flush, cleared by the first subsequent issue: the refill
            shadow charged to [recovery_pc] *)
     mutable recovery_pc : int;  (* pc of the last mispredicting instr *)
-    ready_src_load : int array
+    ready_src_load : int array;
         (* per register: 1 when the producer that last raised [ready] was
            a load — splits operand stalls into memory vs dependency *)
+    (* --- block-compiled fast path -------------------------------------- *)
+    (* Populated by [Compile.attach] only when no observer is attached:
+       per-pc fused fetch/execute closures (decode, operand indexing and
+       ALU dispatch folded into the closure at build time) and, per pc,
+       the length of the straight-line run of simple instructions that
+       starts there, clipped at the I-cache line boundary. Empty arrays
+       (and [compiled = false]) mean the interpreted path. *)
+    mutable compiled : bool;
+    mutable fetch_ops : (t -> unit) array;
+    mutable run_len : int array;
+    (* Sampled-mode drain: while set, the front end fetches nothing —
+       the pipeline empties so architectural state can be handed to the
+       functional fast-forward executor. Never set on normal runs. *)
+    mutable fetch_frozen : bool
   }
 
 let static_of (cfg : Config.t) image instr =
@@ -404,6 +425,7 @@ let create ~config ?on_event ?acct image =
     park_h = -1;
     park_seq = -1;
     park_until = 0;
+    sweep_bound = 0;
     fetch_pc = image.Layout.entry;
     fetch_stall_until = 0;
     current_line = -1;
@@ -448,7 +470,11 @@ let create ~config ?on_event ?acct image =
     fetch_stall_src = fsrc_none;
     in_recovery = false;
     recovery_pc = -1;
-    ready_src_load = Array.make Reg.count 0
+    ready_src_load = Array.make Reg.count 0;
+    compiled = false;
+    fetch_ops = [||];
+    run_len = [||];
+    fetch_frozen = false
   }
 
 (* ---- inflight pool ---------------------------------------------------- *)
@@ -520,6 +546,9 @@ let recycle_inflight st h =
 (* Scoreboard repair after a squash: recompute every register's ready
    cycle from the surviving in-flight producers. *)
 let rebuild_scoreboard st =
+  (* [ready] cycles can drop here, so the sweep bound is no longer a
+     lower bound — force the next sweep to walk and recompute. *)
+  st.sweep_bound <- 0;
   Array.fill st.ready 0 Reg.count 0;
   Array.fill st.ready_src_load 0 Reg.count 0;
   for k = 0 to Ring.length st.pending - 1 do

@@ -206,6 +206,12 @@ type t =
             Guarded by [park_seq] — handles are reused, seqs never are. *)
     mutable park_seq : int;
     mutable park_until : int;
+    mutable sweep_bound : int;
+        (** conservative lower bound on the earliest cycle the runahead
+            prefetch sweep could act (min readiness over unprefetched
+            memory entries in [fbuf]; 0 = unknown, walk). Maintained by
+            the scoreboard sweep, folded down at fetch, reset by
+            {!rebuild_scoreboard}. *)
     mutable fetch_pc : int;
     mutable fetch_stall_until : int;
     mutable current_line : int;
@@ -274,9 +280,24 @@ type t =
         (** set at flush, cleared by the first subsequent issue: the
             refill shadow charged to [recovery_pc] *)
     mutable recovery_pc : int;
-    ready_src_load : int array
+    ready_src_load : int array;
         (** per register: 1 when the producer that last raised [ready]
             was a load (splits operand stalls into memory vs base) *)
+    mutable compiled : bool;
+        (** Block-compiled fast path armed ({!Compile.attach}): the front
+            end dispatches through [fetch_ops]/[run_len] instead of the
+            interpreted decode match. Only ever set when no observer
+            (events, accounting, per-cycle hook) is attached. *)
+    mutable fetch_ops : (t -> unit) array;
+        (** per-pc fused fetch/execute closures; [[||]] when interpreted *)
+    mutable run_len : int array;
+        (** per pc: length of the straight-line run of simple (non-control,
+            non-halt) instructions starting there, clipped at the I-cache
+            line boundary; 0 for control instructions *)
+    mutable fetch_frozen : bool
+        (** sampled-mode drain: the front end fetches nothing while set,
+            so the pipeline empties before a functional fast-forward
+            hand-off; never set on normal runs *)
   }
 
 val create :

@@ -184,32 +184,52 @@ let issue st =
   done;
   (* Runahead-style prefetch under a full stall: walk younger loads and
      stores whose addresses are known (captured at fetch) and start
-     their fills. *)
-  if cfg.Config.runahead && !issued_now = 0 && Ring.length st.fbuf > 0 then begin
+     their fills. While [now] < [sweep_bound] every unprefetched memory
+     entry is known operand-blocked ([ready] cycles only rise outside
+     {!Machine_state.rebuild_scoreboard}, which resets the bound), so
+     the walk is a no-op and is skipped; a completed walk recomputes the
+     bound from the entries it leaves unprefetched. *)
+  if
+    cfg.Config.runahead && !issued_now = 0
+    && Ring.length st.fbuf > 0
+    && st.now >= st.sweep_bound
+  then begin
     let budget = ref 2 in
-    for k = 0 to Ring.length st.fbuf - 1 do
-      let h = Ring.get st.fbuf k in
-      if !budget > 0 && st.i_prefetch.(h) < 0 then begin
+    let bound = ref max_int in
+    let n = Ring.length st.fbuf in
+    let k = ref 0 in
+    while !budget > 0 && !k < n do
+      let h = Ring.get st.fbuf !k in
+      if st.i_prefetch.(h) < 0 then begin
         let si = st.static.(st.i_pc.(h)) in
-        if si.s_mem_kind <> 0 && operands_ready st si.s_uses then begin
-          (* real runahead can only compute addresses whose inputs are
-             available; chases behind pending loads stay opaque *)
-          let addr = st.i_addr.(h) in
-          if
-            (not (Sa_cache.probe (Hierarchy.l1d st.hier) ~addr))
-            && Release.occupancy st.mshr_release < cfg.Config.mshrs
-          then begin
-            let lat =
-              Hierarchy.data_access_latency st.hier ~addr ~write:false
-            in
-            st.i_prefetch.(h) <- st.now + lat;
-            Release.schedule st.mshr_release ~at:(st.now + lat);
-            st.stats.Stats.runahead_prefetches <-
-              st.stats.Stats.runahead_prefetches + 1;
-            decr budget
+        if si.s_mem_kind <> 0 then begin
+          if operands_ready st si.s_uses then begin
+            (* real runahead can only compute addresses whose inputs are
+               available; chases behind pending loads stay opaque *)
+            let addr = st.i_addr.(h) in
+            if
+              (not (Sa_cache.probe (Hierarchy.l1d st.hier) ~addr))
+              && Release.occupancy st.mshr_release < cfg.Config.mshrs
+            then begin
+              let lat =
+                Hierarchy.data_access_latency st.hier ~addr ~write:false
+              in
+              st.i_prefetch.(h) <- st.now + lat;
+              Release.schedule st.mshr_release ~at:(st.now + lat);
+              st.stats.Stats.runahead_prefetches <-
+                st.stats.Stats.runahead_prefetches + 1;
+              decr budget
+            end
+            else st.i_prefetch.(h) <- st.now
           end
-          else st.i_prefetch.(h) <- st.now
+          else begin
+            let r = readiness st si.s_uses in
+            if r < !bound then bound := r
+          end
         end
-      end
-    done
+      end;
+      incr k
+    done;
+    (* Budget exhausted mid-walk leaves unexamined entries: bound unknown. *)
+    st.sweep_bound <- (if !k < n then 0 else !bound)
   end

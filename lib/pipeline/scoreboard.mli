@@ -10,3 +10,9 @@
     ready addresses. *)
 
 val issue : Machine_state.t -> unit
+
+val readiness : Machine_state.t -> int array -> int
+(** Max [ready] cycle over a pre-decoded operand index array (0 when
+    none) — the earliest cycle every operand can be available. Used by
+    the fetch paths to fold newly enqueued memory entries into
+    [sweep_bound]. *)

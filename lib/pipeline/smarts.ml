@@ -1,0 +1,125 @@
+(* SMARTS-style interval-sampling statistics: per-window measurements,
+   normal-approximation confidence intervals and whole-run extrapolation.
+
+   Each measured window contributes one CPI / IPC / MPPKI sample; the
+   estimate reports mean +/- z * s / sqrt(n) for each (z = 1.96, the 95%
+   two-sided normal quantile — SMARTS' matched-pair design assumes the
+   window means are approximately normal by CLT). With n <= 1 windows
+   the standard error is reported as 0: a single window has no spread
+   information, and the degenerate detail = infinity case (one window
+   covering the whole run) must reduce to the exact full-run numbers. *)
+
+type metric_ci =
+  { mean : float;
+    stderr : float;
+    ci_low : float;
+    ci_high : float;
+    rel_err_pct : float  (* 100 * half-width / |mean|, 0 when mean = 0 *)
+  }
+
+let z95 = 1.96
+
+let ci_of_samples xs =
+  let n = List.length xs in
+  if n = 0 then
+    { mean = 0.; stderr = 0.; ci_low = 0.; ci_high = 0.; rel_err_pct = 0. }
+  else begin
+    let nf = Float.of_int n in
+    let mean = List.fold_left ( +. ) 0. xs /. nf in
+    let stderr =
+      if n < 2 then 0.
+      else begin
+        let ss =
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        in
+        sqrt (ss /. (nf -. 1.)) /. sqrt nf
+      end
+    in
+    let hw = z95 *. stderr in
+    { mean;
+      stderr;
+      ci_low = mean -. hw;
+      ci_high = mean +. hw;
+      rel_err_pct = (if mean = 0. then 0. else 100. *. hw /. Float.abs mean)
+    }
+  end
+
+type window =
+  { w_start_instr : int;  (* instruction index (detailed + ff) at start *)
+    w_instrs : int;  (* detailed instructions measured, drain included *)
+    w_cycles : int;
+    w_mispredicts : int
+  }
+
+type estimate =
+  { est_windows : window list;
+    est_total_instrs : int;  (* detailed retired + fast-forwarded *)
+    est_detailed_instrs : int;
+    est_detailed_cycles : int;  (* all detailed cycles, warmup included *)
+    est_cpi : metric_ci;
+    est_ipc : metric_ci;
+    est_mppki : metric_ci;
+    est_cycles : float;  (* est_cpi.mean * est_total_instrs *)
+    est_coverage_pct : float  (* measured instrs / total instrs *)
+  }
+
+let estimate ~windows ~total_instrs ~detailed_instrs ~detailed_cycles =
+  let sample f =
+    List.filter_map (fun w -> if w.w_instrs > 0 then Some (f w) else None)
+      windows
+  in
+  let cpi =
+    ci_of_samples
+      (sample (fun w -> Float.of_int w.w_cycles /. Float.of_int w.w_instrs))
+  in
+  let ipc =
+    ci_of_samples
+      (List.filter_map
+         (fun w ->
+           if w.w_cycles > 0 then
+             Some (Float.of_int w.w_instrs /. Float.of_int w.w_cycles)
+           else None)
+         windows)
+  in
+  let mppki =
+    ci_of_samples
+      (sample (fun w ->
+           1000. *. Float.of_int w.w_mispredicts /. Float.of_int w.w_instrs))
+  in
+  let measured = List.fold_left (fun acc w -> acc + w.w_instrs) 0 windows in
+  { est_windows = windows;
+    est_total_instrs = total_instrs;
+    est_detailed_instrs = detailed_instrs;
+    est_detailed_cycles = detailed_cycles;
+    est_cpi = cpi;
+    est_ipc = ipc;
+    est_mppki = mppki;
+    est_cycles = cpi.mean *. Float.of_int total_instrs;
+    est_coverage_pct =
+      (if total_instrs = 0 then 0.
+       else 100. *. Float.of_int measured /. Float.of_int total_instrs)
+  }
+
+let metric_json m =
+  let open Bv_obs.Json in
+  Obj
+    [ ("mean", float m.mean);
+      ("stderr", float m.stderr);
+      ("ci_low", float m.ci_low);
+      ("ci_high", float m.ci_high);
+      ("rel_err_pct", float m.rel_err_pct)
+    ]
+
+let to_json e =
+  let open Bv_obs.Json in
+  Obj
+    [ ("windows", Int (List.length e.est_windows));
+      ("total_instrs", Int e.est_total_instrs);
+      ("detailed_instrs", Int e.est_detailed_instrs);
+      ("detailed_cycles", Int e.est_detailed_cycles);
+      ("coverage_pct", float e.est_coverage_pct);
+      ("est_cycles", float e.est_cycles);
+      ("cpi", metric_json e.est_cpi);
+      ("ipc", metric_json e.est_ipc);
+      ("mppki", metric_json e.est_mppki)
+    ]

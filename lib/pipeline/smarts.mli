@@ -1,0 +1,50 @@
+(** SMARTS-style interval-sampling statistics.
+
+    Pure statistics over the per-window measurements collected by
+    {!Machine.run_sampled}: normal-approximation 95% confidence
+    intervals per metric (CPI, IPC, MPPKI) and whole-run extrapolation
+    of total cycles from the window CPI mean. *)
+
+type metric_ci =
+  { mean : float;
+    stderr : float;  (** s / sqrt(n); 0 when fewer than two samples *)
+    ci_low : float;  (** mean - 1.96 * stderr *)
+    ci_high : float;
+    rel_err_pct : float  (** 100 * half-width / |mean|, 0 when mean = 0 *)
+  }
+
+val ci_of_samples : float list -> metric_ci
+(** Mean and 95% CI of a sample list. Empty list gives all zeros; a
+    single sample gives its value with zero spread. *)
+
+type window =
+  { w_start_instr : int;
+        (** instruction index (detailed + fast-forwarded) at window start *)
+    w_instrs : int;  (** detailed instructions measured, drain included *)
+    w_cycles : int;  (** detailed cycles measured, drain included *)
+    w_mispredicts : int
+  }
+
+type estimate =
+  { est_windows : window list;
+    est_total_instrs : int;  (** detailed retired + fast-forwarded *)
+    est_detailed_instrs : int;
+    est_detailed_cycles : int;  (** all detailed cycles, warmup included *)
+    est_cpi : metric_ci;
+    est_ipc : metric_ci;
+    est_mppki : metric_ci;
+    est_cycles : float;  (** [est_cpi.mean * est_total_instrs] *)
+    est_coverage_pct : float  (** measured instrs / total instrs *)
+  }
+
+val estimate :
+  windows:window list ->
+  total_instrs:int ->
+  detailed_instrs:int ->
+  detailed_cycles:int ->
+  estimate
+
+val metric_json : metric_ci -> Bv_obs.Json.t
+
+val to_json : estimate -> Bv_obs.Json.t
+(** The ["sampled"] object appended to {!Stats.to_json} output. *)

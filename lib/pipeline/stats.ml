@@ -193,7 +193,7 @@ let pp ppf t =
 (* The JSON mirror of [pp]: every raw counter plus the derived rates, so
    machine consumers never have to re-derive or scrape text. Tables are
    sorted by site id for deterministic output. *)
-let to_json ?acct t =
+let to_json ?acct ?sampled t =
   let open Bv_obs.Json in
   let field = function
     | I (name, get) -> (name, Int (get t))
@@ -233,10 +233,14 @@ let to_json ?acct t =
         ("site_stalls", List site_stalls);
         ("site_waits", List site_waits)
       ]
+    @ (match acct with
+      | None -> []
+      | Some a ->
+        [ ("cpi_stack", Acct.cpi_stack_json a);
+          ("top_branches", Acct.top_branches_json a)
+        ])
     @
-    match acct with
+    (* interval-sampled runs: extrapolated metrics with 95% CIs *)
+    match sampled with
     | None -> []
-    | Some a ->
-      [ ("cpi_stack", Acct.cpi_stack_json a);
-        ("top_branches", Acct.top_branches_json a)
-      ])
+    | Some e -> [ ("sampled", Smarts.to_json e) ])

@@ -68,9 +68,11 @@ val site_wait_avg : t -> int -> float
 
 val pp : Format.formatter -> t -> unit
 
-val to_json : ?acct:Acct.t -> t -> Bv_obs.Json.t
+val to_json : ?acct:Acct.t -> ?sampled:Smarts.estimate -> t -> Bv_obs.Json.t
 (** Every counter of [t] (raw and derived: [retired], [ipc], [mppki],
     [dbb.avg_occupancy]) plus the per-site stall/wait tables, sorted by
     site id, stamped with {!Bv_obs.Json.schema_version}. The
     machine-readable mirror of [pp]. Passing the run's [acct] appends
-    the [cpi_stack] and [top_branches] sections. *)
+    the [cpi_stack] and [top_branches] sections; passing an
+    interval-sampled run's estimate appends the ["sampled"] section
+    (extrapolated CPI / IPC / MPPKI with 95% confidence intervals). *)

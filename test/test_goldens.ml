@@ -78,8 +78,8 @@ let cases =
       lazy (decomposed_image spec_mem) )
   ]
 
-let capture (config : Config.t) image =
-  let res = Machine.run ~config image in
+let capture ?compile (config : Config.t) image =
+  let res = Machine.run ?compile ~config image in
   let open Bv_obs.Json in
   to_string ~indent:true
     (Obj
@@ -95,7 +95,12 @@ let capture (config : Config.t) image =
 let golden_path name = Filename.concat "goldens" (name ^ ".json")
 
 let test_case (name, config, image) () =
-  let got = capture config (Lazy.force image) in
+  let image = Lazy.force image in
+  let got = capture ~compile:true config image in
+  (* Block-compiled dispatch must be indistinguishable from the
+     interpreted front end in every counter and digest. *)
+  let interp = capture ~compile:false config image in
+  Alcotest.(check string) (name ^ " compiled = interpreted") interp got;
   match Sys.getenv_opt "BV_GOLDEN_DIR" with
   | Some dir ->
     let path = Filename.concat dir (name ^ ".json") in

@@ -1,0 +1,179 @@
+(* Interval-sampling pillars:
+
+   - CI math on known samples (mean / stderr / bounds);
+   - architectural exactness: a sampled run's digests equal the full
+     run's, for every golden config (the fast-forward warmup hand-off
+     keeps committed state exact);
+   - convergence: as the measured fraction of each period grows to 1,
+     the extrapolated CPI approaches the full-run CPI, reaching it
+     exactly when one window covers the whole run;
+   - a pinned golden for the sampled estimate on the plain_w4 config,
+     regenerated with the same BV_GOLDEN_DIR mechanism as the cycle
+     goldens. *)
+
+open Bv_ir
+open Bv_pipeline
+open Bv_workloads
+
+let spec_int =
+  Spec.make ~name:"golden-int" ~suite:Spec.Int_2006 ~seed:7001
+    ~branch_classes:
+      [ Spec.cls ~count:6 ~taken_rate:0.60 ~predictability:0.95 ();
+        Spec.cls ~iid:true ~count:4 ~taken_rate:0.92 ~predictability:0.92 ();
+        Spec.cls ~iid:true ~count:2 ~taken_rate:0.50 ~predictability:0.50 ()
+      ]
+    ~loads_per_block:3.0 ~cond_depth:4 ~inner_n:128 ~reps:10 ()
+
+let image_int =
+  lazy
+    (let p = Gen.generate ~input:1 spec_int in
+     Bv_sched.Sched.schedule_program p;
+     Layout.program p)
+
+(* ---- CI math ----------------------------------------------------------- *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_ci_known () =
+  let m = Smarts.ci_of_samples [ 2.; 4.; 6.; 8. ] in
+  Alcotest.(check bool) "mean" true (feq m.Smarts.mean 5.);
+  (* sample std = sqrt(20/3), stderr = std / 2 *)
+  let stderr = sqrt (20. /. 3.) /. 2. in
+  Alcotest.(check bool) "stderr" true (feq m.Smarts.stderr stderr);
+  Alcotest.(check bool)
+    "ci_low" true
+    (feq m.Smarts.ci_low (5. -. (1.96 *. stderr)));
+  Alcotest.(check bool)
+    "ci_high" true
+    (feq m.Smarts.ci_high (5. +. (1.96 *. stderr)));
+  Alcotest.(check bool)
+    "rel_err" true
+    (feq m.Smarts.rel_err_pct (100. *. 1.96 *. stderr /. 5.))
+
+let test_ci_degenerate () =
+  let z = Smarts.ci_of_samples [] in
+  Alcotest.(check bool) "empty mean" true (feq z.Smarts.mean 0.);
+  Alcotest.(check bool) "empty stderr" true (feq z.Smarts.stderr 0.);
+  let one = Smarts.ci_of_samples [ 3.5 ] in
+  Alcotest.(check bool) "single mean" true (feq one.Smarts.mean 3.5);
+  Alcotest.(check bool) "single stderr" true (feq one.Smarts.stderr 0.);
+  Alcotest.(check bool) "single ci collapses" true
+    (feq one.Smarts.ci_low 3.5 && feq one.Smarts.ci_high 3.5);
+  let const = Smarts.ci_of_samples [ 2.; 2.; 2. ] in
+  Alcotest.(check bool) "constant stderr" true (feq const.Smarts.stderr 0.)
+
+(* ---- architectural exactness across the hand-off ----------------------- *)
+
+let test_digests_exact () =
+  let image = Lazy.force image_int in
+  List.iter
+    (fun config ->
+      let full = Machine.run ~config image in
+      let s = Machine.run_sampled ~config image in
+      let r = s.Machine.sam_result in
+      Alcotest.(check bool) "finished" true r.Machine.finished;
+      Alcotest.(check int) "mem_digest" full.Machine.mem_digest
+        r.Machine.mem_digest;
+      Alcotest.(check int) "stores_retired" full.Machine.stores_retired
+        r.Machine.stores_retired;
+      Alcotest.(check int) "arch_digest" full.Machine.arch_digest
+        r.Machine.arch_digest;
+      Alcotest.(check bool) "multiple windows" true
+        (List.length s.Machine.sam_estimate.Smarts.est_windows > 1))
+    Config.[ two_wide; four_wide; eight_wide ]
+
+(* ---- convergence ------------------------------------------------------- *)
+
+let full_cpi image config =
+  let full = Machine.run ~config image in
+  Float.of_int full.Machine.stats.Stats.cycles
+  /. Float.of_int (Stats.retired full.Machine.stats)
+
+let sampled_cpi image config params =
+  let s = Machine.run_sampled ~config ~params image in
+  s.Machine.sam_estimate.Smarts.est_cpi.Smarts.mean
+
+let rel_err a b = Float.abs (a -. b) /. b
+
+let test_convergence () =
+  let image = Lazy.force image_int in
+  let config = Config.four_wide in
+  let want = full_cpi image config in
+  let err detail =
+    rel_err
+      (sampled_cpi image config
+         { Machine.sp_period = 4_000; sp_detail = detail; sp_warmup = 200 })
+      want
+  in
+  let sparse = err 250 in
+  let dense = err 4_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse error bounded (%.4f)" sparse)
+    true (sparse < 0.25);
+  Alcotest.(check bool)
+    (Printf.sprintf "dense error small (%.4f)" dense)
+    true (dense < 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "error shrinks with density (%.4f -> %.4f)" sparse dense)
+    true
+    (dense <= sparse +. 0.02);
+  (* One window covering the entire run is exactly the full run. *)
+  let s =
+    Machine.run_sampled ~config
+      ~params:
+        { Machine.sp_period = max_int / 2;
+          sp_detail = max_int / 4;
+          sp_warmup = 0
+        }
+      image
+  in
+  let est = s.Machine.sam_estimate in
+  Alcotest.(check int) "one window" 1 (List.length est.Smarts.est_windows);
+  Alcotest.(check bool)
+    (Printf.sprintf "degenerate exact (%.6f = %.6f)" est.Smarts.est_cpi.Smarts.mean want)
+    true
+    (feq ~eps:1e-12 est.Smarts.est_cpi.Smarts.mean want);
+  Alcotest.(check int) "all instrs detailed" est.Smarts.est_total_instrs
+    est.Smarts.est_detailed_instrs
+
+(* ---- pinned golden for the warmup hand-off ----------------------------- *)
+
+let golden_path = Filename.concat "goldens" "sampled_plain_w4.json"
+
+let capture () =
+  let image = Lazy.force image_int in
+  let s =
+    Machine.run_sampled ~config:Config.four_wide
+      ~params:{ Machine.sp_period = 2_000; sp_detail = 500; sp_warmup = 200 }
+      image
+  in
+  Bv_obs.Json.to_string ~indent:true
+    (Machine.result_to_json ~sampled:s.Machine.sam_estimate
+       s.Machine.sam_result)
+  ^ "\n"
+
+let test_golden () =
+  let got = capture () in
+  match Sys.getenv_opt "BV_GOLDEN_DIR" with
+  | Some dir ->
+    let path = Filename.concat dir "sampled_plain_w4.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc got);
+    Printf.printf "wrote %s\n%!" path
+  | None ->
+    let want = In_channel.with_open_text golden_path In_channel.input_all in
+    Alcotest.(check string) "sampled estimate bit-for-bit" want got
+
+let () =
+  Alcotest.run "bv_sampling"
+    [ ( "ci-math",
+        [ Alcotest.test_case "known samples" `Quick test_ci_known;
+          Alcotest.test_case "degenerate samples" `Quick test_ci_degenerate
+        ] );
+      ( "hand-off",
+        [ Alcotest.test_case "digests exact" `Quick test_digests_exact;
+          Alcotest.test_case "golden estimate" `Quick test_golden
+        ] );
+      ( "convergence",
+        [ Alcotest.test_case "density sweep" `Quick test_convergence ] )
+    ]
