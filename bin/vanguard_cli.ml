@@ -142,6 +142,42 @@ let obj_add json fields =
    the command's work is done. *)
 let dag_field () = ("dag", Sim.counters_json (Sim.the ()))
 
+(* ------------------------------------------------------- interprocedural *)
+
+let interproc_arg =
+  let doc =
+    "Interprocedural mode: compute per-procedure summaries (register mod \
+     sets, memory-write footprints, purity classes) bottom-up over the \
+     call-graph SCCs and let the analyses use them at calls instead of \
+     worst-case havoc."
+  in
+  Arg.(
+    value & flag
+    & info [ "interproc" ] ~doc ~env:(Cmd.Env.info "BV_INTERPROC"))
+
+(* Summaries are content-hash cached in the session's DAG store under
+   the "summary" kind, keyed by the whole program: the summaries
+   subcommand and the summary-stats field of the --json emitters all
+   route through this node, so a re-run on an unchanged program is a
+   warm hit. *)
+let summary_node name prog =
+  match
+    Sim.dag_map (Sim.the ()) ~kind:"summary"
+      ~label:(fun (n, _) -> n)
+      (fun ((_ : string), prog) ->
+        let env = Bv_analysis.Summary.compute prog in
+        ( Bv_analysis.Summary.procs env,
+          Bv_analysis.Summary.stats_json env,
+          Bv_analysis.Summary.to_json env ))
+      [ (name, prog) ]
+  with
+  | [ node ] -> node
+  | _ -> assert false
+
+let summary_stats_field name prog =
+  let _, stats, _ = summary_node name prog in
+  ("summary_stats", stats)
+
 (* ----------------------------------------------------------------- list *)
 
 let list_cmd =
@@ -238,6 +274,7 @@ let run_cmd =
                ("speedup_pct", Bv_obs.Json.float sp.Runner.samp_speedup_pct);
                ("baseline", side sp.Runner.samp_base);
                ("experimental", side sp.Runner.samp_exp);
+               summary_stats_field name (Gen.generate ~input spec);
                dag_field ()
              ]));
       0
@@ -319,6 +356,7 @@ let run_cmd =
                   ("predictor", Bv_obs.Json.String (Kind.name predictor));
                   ("input", Bv_obs.Json.Int input);
                   ("scale", Bv_obs.Json.float (Runner.scale ()));
+                  summary_stats_field name (Gen.generate ~input spec);
                   dag_field ()
                 ])
              (match report with Bv_obs.Json.Obj f -> f | _ -> []))
@@ -597,6 +635,7 @@ let report_cmd =
                ("baseline", Acct.to_json base);
                ("vanguard", Acct.to_json exp);
                ("sites", List (List.map site_json ranked));
+               summary_stats_field name (Gen.generate ~input:(List.hd inputs) spec);
                dag_field ()
              ]));
       0
@@ -751,7 +790,7 @@ let experiment_cmd =
 (* ------------------------------------------------------------------ dot *)
 
 let dot_cmd =
-  let run name transformed =
+  let run name transformed callgraph =
     match spec_of_name name with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
@@ -761,17 +800,24 @@ let dot_cmd =
             .Vanguard.Transform.program
         else Gen.generate ~input:1 spec
       in
-      Format.printf "%a@." (Bv_ir.Dot.program ~bodies:false) program;
+      if callgraph then Format.printf "%a@." Bv_ir.Dot.callgraph program
+      else Format.printf "%a@." (Bv_ir.Dot.program ~bodies:false) program;
       0
   in
   let transformed_arg =
     Arg.(value & flag & info [ "transformed" ]
            ~doc:"Export the decomposed-branch version.")
   in
+  let callgraph_arg =
+    Arg.(value & flag & info [ "callgraph" ]
+           ~doc:
+             "Export the SCC-condensed call graph instead of the CFG \
+              (recursive components highlighted).")
+  in
   Cmd.v
     (Cmd.info "dot"
        ~doc:"Export a benchmark's CFG as Graphviz (pipe into `dot -Tsvg`).")
-    Term.(const run $ bench_arg $ transformed_arg)
+    Term.(const run $ bench_arg $ transformed_arg $ callgraph_arg)
 
 (* ---------------------------------------------------------------- trace *)
 
@@ -816,7 +862,7 @@ let werror_arg =
 
 let lint_cmd =
   let module Diagnostic = Bv_analysis.Diagnostic in
-  let run files bench suites dbb_entries werror json =
+  let run files bench suites dbb_entries interproc werror json =
     let targets = ref [] in
     let failed = ref false in
     let add name prog = targets := (name, prog) :: !targets in
@@ -866,14 +912,19 @@ let lint_cmd =
     let results =
       List.map
         (fun (name, prog) ->
+          let summaries =
+            if interproc then Some (Bv_analysis.Summary.compute prog)
+            else None
+          in
           ( name,
+            prog,
             Bv_analysis.Speculation.verify ~dbb_entries
-              ~scratch:Vanguard.Transform.default_temp_pool prog ))
+              ~scratch:Vanguard.Transform.default_temp_pool ?summaries prog ))
         targets
     in
     let count sev =
       List.fold_left
-        (fun n (_, ds) -> n + Diagnostic.count sev ds)
+        (fun n (_, _, ds) -> n + Diagnostic.count sev ds)
         0 results
     in
     let errors = count Diagnostic.Error in
@@ -884,14 +935,17 @@ let lint_cmd =
         (Bv_obs.Json.Obj
            [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
              ("dbb_entries", Bv_obs.Json.Int dbb_entries);
+             ("interproc", Bv_obs.Json.Bool interproc);
              dag_field ();
              ( "targets",
                Bv_obs.Json.List
                  (List.map
-                    (fun (name, diags) ->
+                    (fun (name, prog, diags) ->
                       obj_add
                         (Bv_obs.Json.Obj
-                           [ ("target", Bv_obs.Json.String name) ])
+                           [ ("target", Bv_obs.Json.String name);
+                             summary_stats_field name prog
+                           ])
                         (match Diagnostic.report_to_json diags with
                         | Bv_obs.Json.Obj fields -> fields
                         | _ -> []))
@@ -899,7 +953,7 @@ let lint_cmd =
            ])
     | None ->
       List.iter
-        (fun (name, diags) ->
+        (fun (name, _, diags) ->
           if diags = [] then Format.printf "%s: clean@." name
           else
             List.iter
@@ -947,7 +1001,7 @@ let lint_cmd =
           non-zero on any error-severity diagnostic.")
     Term.(
       const run $ files_arg $ bench_opt_arg $ suites_arg $ dbb_arg
-      $ werror_arg $ json_arg)
+      $ interproc_arg $ werror_arg $ json_arg)
 
 (* ---------------------------------------------------------------- prove *)
 
@@ -955,7 +1009,7 @@ let prove_cmd =
   let module Diagnostic = Bv_analysis.Diagnostic in
   let module Equiv = Bv_analysis.Equiv in
   let scratch = Vanguard.Transform.default_temp_pool in
-  let run files benches fuzz max_paths werror json =
+  let run files benches fuzz max_paths interproc werror json =
     let failed = ref false in
     let results = ref [] in
     let add name diags = results := (name, diags) :: !results in
@@ -986,8 +1040,8 @@ let prove_cmd =
           failed := true
         | Ok pairs -> List.iter (fun (n, ds) -> add n ds) pairs)
       (Sim.dag_map (Sim.the ()) ~kind:"prove"
-         ~label:(fun (name, _) -> name)
-         (fun (name, max_paths) ->
+         ~label:(fun (name, _, _) -> name)
+         (fun (name, max_paths, interproc) ->
            match spec_of_name name with
            | Error e -> Error e
            | Ok spec ->
@@ -995,8 +1049,20 @@ let prove_cmd =
                 the reference and validate the transform output against it *)
              let original = Gen.generate ~input:0 spec in
              let transformed =
-               (Runner.transform (Sim.bench (Sim.the ()) spec))
-                 .Vanguard.Transform.program
+               if interproc then
+                 (* re-transform with summaries: newly eligible
+                    cross-call sites must prove out too *)
+                 let summaries = Bv_analysis.Summary.compute original in
+                 (Vanguard.Transform.apply ~summaries
+                    ~exit_live:Gen.live_at_exit
+                    ~candidates:
+                      (Runner.selection (Sim.bench (Sim.the ()) spec))
+                        .Vanguard.Select.candidates
+                    original)
+                   .Vanguard.Transform.program
+               else
+                 (Runner.transform (Sim.bench (Sim.the ()) spec))
+                   .Vanguard.Transform.program
              in
              Ok
                [ ( name ^ ":transform",
@@ -1006,15 +1072,15 @@ let prove_cmd =
                    Equiv.verify_self ~scratch ~exit_live:Gen.live_at_exit
                      ~max_paths transformed )
                ])
-         (List.map (fun name -> (name, max_paths)) benches));
+         (List.map (fun name -> (name, max_paths, interproc)) benches));
     (match fuzz with
     | None -> ()
     | Some n ->
       List.iteri
         (fun seed diags -> add (Printf.sprintf "fuzz:%d" seed) diags)
         (Sim.dag_map (Sim.the ()) ~kind:"prove-fuzz"
-           ~label:(fun (seed, _) -> Printf.sprintf "seed%d" seed)
-           (fun (seed, max_paths) ->
+           ~label:(fun (seed, _, _) -> Printf.sprintf "seed%d" seed)
+           (fun (seed, max_paths, interproc) ->
              let prog = Fuzzgen.generate ~seed in
              let image = Layout.program (Program.copy prog) in
              let profile =
@@ -1027,10 +1093,14 @@ let prove_cmd =
                   ~profile prog)
                  .Vanguard.Select.candidates
              in
-             let result = Vanguard.Transform.apply ~candidates prog in
+             let summaries =
+               if interproc then Some (Bv_analysis.Summary.compute prog)
+               else None
+             in
+             let result = Vanguard.Transform.apply ?summaries ~candidates prog in
              Equiv.verify ~scratch ~max_paths ~original:prog
                result.Vanguard.Transform.program)
-           (List.init n (fun seed -> (seed, max_paths)))));
+           (List.init n (fun seed -> (seed, max_paths, interproc)))));
     let results = List.rev !results in
     if results = [] && not !failed then begin
       prerr_endline
@@ -1053,9 +1123,23 @@ let prove_cmd =
     let clean = List.length results - List.length flagged in
     (match json with
     | Some path ->
+      let bench_stats =
+        List.filter_map
+          (fun name ->
+            match spec_of_name name with
+            | Error _ -> None
+            | Ok spec ->
+              let _, stats =
+                summary_stats_field name (Gen.generate ~input:0 spec)
+              in
+              Some (name, stats))
+          benches
+      in
       write_json path
         (Bv_obs.Json.Obj
            [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
+             ("interproc", Bv_obs.Json.Bool interproc);
+             ("summary_stats", Bv_obs.Json.Obj bench_stats);
              ("targets_checked", Bv_obs.Json.Int (List.length results));
              ("proven_clean", Bv_obs.Json.Int clean);
              ("errors", Bv_obs.Json.Int errors);
@@ -1130,9 +1214,95 @@ let prove_cmd =
           counterexample.")
     Term.(
       const run $ files_arg $ bench_opt_arg $ fuzz_arg $ max_paths_arg
-      $ werror_arg $ json_arg)
+      $ interproc_arg $ werror_arg $ json_arg)
 
 (* --------------------------------------------------------------- advise *)
+
+(* Interprocedural advisory gains: sites the summary-off advisor rejected
+   that the summary-on advisor recommends with positive savings,
+   restricted to call-shadowed blocks — their eligibility genuinely
+   depended on call-aware facts, the paper's cross-call population. Each
+   gained site is then transformed alone under [~summaries ~prove] so the
+   claim "now eligible" is backed by a translation-validation proof.
+   Returns marshal-safe plain tuples: (site, proc, block, reason the
+   summary-off advisor gave, cycles saved, proved). *)
+let interproc_gains ?max_hoist ?exit_live ~config ~profile program =
+  let module Advisor = Bv_analysis.Advisor in
+  let module Costmodel = Bv_analysis.Costmodel in
+  let summaries = Bv_analysis.Summary.compute program in
+  let advise summaries =
+    Advisor.advise ~config ~profile
+      (Bv_analysis.Costmodel.analyze ?max_hoist ?exit_live ?summaries
+         program)
+  in
+  let off = advise None and on = advise (Some summaries) in
+  let rejected_off =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun reason -> (r.Advisor.cost.Costmodel.site, reason))
+          r.Advisor.rejected)
+      off.Advisor.sites
+  in
+  let gained =
+    List.filter
+      (fun r ->
+        r.Advisor.rejected = None
+        && r.Advisor.cycles_saved > 0.0
+        && List.mem_assoc r.Advisor.cost.Costmodel.site rejected_off
+        && Bv_ir.Callgraph.call_shadowed
+             (Program.find_proc program r.Advisor.cost.Costmodel.proc)
+             r.Advisor.cost.Costmodel.block)
+      on.Advisor.sites
+  in
+  let proved_sites =
+    match gained with
+    | [] -> []
+    | gained -> (
+      let candidates =
+        List.map
+          (fun r ->
+            { Vanguard.Select.proc = r.Advisor.cost.Costmodel.proc;
+              block = r.Advisor.cost.Costmodel.block;
+              site = r.Advisor.cost.Costmodel.site;
+              bias = r.Advisor.bias;
+              predictability = r.Advisor.predictability;
+              executed = r.Advisor.execs
+            })
+          gained
+      in
+      match
+        Vanguard.Transform.apply ?max_hoist ?exit_live ~summaries
+          ~prove:true ~candidates program
+      with
+      | result ->
+        List.map
+          (fun rep -> rep.Vanguard.Transform.site)
+          result.Vanguard.Transform.reports
+      | exception Invalid_argument _ -> [])
+  in
+  List.map
+    (fun r ->
+      let site = r.Advisor.cost.Costmodel.site in
+      ( site,
+        r.Advisor.cost.Costmodel.proc,
+        r.Advisor.cost.Costmodel.block,
+        List.assoc site rejected_off,
+        r.Advisor.cycles_saved,
+        List.mem site proved_sites ))
+    gained
+
+let gain_json (site, proc, blockl, reason, saved, proved) =
+  let open Bv_obs.Json in
+  Obj
+    [ ("site", Int site);
+      ("proc", String proc);
+      ("block", String blockl);
+      ("kind", String "cross_call");
+      ("rejected_before", String reason);
+      ("cycles_saved", float saved);
+      ("proved", Bool proved)
+    ]
 
 let advise_cmd =
   let module Advisor = Bv_analysis.Advisor in
@@ -1140,7 +1310,7 @@ let advise_cmd =
   (* Correlation gating needs enough joined sites to mean anything. *)
   let min_joined = 5 in
   let run benches suites validate width all predictor top corr_floor
-      warn_only dbb werror json =
+      warn_only dbb fuzz interproc werror json =
     let failed = ref false in
     let warned = ref false in
     let specs =
@@ -1158,8 +1328,8 @@ let advise_cmd =
     let specs =
       List.sort_uniq (fun a b -> compare a.Spec.name b.Spec.name) specs
     in
-    if specs = [] && not !failed then begin
-      prerr_endline "nothing to advise: pass -b BENCH or --suites";
+    if specs = [] && fuzz = None && not !failed then begin
+      prerr_endline "nothing to advise: pass -b BENCH, --suites, or --fuzz N";
       failed := true
     end;
     let config = { Advisor.default_config with Advisor.dbb_entries = dbb } in
@@ -1172,23 +1342,75 @@ let advise_cmd =
     let results =
       Sim.dag_map sim ~kind:"advise"
         ~label:(fun (spec, _) -> spec.Spec.name)
-        (fun (spec, (predictor, config, inputs, width, validate)) ->
+        (fun (spec, (predictor, config, inputs, width, validate, interproc)) ->
           let b = Sim.prepare ~predictor sim spec in
           let checked =
             if validate then
-              Some (Runner.advise_validate ~predictor ~config ~inputs b ~width)
+              Some
+                (Runner.advise_validate ~predictor ~config ~interproc ~inputs
+                   b ~width)
             else None
           in
           let advice =
             match checked with
             | Some c -> c.Runner.ac_advice
-            | None -> Runner.advise ~config b
+            | None -> Runner.advise ~config ~interproc b
           in
-          (spec.Spec.name, advice, checked))
+          let gains =
+            if interproc then
+              interproc_gains ~exit_live:Gen.live_at_exit ~config
+                ~profile:(Runner.profile b)
+                (Gen.generate ~input:0 spec)
+            else []
+          in
+          (spec.Spec.name, advice, checked, gains))
         (List.map
-           (fun spec -> (spec, (predictor, config, inputs, width, validate)))
+           (fun spec ->
+             (spec, (predictor, config, inputs, width, validate, interproc)))
            specs)
     in
+    (* Fuzz targets: the seeded corpus is where cross-call gains actually
+       live — the benchmark generators only call from main's latch loop,
+       which the advisor rejects as backward either way. The advisor runs
+       with selection-style gating (no heat or margin requirement, no
+       growth charge) so eligibility, not heat, decides. *)
+    let fuzz_config =
+      { config with
+        Advisor.min_executed = 0;
+        threshold = -2.0;
+        growth_penalty = 0.0
+      }
+    in
+    let fuzz_results =
+      match fuzz with
+      | None -> []
+      | Some n ->
+        Sim.dag_map sim ~kind:"advise-fuzz"
+          ~label:(fun (seed, _) -> Printf.sprintf "seed%d" seed)
+          (fun (seed, (config, interproc)) ->
+            let prog = Fuzzgen.generate ~seed in
+            let image = Layout.program (Program.copy prog) in
+            let profile =
+              Bv_profile.Profile.collect
+                ~predictor:(Kind.create Kind.Always_not_taken)
+                image
+            in
+            let summaries =
+              if interproc then Some (Bv_analysis.Summary.compute prog)
+              else None
+            in
+            let advice =
+              Advisor.advise ~config ~profile
+                (Costmodel.analyze ?summaries prog)
+            in
+            let gains =
+              if interproc then interproc_gains ~config ~profile prog
+              else []
+            in
+            (Printf.sprintf "fuzz:%d" seed, advice, None, gains))
+          (List.init n (fun seed -> (seed, (fuzz_config, interproc))))
+    in
+    let results = results @ fuzz_results in
     let ppf =
       if json = Some "-" then Format.err_formatter else Format.std_formatter
     in
@@ -1204,11 +1426,20 @@ let advise_cmd =
         fmt
     in
     List.iter
-      (fun (name, advice, checked) ->
+      (fun (name, advice, checked, gains) ->
         let n_sites = List.length advice.Advisor.sites in
         let n_rec = List.length advice.Advisor.recommended in
         Format.fprintf ppf "%s: %d branch site(s), %d recommended@." name
           n_sites n_rec;
+        List.iter
+          (fun (site, proc, blockl, reason, saved, proved) ->
+            Format.fprintf ppf
+              "%s: gain: site %d (%s/%s) was rejected (%s), now saves %.1f \
+               cycle(s), %s@."
+              name site proc blockl reason saved
+              (if proved then "equivalence proved"
+               else "equivalence NOT proved"))
+          gains;
         let shown = List.filteri (fun i _ -> i < top) advice.Advisor.sites in
         if shown <> [] then
           Format.fprintf ppf "%s@."
@@ -1265,6 +1496,19 @@ let advise_cmd =
     | None -> ()
     | Some path ->
       let open Bv_obs.Json in
+      let all_gains = List.concat_map (fun (_, _, _, g) -> g) results in
+      let proved =
+        List.filter (fun (_, _, _, _, _, p) -> p) all_gains
+      in
+      let bench_stats =
+        List.map
+          (fun spec ->
+            let _, stats =
+              summary_stats_field spec.Spec.name (Gen.generate ~input:0 spec)
+            in
+            (spec.Spec.name, stats))
+          specs
+      in
       write_json path
         (Obj
            [ ("schema_version", Int schema_version);
@@ -1272,15 +1516,22 @@ let advise_cmd =
              ("predictor", String (Kind.name predictor));
              ("dbb_entries", Int dbb);
              ("corr_floor", float corr_floor);
+             ("interproc", Bool interproc);
+             ("summary_stats", Obj bench_stats);
+             ("gains_total", Int (List.length all_gains));
+             ("gains_proved", Int (List.length proved));
              ("inputs", List (List.map (fun i -> Int i) inputs));
              ("scale", float (Runner.scale ()));
              dag_field ();
              ( "targets",
                List
                  (List.map
-                    (fun (name, advice, checked) ->
+                    (fun (name, advice, checked, gains) ->
                       obj_add
-                        (Obj [ ("target", String name) ])
+                        (Obj
+                           [ ("target", String name);
+                             ("gains", List (List.map gain_json gains))
+                           ])
                         ((match Advisor.to_json advice with
                          | Obj fields -> fields
                          | _ -> [])
@@ -1350,6 +1601,16 @@ let advise_cmd =
       & info [ "dbb" ] ~docv:"ENTRIES"
           ~doc:"Decoupled-branch-buffer capacity for the pressure gate.")
   in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Also advise on N seeded fuzz programs (selection-style \
+             gating: no heat or margin requirement). With --interproc \
+             this is where cross-call gains are expected.")
+  in
   Cmd.v
     (Cmd.info "advise"
        ~doc:
@@ -1359,7 +1620,102 @@ let advise_cmd =
     Term.(
       const run $ bench_opt_arg $ suites_arg $ validate_arg $ width_arg
       $ all_arg $ predictor_arg $ top_arg $ corr_floor_arg $ warn_only_arg
-      $ dbb_arg $ werror_arg $ json_arg)
+      $ dbb_arg $ fuzz_arg $ interproc_arg $ werror_arg $ json_arg)
+
+(* ------------------------------------------------------------ summaries *)
+
+let summaries_cmd =
+  let run files bench transformed json =
+    let targets = ref [] in
+    let failed = ref false in
+    let add name prog = targets := (name, prog) :: !targets in
+    List.iter
+      (fun path ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e ->
+          prerr_endline e;
+          failed := true
+        | text -> (
+          match Bv_ir.Asm.program text with
+          | exception Bv_ir.Asm.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" path line msg;
+            failed := true
+          | prog -> add path prog))
+      files;
+    (match bench with
+    | None -> ()
+    | Some name -> (
+      match spec_of_name name with
+      | Error e ->
+        prerr_endline e;
+        failed := true
+      | Ok spec ->
+        if transformed then
+          add (name ^ ":transformed")
+            (Runner.transform (Sim.bench (Sim.the ()) spec))
+              .Vanguard.Transform.program
+        else add (name ^ ":baseline") (Gen.generate ~input:1 spec)));
+    let targets = List.rev !targets in
+    if targets = [] && not !failed then begin
+      prerr_endline
+        "nothing to summarize: pass FILE arguments or -b BENCH";
+      failed := true
+    end;
+    let results = List.map (fun (name, prog) -> (name, summary_node name prog)) targets in
+    (match json with
+    | Some path ->
+      write_json path
+        (Bv_obs.Json.Obj
+           [ ("schema_version", Bv_obs.Json.Int Bv_obs.Json.schema_version);
+             dag_field ();
+             ( "targets",
+               Bv_obs.Json.List
+                 (List.map
+                    (fun (name, (_, stats, full)) ->
+                      Bv_obs.Json.Obj
+                        [ ("target", Bv_obs.Json.String name);
+                          ("summary_stats", stats);
+                          ("summaries", full)
+                        ])
+                    results) )
+           ])
+    | None ->
+      List.iter
+        (fun (name, (procs, _, _)) ->
+          Format.printf "%s: %d procedure(s)@." name (List.length procs);
+          List.iter
+            (fun s -> Format.printf "  %a@." Bv_analysis.Summary.pp s)
+            procs)
+        results);
+    if !failed then 1 else 0
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Hidden-ISA source files (see `vanguard_cli assemble`).")
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ]
+          ~doc:"Summarize a benchmark's baseline program.")
+  in
+  let transformed_arg =
+    Arg.(
+      value & flag
+      & info [ "transformed" ]
+          ~doc:"Summarize the decomposed-branch version instead.")
+  in
+  Cmd.v
+    (Cmd.info "summaries"
+       ~doc:
+         "Compute and print interprocedural per-procedure summaries \
+          (register mod/use sets, memory footprints, purity), cached as \
+          \"summary\" nodes in the DAG store.")
+    Term.(
+      const run $ files_arg $ bench_opt_arg $ transformed_arg $ json_arg)
 
 (* ------------------------------------------------------------- assemble *)
 
@@ -1594,7 +1950,7 @@ let main =
   Cmd.group (Cmd.info "vanguard_cli" ~doc)
     [ list_cmd; run_cmd; sample_validate_cmd; report_cmd; profile_cmd;
       transform_cmd; experiment_cmd; disasm_cmd; dot_cmd; lint_cmd;
-      prove_cmd; advise_cmd; assemble_cmd; trace_cmd; dag_cmd
+      prove_cmd; advise_cmd; summaries_cmd; assemble_cmd; trace_cmd; dag_cmd
     ]
 
 let () = exit (Cmd.eval' main)

@@ -110,11 +110,20 @@ let step regs instr =
   | Instr.Predict _ | Instr.Resolve _ | Instr.Halt ->
     List.iter (fun r -> set r Top) (Instr.defs instr)
 
-let transfer block fact =
+(* Call havoc: with no interprocedural knowledge every register goes to
+   Top; an interprocedural summary ([call_mod]) narrows that to the
+   callee's transitive register mod set — registers are global across
+   calls (no save/restore convention), so a callee can only disturb what
+   it writes. An unknown callee ([call_mod] returning [None]) keeps the
+   worst case. *)
+let transfer ?call_mod block fact =
   let regs = Array.copy fact in
   List.iter (step regs) block.Block.body;
   (match block.Block.term with
-  | Term.Call _ -> Array.fill regs 0 Reg.count Top
+  | Term.Call { target; _ } -> (
+    match Option.bind call_mod (fun f -> f target) with
+    | Some mods -> List.iter (fun r -> regs.(Reg.index r) <- Top) mods
+    | None -> Array.fill regs 0 Reg.count Top)
   | _ -> ());
   regs
 
@@ -144,11 +153,35 @@ let address_at regs ~base ~offset =
     | None -> Unknown)
   | Top -> Unknown
 
-let analyze proc =
+type facts = absval array
+
+type solution = Solver.solution
+
+let solve ?call_mod proc =
   let boundary = Array.init Reg.count (fun i -> Entry (i, (0, 0))) in
-  let solution =
-    Solver.solve ~direction:Dataflow.Forward ~boundary ~transfer proc
-  in
+  Solver.solve ~direction:Dataflow.Forward ~boundary
+    ~transfer:(transfer ?call_mod) proc
+
+let entry_facts solution label =
+  Option.map Array.copy (Solver.fact_in solution label)
+
+let step_instr = step
+
+let rebase addr regs =
+  match addr with
+  | Absolute _ | Unknown -> addr
+  | Reg_relative (r, l, h) -> (
+    match regs.(Reg.index r) with
+    | Abs i -> (
+      match iadd i (l, h) with Some (l, h) -> Absolute (l, h) | None -> Unknown)
+    | Entry (r', i) -> (
+      match iadd i (l, h) with
+      | Some (l, h) -> Reg_relative (Reg.make r', l, h)
+      | None -> Unknown)
+    | Top -> Unknown)
+
+let analyze ?call_mod proc =
+  let solution = solve ?call_mod proc in
   let table = Phys.create 64 in
   let record instr addr =
     (* A condition slice is physically shared between the two resolution

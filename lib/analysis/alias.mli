@@ -36,7 +36,50 @@ type address =
           [lo, hi] *)
   | Unknown
 
-val analyze : Proc.t -> t
+val analyze : ?call_mod:(Label.t -> Reg.t list option) -> Proc.t -> t
+(** [call_mod] is an interprocedural summary hook: at a [Term.Call] to
+    [target], only the registers [call_mod target] reports are havocked
+    instead of all of them ([None] — unknown callee — keeps the
+    all-registers worst case, as does omitting [call_mod] entirely,
+    which preserves the historical intra-procedural behaviour
+    byte-for-byte). Pass {!Summary.call_mod} of a computed environment. *)
+
+(** {2 Interval domain (exposed for the interprocedural {!Summary} engine)}
+
+    The raw register lattice: a byte interval, absolute or relative to a
+    register's value at procedure entry. [facts] is indexed by
+    {!Reg.index}. *)
+
+type absval =
+  | Abs of (int * int)  (** value within [lo, hi] *)
+  | Entry of int * (int * int)
+      (** entry-register index plus displacement interval *)
+  | Top
+
+type facts = absval array
+
+type solution
+
+val solve : ?call_mod:(Label.t -> Reg.t list option) -> Proc.t -> solution
+(** The forward interval solve {!analyze} is built on, without the
+    per-occurrence address table. *)
+
+val entry_facts : solution -> Label.t -> facts option
+(** Fresh copy of the register facts at the named block's entry; [None]
+    for blocks unreachable from the procedure entry. *)
+
+val step_instr : facts -> Instr.t -> unit
+(** Advance the facts across one body instruction, in place. *)
+
+val address_at : facts -> base:Reg.t -> offset:int -> address
+(** Abstract address of an access to [base + offset] under the facts. *)
+
+val rebase : address -> facts -> address
+(** Translate an address expressed in a {e callee}'s entry frame into
+    the caller's frame, given the caller's register facts at the call:
+    registers are global, so the callee's entry value of [r] is the
+    caller's value of [r] at the call terminator. Wrap-guarded; anything
+    that cannot be translated exactly becomes [Unknown]. *)
 
 val address_of : t -> Instr.t -> address
 (** Abstract address of a [Load]/[Store] occurrence of the analyzed

@@ -72,8 +72,13 @@ let condition_slice body ~src =
   (slice_rev, rest_rev)
 
 (* Reason strings match the transformation's Skip messages so an advise
-   report and a transform's skip list agree verbatim. *)
-let check_slice ~slice ~rest body =
+   report and a transform's skip list agree verbatim. [may_alias]
+   (supplied only in summary mode, where the transform uses the same
+   oracle) relaxes the store-after-slice-load rule to stores that may
+   actually alias a preceding slice load: sinking the slice below the
+   block's remainder reorders each slice load past the stores after it,
+   which is observable only for overlapping accesses. *)
+let check_slice ?may_alias ~slice ~rest body =
   let regs_of f =
     List.fold_left
       (fun s i -> Regset.union s (Regset.of_list (f i)))
@@ -101,13 +106,18 @@ let check_slice ~slice ~rest body =
                   "non-slice instruction redefines slice register: %s"
                   (Instr.to_string i))))
       rest;
-    let seen_slice_load = ref false in
+    let slice_loads = ref [] in
     List.iter
       (fun i ->
         match i with
-        | Instr.Load _ when List.memq i slice -> seen_slice_load := true
-        | Instr.Store _ when !seen_slice_load ->
-          raise (Bad "store after a slice load")
+        | Instr.Load _ when List.memq i slice -> slice_loads := i :: !slice_loads
+        | Instr.Store _ when !slice_loads <> [] ->
+          let conflicts =
+            match may_alias with
+            | None -> true
+            | Some f -> List.exists (fun l -> f i l) !slice_loads
+          in
+          if conflicts then raise (Bad "store after a slice load")
         | _ -> ())
       body;
     Ok ()
@@ -244,9 +254,12 @@ let classify ~proc ~loops ~cfg_forward ~slice block =
         else Data_dependent
       end
 
-let analyze_proc ?(max_hoist = 16) ?(temp_slots = 16) ?exit_live proc =
-  let alias = Alias.analyze proc in
+let analyze_proc ?(max_hoist = 16) ?(temp_slots = 16) ?exit_live ?summaries
+    proc =
+  let call_mod = Option.map Summary.call_mod summaries in
+  let alias = Alias.analyze ?call_mod proc in
   let may_alias = Alias.may_alias alias in
+  let slice_alias = Option.map (fun _ -> may_alias) summaries in
   let exit_live = Option.map Liveness.Regset.of_list exit_live in
   let live = Liveness.compute ?exit_live proc in
   let loops = Loops.compute proc in
@@ -288,7 +301,9 @@ let analyze_proc ?(max_hoist = 16) ?(temp_slots = 16) ?exit_live proc =
           with
           | Some r -> Some r
           | None -> (
-            match check_slice ~slice ~rest block.Block.body with
+            match
+              check_slice ?may_alias:slice_alias ~slice ~rest block.Block.body
+            with
             | Ok () -> None
             | Error r -> Some r)
         in
@@ -331,9 +346,9 @@ let analyze_proc ?(max_hoist = 16) ?(temp_slots = 16) ?exit_live proc =
       | _ -> None)
     proc.Proc.blocks
 
-let analyze ?max_hoist ?temp_slots ?exit_live program =
+let analyze ?max_hoist ?temp_slots ?exit_live ?summaries program =
   List.concat_map
-    (analyze_proc ?max_hoist ?temp_slots ?exit_live)
+    (analyze_proc ?max_hoist ?temp_slots ?exit_live ?summaries)
     program.Program.procs
 
 let side_to_json s =

@@ -83,23 +83,34 @@ type site_cost =
     code_growth : int  (** net static instructions added by the rewrite *)
   }
 
-val check_slice : slice:Instr.t list -> rest:Instr.t list -> Instr.t list ->
+val check_slice :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
+  slice:Instr.t list -> rest:Instr.t list -> Instr.t list ->
   (unit, string) result
 (** The transformation's slice-sinking safety test (same reasons,
     verbatim): the remainder must not read or redefine slice registers,
-    and no store may follow a slice load. *)
+    and no store may follow a slice load. [may_alias] (summary mode
+    only) relaxes the last rule to stores that may alias a preceding
+    slice load. *)
 
 val analyze_proc :
   ?max_hoist:int -> ?temp_slots:int -> ?exit_live:Reg.t list ->
+  ?summaries:Summary.env ->
   Proc.t -> site_cost list
 (** Cost every conditional branch of the procedure, in layout order.
     [max_hoist] (default 16) and [temp_slots] (default 16, the scratch
     pool size) bound the mirrored hoist; [exit_live] is the calling
     convention used for the renaming liveness (default: all registers,
-    matching the transform). *)
+    matching the transform). [summaries] (default absent — byte-identical
+    to the historical behaviour) feeds {!Alias.analyze}'s [call_mod]
+    hook so register intervals survive calls, and switches the
+    slice-safety test to the alias-checked store rule — the same two
+    relaxations {!Transform.apply}'s [~summaries] mode applies, so
+    eligibility verdicts keep agreeing verbatim. *)
 
 val analyze :
   ?max_hoist:int -> ?temp_slots:int -> ?exit_live:Reg.t list ->
+  ?summaries:Summary.env ->
   Program.t -> site_cost list
 
 val to_json : site_cost -> Bv_obs.Json.t

@@ -97,7 +97,12 @@ type proc_facts =
     resolve_arms : (int, int) Hashtbl.t  (** resolve terminators per id *)
   }
 
-let compute_facts proc =
+let callee_mods summaries target =
+  match Summary.find summaries target with
+  | Some s -> Regset.of_list (Summary.Regset.elements s.Summary.mod_regs)
+  | None -> Regset.of_list (List.init Reg.count Reg.make)
+
+let compute_facts ?summaries proc =
   let may =
     Sites_may.solve ~direction:Dataflow.Forward ~boundary:Intset.empty
       ~transfer:sites_transfer proc
@@ -107,15 +112,23 @@ let compute_facts proc =
       ~transfer:sites_transfer proc
   in
   (* A block's body runs speculatively iff a predict is outstanding at its
-     entry; a window closing in the block resets nothing retroactively. *)
+     entry; a window closing in the block resets nothing retroactively.
+     When an interprocedural summary permits the window to span a call,
+     everything the callee may write is speculative in the continuation. *)
   let spec_transfer b s =
     let speculative =
       match Sites_may.fact_in may b.Block.label with
       | Some sites -> not (Intset.is_empty sites)
       | None -> false
     in
-    if speculative then Regset.union s (body_defs b.Block.body)
-    else Regset.empty
+    if not speculative then Regset.empty
+    else begin
+      let s = Regset.union s (body_defs b.Block.body) in
+      match (b.Block.term, summaries) with
+      | Term.Call { target; _ }, Some env ->
+        Regset.union s (callee_mods env target)
+      | _ -> s
+    end
   in
   let spec =
     Spec_defs.solve ~direction:Dataflow.Forward ~boundary:Regset.empty
@@ -141,7 +154,7 @@ let compute_facts proc =
     resolve_arms
   }
 
-let pairing_pass ~dbb_entries facts =
+let pairing_pass ~dbb_entries ?summaries ?(scratch_pool = []) facts =
   let pass = "pairing" in
   let proc = facts.proc.Proc.name in
   let diags = ref [] in
@@ -203,14 +216,55 @@ let pairing_pass ~dbb_entries facts =
                "resolve of site %d is not dominated by its predict: some \
                 path reaches it without an outstanding predict"
                id)
-      | Term.Call _ ->
-        if not (Intset.is_empty may_in) then
-          emit
-            (Diagnostic.error ~block:label ~pass ~proc
-               "call with predict sites {%s} possibly outstanding; the DBB \
-                does not survive a procedure change"
-               (String.concat ", "
-                  (List.map string_of_int (Intset.elements may_in))))
+      | Term.Call { target; _ } ->
+        if not (Intset.is_empty may_in) then begin
+          let sites =
+            String.concat ", "
+              (List.map string_of_int (Intset.elements may_in))
+          in
+          match summaries with
+          | None ->
+            emit
+              (Diagnostic.error ~block:label ~pass ~proc
+                 "call with predict sites {%s} possibly outstanding; the DBB \
+                  does not survive a procedure change"
+                 sites)
+          | Some env -> (
+            match Summary.find env target with
+            | None ->
+              emit
+                (Diagnostic.error ~block:label ~pass ~proc
+                   "call with predict sites {%s} outstanding targets unknown \
+                    procedure %s; no summary can justify the window"
+                   sites target)
+            | Some s ->
+              if
+                Summary.store_free s
+                && Summary.scratch_clean s ~pool:scratch_pool
+              then begin
+                emit
+                  (Diagnostic.info ~block:label ~pass ~proc
+                     "call with predict sites {%s} outstanding permitted: \
+                      callee %s is store-free and scratch-clean \
+                      (interprocedural summary)"
+                     sites target);
+                if Summary.purity s <> Summary.Pure then
+                  emit
+                    (Diagnostic.warning ~block:label ~pass ~proc
+                       "callee %s loads under an open speculative window; \
+                        its loads are not marked non-faulting"
+                       target)
+              end
+              else
+                emit
+                  (Diagnostic.error ~block:label ~pass ~proc
+                     "call with predict sites {%s} possibly outstanding; \
+                      callee %s %s, so the window cannot span it \
+                      (interprocedural summary)"
+                     sites target
+                     (if not (Summary.store_free s) then "may store"
+                      else "touches the scratch pool")))
+        end
       | Term.Ret ->
         if not (Intset.is_empty may_in) then
           emit
@@ -401,22 +455,27 @@ let max_outstanding proc =
       max acc (Intset.cardinal (sites_transfer b fact_in)))
     0 proc.Proc.blocks
 
-let verify_proc ?(dbb_entries = default_dbb_entries) ?(scratch = []) proc =
-  let facts = compute_facts proc in
+let verify_proc ?(dbb_entries = default_dbb_entries) ?(scratch = []) ?summaries
+    proc =
+  let facts = compute_facts ?summaries proc in
+  let scratch_pool = scratch in
   let scratch = Regset.of_list scratch in
-  pairing_pass ~dbb_entries facts
+  pairing_pass ~dbb_entries ?summaries ~scratch_pool facts
   @ spec_window_pass facts
   @ correction_pass facts
   @ scratch_uninit_pass ~scratch facts
   @ reachability_pass facts
 
-let verify ?dbb_entries ?scratch program =
+let verify ?dbb_entries ?scratch ?summaries program =
   Diagnostic.sort
-    (List.concat_map (verify_proc ?dbb_entries ?scratch) program.Program.procs)
+    (List.concat_map
+       (verify_proc ?dbb_entries ?scratch ?summaries)
+       program.Program.procs)
 
-let check_exn ?dbb_entries ?scratch program =
+let check_exn ?dbb_entries ?scratch ?summaries program =
   match
-    List.filter Diagnostic.is_error (verify ?dbb_entries ?scratch program)
+    List.filter Diagnostic.is_error
+      (verify ?dbb_entries ?scratch ?summaries program)
   with
   | [] -> ()
   | errors ->

@@ -40,7 +40,15 @@
       warnings.
 
     The checks are per-procedure; inter-procedural effects are excluded by
-    the pairing pass's [Call]/[Ret] rule. *)
+    the pairing pass's [Call]/[Ret] rule — unless a {!Summary.env} is
+    supplied. With [summaries], a window outstanding across a [Call] to a
+    provably store-free, scratch-clean callee is {e permitted} (reported
+    as [Info], with a warning when the callee loads — its loads cannot be
+    marked non-faulting), the callee's transitive register mod set joins
+    the speculative-def facts the correction pass consumes, and a callee
+    that may store or touch the scratch pool stays an error with a
+    summary-specific reason. A [Ret] under an outstanding window is an
+    error either way: the resolves can never execute. *)
 
 open Bv_isa
 open Bv_ir
@@ -55,19 +63,33 @@ val max_outstanding : Proc.t -> int
     of the transformed program it recommends. *)
 
 val verify_proc :
-  ?dbb_entries:int -> ?scratch:Reg.t list -> Proc.t -> Diagnostic.t list
+  ?dbb_entries:int ->
+  ?scratch:Reg.t list ->
+  ?summaries:Summary.env ->
+  Proc.t ->
+  Diagnostic.t list
 (** [dbb_entries] defaults to {!Bv_pipeline.Config.dbb_entries}'s value
     (16), kept literal here to avoid a dependency on the pipeline.
     [scratch] (default empty, disabling the ["scratch-uninit"] pass) is
     the rename pool — {!Vanguard.Transform.default_temp_pool} for
-    transformed programs. *)
+    transformed programs. [summaries] (default absent — the historical
+    intra-procedural behaviour, byte-for-byte) enables the
+    interprocedural call-window rules described above. *)
 
 val verify :
-  ?dbb_entries:int -> ?scratch:Reg.t list -> Program.t -> Diagnostic.t list
+  ?dbb_entries:int ->
+  ?scratch:Reg.t list ->
+  ?summaries:Summary.env ->
+  Program.t ->
+  Diagnostic.t list
 (** Every procedure, diagnostics sorted errors-first. *)
 
 val check_exn :
-  ?dbb_entries:int -> ?scratch:Reg.t list -> Program.t -> unit
+  ?dbb_entries:int ->
+  ?scratch:Reg.t list ->
+  ?summaries:Summary.env ->
+  Program.t ->
+  unit
 (** Raises [Invalid_argument] listing every error-severity diagnostic, if
     any. Warnings and infos are ignored. Used as a debug post-pass by the
     transformation drivers. *)

@@ -16,7 +16,7 @@ type result =
 
 exception Skip of string
 
-let transform_site ~max_hoist ~temp_pool ~exit_live program
+let transform_site ~max_hoist ~temp_pool ~exit_live ?summaries program
     (candidate, likely_taken) =
   let proc = Program.find_proc program candidate.Select.proc in
   let a = Proc.find_block proc candidate.Select.block in
@@ -25,8 +25,17 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program
     let likely_label = if likely_taken then c_label else b_label in
     let rare_label = if likely_taken then b_label else c_label in
     let likely = Proc.find_block proc likely_label in
+    let may_alias =
+      Option.map
+        (fun env ->
+          Bv_analysis.Alias.may_alias
+            (Bv_analysis.Alias.analyze
+               ~call_mod:(Bv_analysis.Summary.call_mod env)
+               proc))
+        summaries
+    in
     let slice, rest_a =
-      match Transform.split_condition_slice ~src a.Block.body with
+      match Transform.split_condition_slice ?may_alias ~src a.Block.body with
       | Ok parts -> parts
       | Error reason -> raise (Skip reason)
     in
@@ -76,7 +85,7 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program
   | _ -> raise (Skip "terminator is not a conditional branch")
 
 let apply ?(max_hoist = 16) ?(temp_pool = Transform.default_temp_pool)
-    ?(schedule = true) ?(verify = true) ?(prove = false) ?exit_live
+    ?(schedule = true) ?(verify = true) ?(prove = false) ?exit_live ?summaries
     ~candidates program =
   let original = program in
   let program = Program.copy program in
@@ -86,17 +95,26 @@ let apply ?(max_hoist = 16) ?(temp_pool = Transform.default_temp_pool)
   List.iter
     (fun cand ->
       match
-        transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set program
-          cand
+        transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set
+          ?summaries program cand
       with
       | report -> reports := report :: !reports
       | exception Skip reason ->
         skipped := ((fst cand).Select.site, reason) :: !skipped)
     candidates;
+  (* as in Transform.apply: scheduling and verification see summaries of
+     the transformed program — converted callees write the scratch pool *)
+  let post_summaries =
+    Option.map (fun _ -> Bv_analysis.Summary.compute program) summaries
+  in
   if schedule then
-    Bv_sched.Sched.schedule_program ~alias:Transform.alias_oracle program;
+    Bv_sched.Sched.schedule_program
+      ~alias:(Transform.alias_oracle ?summaries:post_summaries)
+      program;
   Validate.check_exn program;
-  if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
+  if verify then
+    Bv_analysis.Speculation.check_exn ~scratch:temp_pool
+      ?summaries:post_summaries program;
   if prove then
     Bv_analysis.Equiv.check_exn ~scratch:temp_pool ?exit_live ~original
       program;

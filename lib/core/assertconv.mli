@@ -43,11 +43,13 @@ val apply :
   ?verify:bool ->
   ?prove:bool ->
   ?exit_live:Reg.t list ->
+  ?summaries:Bv_analysis.Summary.env ->
   candidates:(Select.candidate * bool) list ->
   Program.t ->
   result
 (** Each candidate carries [likely_taken], usually
     [taken_rate >= 0.5] from the profile. Preconditions match
     {!Transform.apply} (hammock shape, sinkable slice), as do [verify],
-    [prove] (translation validation against the input program) and the
-    other options. *)
+    [prove] (translation validation against the input program),
+    [summaries] (interprocedural mode — the same relaxations and
+    post-transform summary recomputation) and the other options. *)

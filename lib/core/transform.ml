@@ -55,8 +55,14 @@ let condition_slice body ~src =
 
 (* Safety checks for sinking the slice below the predict point. All are
    conservative (position-insensitive): a violating site is skipped rather
-   than analysed more precisely. *)
-let check_slice_safety ~slice ~rest body =
+   than analysed more precisely. [may_alias] — supplied only in summary
+   mode, from the same interprocedural alias oracle the scheduler uses —
+   relaxes the store-after-slice-load rule to stores that may actually
+   overlap a preceding slice load; sinking the slice reorders each slice
+   load past the stores behind it, which is observable only for
+   overlapping accesses. {!Bv_analysis.Costmodel.check_slice} mirrors
+   these rules (and reason strings) verbatim. *)
+let check_slice_safety ?may_alias ~slice ~rest body =
   let regs_of f =
     List.fold_left
       (fun s i -> Regset.union s (Regset.of_list (f i)))
@@ -87,13 +93,18 @@ let check_slice_safety ~slice ~rest body =
     rest;
   (* No store may appear after a slice load in the original order: the load
      is about to move below every remaining instruction of the block. *)
-  let seen_slice_load = ref false in
+  let slice_loads = ref [] in
   List.iter
     (fun i ->
       match i with
-      | Instr.Load _ when List.memq i slice -> seen_slice_load := true
-      | Instr.Store _ when !seen_slice_load ->
-        raise (Skip "store after a slice load")
+      | Instr.Load _ when List.memq i slice -> slice_loads := i :: !slice_loads
+      | Instr.Store _ when !slice_loads <> [] ->
+        let conflicts =
+          match may_alias with
+          | None -> true
+          | Some f -> List.exists (fun l -> f i l) !slice_loads
+        in
+        if conflicts then raise (Skip "store after a slice load")
       | _ -> ())
     body
 
@@ -217,16 +228,17 @@ let temp_pool_clash program pool =
         p.Proc.blocks)
     program.Program.procs
 
-let split_condition_slice ~src body =
+let split_condition_slice ?may_alias ~src body =
   let slice, rest = condition_slice body ~src in
-  match check_slice_safety ~slice ~rest body with
+  match check_slice_safety ?may_alias ~slice ~rest body with
   | () -> Ok (slice, rest)
   | exception Skip reason -> Error reason
 
 let split_hoistable_prefix ~max_hoist ~temp_pool ~must_rename body =
   hoistable_prefix ~max_hoist ~temp_pool ~must_rename body
 
-let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
+let transform_site ~max_hoist ~temp_pool ~exit_live ?summaries program
+    candidate =
   let proc = Program.find_proc program candidate.Select.proc in
   let a = Proc.find_block proc candidate.Select.block in
   match a.Block.term with
@@ -234,7 +246,18 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
     let b = Proc.find_block proc b_label in
     let c = Proc.find_block proc c_label in
     let slice, rest_a = condition_slice a.Block.body ~src in
-    check_slice_safety ~slice ~rest:rest_a a.Block.body;
+    let may_alias =
+      (* on the current (possibly already part-transformed) procedure,
+         with call havoc narrowed by the interprocedural summaries *)
+      Option.map
+        (fun env ->
+          Bv_analysis.Alias.may_alias
+            (Bv_analysis.Alias.analyze
+               ~call_mod:(Bv_analysis.Summary.call_mod env)
+               proc))
+        summaries
+    in
+    check_slice_safety ?may_alias ~slice ~rest:rest_a a.Block.body;
     let b_size = List.length b.Block.body in
     let c_size = List.length c.Block.body in
     let live = Liveness.compute ?exit_live proc in
@@ -316,11 +339,16 @@ let transform_site ~max_hoist ~temp_pool ~exit_live program candidate =
   | _ -> raise (Skip "terminator is not a conditional branch")
 
 (* Per-procedure alias oracle for the post-transform scheduling pass:
-   provably-disjoint load/store pairs are left unordered. *)
-let alias_oracle proc = Bv_analysis.Alias.may_alias (Bv_analysis.Alias.analyze proc)
+   provably-disjoint load/store pairs are left unordered. With summaries,
+   register intervals survive calls (mod-set havoc only), so accesses in
+   call-shadowed blocks disambiguate too. *)
+let alias_oracle ?summaries proc =
+  let call_mod = Option.map Bv_analysis.Summary.call_mod summaries in
+  Bv_analysis.Alias.may_alias (Bv_analysis.Alias.analyze ?call_mod proc)
 
 let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
-    ?(verify = true) ?(prove = false) ?exit_live ?select ~candidates program =
+    ?(verify = true) ?(prove = false) ?exit_live ?select ?summaries ~candidates
+    program =
   let original = program in
   let exit_live_set = Option.map Liveness.Regset.of_list exit_live in
   if temp_pool_clash program temp_pool then
@@ -337,15 +365,26 @@ let apply ?(max_hoist = 16) ?(temp_pool = default_temp_pool) ?(schedule = true)
       | _ -> (
         match
           transform_site ~max_hoist ~temp_pool ~exit_live:exit_live_set
-            program cand
+            ?summaries program cand
         with
         | report -> reports := report :: !reports
         | exception Skip reason ->
           skipped := (cand.Select.site, reason) :: !skipped))
     candidates;
-  if schedule then Bv_sched.Sched.schedule_program ~alias:alias_oracle program;
+  (* Scheduling and verification see summaries of the program as it now
+     stands — a transformed callee writes the scratch pool, which the
+     input program's summaries cannot know. *)
+  let post_summaries =
+    Option.map (fun _ -> Bv_analysis.Summary.compute program) summaries
+  in
+  if schedule then
+    Bv_sched.Sched.schedule_program
+      ~alias:(alias_oracle ?summaries:post_summaries)
+      program;
   Validate.check_exn program;
-  if verify then Bv_analysis.Speculation.check_exn ~scratch:temp_pool program;
+  if verify then
+    Bv_analysis.Speculation.check_exn ~scratch:temp_pool
+      ?summaries:post_summaries program;
   if prove then
     Bv_analysis.Equiv.check_exn ~scratch:temp_pool ?exit_live ~original
       program;

@@ -58,14 +58,17 @@ val default_temp_pool : Reg.t list
     transformation must not use them. *)
 
 val split_condition_slice :
+  ?may_alias:(Instr.t -> Instr.t -> bool) ->
   src:Bv_isa.Reg.t ->
   Instr.t list ->
   (Instr.t list * Instr.t list, string) Stdlib.result
 (** [(slice, remainder)] of a block body: the backward dependence closure
     of [src] and what stays above the predict point. [Error reason] when
     sinking the slice would be unsafe (a remainder instruction reads or
-    redefines slice registers, or a store follows a slice load). Exposed
-    for the assert-conversion pass, which sinks slices the same way. *)
+    redefines slice registers, or a store follows a slice load).
+    [may_alias] (summary mode only) relaxes the store rule to stores that
+    may alias a preceding slice load. Exposed for the assert-conversion
+    pass, which sinks slices the same way. *)
 
 val split_hoistable_prefix :
   max_hoist:int ->
@@ -80,10 +83,13 @@ val phi : site_report -> float
 (** Percent of the successor blocks' instructions that were hoistable for
     this site (Table 2's PHI). *)
 
-val alias_oracle : Proc.t -> Instr.t -> Instr.t -> bool
+val alias_oracle :
+  ?summaries:Bv_analysis.Summary.env -> Proc.t -> Instr.t -> Instr.t -> bool
 (** The may-alias oracle the post-transform scheduling pass hands to
     {!Bv_sched.Sched.schedule_program}: {!Bv_analysis.Alias} on the
-    procedure being scheduled. *)
+    procedure being scheduled. [summaries] feeds the alias analysis'
+    [call_mod] hook so register facts survive calls that provably leave
+    the base registers alone. *)
 
 val apply :
   ?max_hoist:int ->
@@ -93,6 +99,7 @@ val apply :
   ?prove:bool ->
   ?exit_live:Reg.t list ->
   ?select:(Select.candidate -> bool) ->
+  ?summaries:Bv_analysis.Summary.env ->
   candidates:Select.candidate list ->
   Program.t ->
   result
@@ -112,5 +119,12 @@ val apply :
     [exit_live] is the calling convention: registers assumed
     live at procedure exits for the renaming analysis (default: every
     register — safe, but renames more than a compiler with knowledge of
-    the convention would). Sites violating a safety precondition at
+    the convention would). [summaries] (default absent — the historical
+    intra-procedural behaviour, byte-for-byte) applies the same two
+    relaxations as {!Bv_analysis.Costmodel.analyze}'s summary mode —
+    call-aware alias facts and the alias-checked slice store rule — and
+    threads summaries into scheduling and the {!Bv_analysis.Speculation}
+    post-pass, recomputing them on the transformed program first (a
+    transformed callee writes the scratch pool, which the input program's
+    summaries cannot know). Sites violating a safety precondition at
     rewrite time are skipped and reported. *)

@@ -439,13 +439,16 @@ let compiled_identity ?(predictor = Kind.Tournament)
 
 (* ------------------------------------------------- advise & validate -- *)
 
-let advise ?config b =
+let advise ?config ?(interproc = false) b =
   (* The TRAIN program the profile and selection were built from: the
      spec in the bench record is already scaled. *)
   let train = Gen.generate ~input:0 b.spec in
+  let summaries =
+    if interproc then Some (Bv_analysis.Summary.compute train) else None
+  in
   let costs =
     Bv_analysis.Costmodel.analyze ?max_hoist:b.max_hoist
-      ~exit_live:Gen.live_at_exit train
+      ~exit_live:Gen.live_at_exit ?summaries train
   in
   Bv_analysis.Advisor.advise ?config ~profile:b.profile costs
 
@@ -461,8 +464,8 @@ let max_outstanding_of program =
     (fun acc p -> max acc (Bv_analysis.Speculation.max_outstanding p))
     0 program.Program.procs
 
-let advise_validate ?predictor ?cache ?config ?inputs b ~width =
-  let advice = advise ?config b in
+let advise_validate ?predictor ?cache ?config ?interproc ?inputs b ~width =
+  let advice = advise ?config ?interproc b in
   let inputs = Option.value inputs ~default:[ 1 ] in
   let acc =
     match

@@ -192,10 +192,17 @@ val compiled_identity :
     hierarchy, digests) is byte-identical. The CI smoke leg and the
     ["compiled"] DAG node route here. Not memoised. *)
 
-val advise : ?config:Bv_analysis.Advisor.config -> bench -> Bv_analysis.Advisor.t
+val advise :
+  ?config:Bv_analysis.Advisor.config ->
+  ?interproc:bool ->
+  bench ->
+  Bv_analysis.Advisor.t
 (** Run the static cost-model advisor over the bench's TRAIN program,
     fused with its TRAIN profile — ranked per-site recommendations with
-    no simulation beyond what {!prepare} already did. *)
+    no simulation beyond what {!prepare} already did. [interproc]
+    (default false) costs the sites with interprocedural summaries
+    ({!Bv_analysis.Summary}), so condition slices survive calls to
+    procedures that provably leave their inputs alone. *)
 
 type advice_checked =
   { ac_advice : Bv_analysis.Advisor.t;
@@ -213,6 +220,7 @@ val advise_validate :
   ?predictor:Kind.t ->
   ?cache:Hierarchy.config ->
   ?config:Bv_analysis.Advisor.config ->
+  ?interproc:bool ->
   ?inputs:int list ->
   bench ->
   width:int ->

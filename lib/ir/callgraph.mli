@@ -1,0 +1,48 @@
+(** Whole-program call graph with SCC condensation.
+
+    Nodes are procedures; there is an edge [p -> q] for every block of
+    [p] whose terminator is [Term.Call] targeting [q]. Unknown call
+    targets (a malformed program {!Validate} would reject) are ignored
+    defensively rather than raised on, so the graph can be built for
+    diagnostic purposes on any input.
+
+    The strongly connected components are computed with Tarjan's
+    algorithm and reported in {e reverse topological} order of the
+    condensation: every SCC appears before any SCC that calls into it,
+    so a bottom-up interprocedural analysis (callees before callers) can
+    simply fold over {!sccs}. A component is {e recursive} when it has
+    more than one member or a member that calls itself. *)
+
+open Bv_isa
+
+type t
+
+val build : Program.t -> t
+
+val callees : t -> Label.t -> Label.t list
+(** Distinct procedures called by the named procedure, in first-call
+    order. Empty for unknown procedures. *)
+
+val callers : t -> Label.t -> Label.t list
+(** Distinct procedures that call the named procedure. *)
+
+val call_sites : t -> Label.t -> int
+(** Number of call terminators in the named procedure. *)
+
+val sccs : t -> Label.t list list
+(** All SCCs in reverse topological order (callees before callers).
+    Every procedure of the program appears in exactly one component;
+    members keep the program's procedure order. *)
+
+val in_recursive_scc : t -> Label.t -> bool
+(** The procedure sits on a call cycle (self-recursion included). *)
+
+val scc_index : t -> Label.t -> int
+(** Position of the procedure's component in {!sccs}. Raises
+    [Not_found] for unknown procedures. *)
+
+val call_shadowed : Proc.t -> Label.t -> bool
+(** Intra-procedural: some path from the procedure entry to the named
+    block's entry crosses a call terminator — i.e. the block's register
+    and memory state may reflect a callee's effects. [false] for labels
+    unreachable from the entry. *)

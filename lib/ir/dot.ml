@@ -61,6 +61,48 @@ let emit_blocks ~bodies ppf proc =
         (edges proc.Proc.name b))
     proc.Proc.blocks
 
+let callgraph ppf prog =
+  let cg = Callgraph.build prog in
+  let sccs = Callgraph.sccs cg in
+  Format.fprintf ppf "digraph callgraph {@.";
+  Format.fprintf ppf "  rankdir=BT;@.";
+  List.iteri
+    (fun i members ->
+      let recursive = Callgraph.in_recursive_scc cg (List.hd members) in
+      let label =
+        String.concat "\n" members
+        ^ if recursive then "\n(recursive)" else ""
+      in
+      let attrs =
+        if recursive then
+          ", peripheries=2, style=filled, fillcolor=mistyrose"
+        else ""
+      in
+      Format.fprintf ppf
+        "  scc_%d [shape=box, fontname=monospace, label=\"%s\"%s];@." i
+        (escape label) attrs)
+    sccs;
+  (* condensed edges: one arrow per calling-SCC/called-SCC pair, labelled
+     with the number of distinct caller->callee procedure pairs behind it *)
+  let edge_counts = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let si = Callgraph.scc_index cg p.Proc.name in
+      List.iter
+        (fun callee ->
+          let di = Callgraph.scc_index cg callee in
+          let key = (si, di) in
+          Hashtbl.replace edge_counts key
+            (1 + Option.value (Hashtbl.find_opt edge_counts key) ~default:0))
+        (Callgraph.callees cg p.Proc.name))
+    prog.Program.procs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) edge_counts []
+  |> List.sort compare
+  |> List.iter (fun ((s, d), n) ->
+         let label = if n > 1 then Printf.sprintf " [label=\"%d\"]" n else "" in
+         Format.fprintf ppf "  scc_%d -> scc_%d%s;@." s d label);
+  Format.fprintf ppf "}@."
+
 let proc ?(bodies = true) ppf p =
   Format.fprintf ppf "digraph \"%s\" {@." p.Proc.name;
   emit_blocks ~bodies ppf p;

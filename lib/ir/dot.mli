@@ -7,3 +7,11 @@ val proc : ?bodies:bool -> Format.formatter -> Proc.t -> unit
 
 val program : ?bodies:bool -> Format.formatter -> Program.t -> unit
 (** All procedures as subgraph clusters, with inter-procedure call edges. *)
+
+val callgraph : Format.formatter -> Program.t -> unit
+(** The SCC-condensed call graph ({!Callgraph}): one node per strongly
+    connected component (members listed inside), recursive components
+    doubly bordered and filled, and one edge per calling-component pair
+    labelled with the number of caller/callee procedure pairs it
+    condenses. Emitted bottom-up ([rankdir=BT]) so callees sit below
+    callers, matching the summary engine's analysis order. *)

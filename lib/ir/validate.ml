@@ -25,6 +25,8 @@ let check program =
   let branch_ids = Hashtbl.create 256 in
   let predict_ids = Hashtbl.create 64 in
   let resolve_ids = Hashtbl.create 64 in
+  let call_targets = Hashtbl.create 16 in
+  let rets = ref [] in
   List.iter
     (fun p ->
       (match p.Proc.blocks with
@@ -76,17 +78,28 @@ let check program =
           | Term.Call { target; return_to } ->
             if not (Hashtbl.mem proc_names target) then
               error "block %s calls unknown procedure %s" b.Block.label target;
+            Hashtbl.replace call_targets target ();
             check_local b return_to;
             (match rest with
             | next :: _ when Label.equal next.Block.label return_to -> ()
             | _ ->
               error "block %s: call return_to %s is not the next block"
                 b.Block.label return_to)
-          | Term.Ret | Term.Halt -> ());
+          | Term.Ret -> rets := (p.Proc.name, b.Block.label) :: !rets
+          | Term.Halt -> ());
           check_blocks rest
       in
       check_blocks p.Proc.blocks)
     program.Program.procs;
+  (* A ret pops the call stack, so a ret in a procedure no call ever
+     targets could only execute with the stack empty — a guaranteed
+     interpreter fault. Catch it statically. *)
+  List.iter
+    (fun (proc, block) ->
+      if not (Hashtbl.mem call_targets proc) then
+        error "block %s returns from proc %s, which is never called" block
+          proc)
+    (List.rev !rets);
   Hashtbl.iter
     (fun id _ ->
       if not (Hashtbl.mem resolve_ids id) then

@@ -17,7 +17,10 @@
       same id, and neither predict nor resolve ids collide with branch ids;
     - a [Resolve] id with no matching [Predict] is allowed only in the lone,
       single-arm assert-style form produced by assert-conversion; two or
-      more predictless arms for one id are an error. *)
+      more predictless arms for one id are an error;
+    - a [Ret] in a procedure that is never a call target is an error — it
+      could only ever execute with an empty call stack, a guaranteed
+      runtime fault. *)
 
 val check : Program.t -> (unit, string list) result
 (** [check p] is [Ok ()] or [Error messages]. *)

@@ -75,13 +75,32 @@ let rec emit_segment g ~depth ~entry =
     (* straight-line *)
     emit g entry (rand_body g (1 + Rng.below g.rng 8)) (Term.Jump exit_label)
   | 1 ->
-    (* hammock: condition derived from data-register parity *)
+    (* hammock: condition derived from data-register parity, or (half the
+       time) from a freshly loaded word whose block then stores to a
+       provably disjoint slot — that store lands after the condition
+       slice's load, which only a may-alias oracle can disambiguate, so
+       such sites flip from ineligible to eligible under summary-backed
+       analysis *)
     let site = fresh_site g in
     let b = fresh_label g "b" and c = fresh_label g "c" in
     let src = rand_reg g 6 19 in
+    let tail =
+      if Rng.below g.rng 2 = 0 then
+        [ Instr.Alu { op = Instr.And; dst = r 5; src1 = src; src2 = Instr.Imm 1 } ]
+      else begin
+        (* the store's data register must stay clear of the slice *)
+        let sreg = r (6 + ((Reg.index src - 6 + 1 + Rng.below g.rng 13) mod 14)) in
+        [ Instr.Load
+            { dst = src; base = r 0; offset = 8 * Rng.below g.rng 32;
+              speculative = false
+            };
+          Instr.Store { src = sreg; base = r 0; offset = 8 * (32 + Rng.below g.rng 32) };
+          Instr.Alu { op = Instr.And; dst = r 5; src1 = src; src2 = Instr.Imm 1 }
+        ]
+      end
+    in
     emit g entry
-      (rand_body g (Rng.below g.rng 4)
-      @ [ Instr.Alu { op = Instr.And; dst = r 5; src1 = src; src2 = Instr.Imm 1 } ])
+      (rand_body g (Rng.below g.rng 3) @ tail)
       (Term.Branch { on = true; src = r 5; taken = c; not_taken = b; id = site });
     emit g b (rand_body g (1 + Rng.below g.rng 6)) (Term.Jump exit_label);
     emit g c (rand_body g (1 + Rng.below g.rng 6)) (Term.Jump exit_label)

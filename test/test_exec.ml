@@ -80,7 +80,19 @@ let test_calls () =
   Alcotest.(check int) "5*2*2" 20 st.Interp.mem.(0)
 
 let test_ret_underflow_faults () =
-  let image = program [ Proc.make ~name:"m" [ block "e" Term.Ret ] ] "m" in
+  (* [aux] never runs, but its call makes [m] a legal call target so the
+     layout-time validator (which rejects a ret in a never-called proc)
+     lets the runtime underflow happen. *)
+  let image =
+    program
+      [ Proc.make ~name:"m" [ block "e" Term.Ret ];
+        Proc.make ~name:"aux"
+          [ block "a0" (Term.Call { target = "m"; return_to = "a1" });
+            block "a1" Term.Halt
+          ]
+      ]
+      "m"
+  in
   Alcotest.check_raises "fault" (Interp.Fault "ret with empty call stack")
     (fun () -> ignore (Interp.run image))
 

@@ -143,7 +143,43 @@ let test_validate () =
                [ block "e" (Term.Predict { taken = "x"; not_taken = "y"; id = 5 });
                  block "y" Term.Halt; block "x" Term.Halt
                ]
+           ]));
+  (* call to a procedure that does not exist *)
+  expect_invalid (fun () ->
+      Layout.program
+        (Program.make ~main:"m"
+           [ Proc.make ~name:"m"
+               [ block "e" (Term.Call { target = "ghost"; return_to = "after" });
+                 block "after" Term.Halt
+               ]
            ]))
+
+let test_validate_ret_never_called () =
+  (* a ret in a procedure no call targets can only underflow the stack *)
+  (match
+     Validate.check
+       (Program.make ~main:"m"
+          [ Proc.make ~name:"m" [ block "e" Term.Ret ] ])
+   with
+  | Error [ msg ] ->
+    Alcotest.(check string) "reason"
+      "block e returns from proc m, which is never called" msg
+  | Error msgs ->
+    Alcotest.failf "expected one error, got %d" (List.length msgs)
+  | Ok () -> Alcotest.fail "never-called ret accepted");
+  (* the same shape is fine once some call targets the proc *)
+  let ok =
+    Program.make ~main:"m"
+      [ Proc.make ~name:"m"
+          [ block "e" (Term.Call { target = "f"; return_to = "after" });
+            block "after" Term.Halt
+          ];
+        Proc.make ~name:"f" [ block "f0" Term.Ret ]
+      ]
+  in
+  match Validate.check ok with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "valid program rejected: %s" (List.hd msgs)
 
 let test_layout_fallthrough () =
   let prog =
@@ -329,7 +365,11 @@ let () =
         [ Alcotest.test_case "segments" `Quick test_program_segments;
           Alcotest.test_case "deep copy" `Quick test_program_copy_is_deep
         ] );
-      ( "validate", [ Alcotest.test_case "rejections" `Quick test_validate ] );
+      ( "validate",
+        [ Alcotest.test_case "rejections" `Quick test_validate;
+          Alcotest.test_case "ret in never-called proc" `Quick
+            test_validate_ret_never_called
+        ] );
       ( "layout",
         [ Alcotest.test_case "fallthrough elision" `Quick
             test_layout_fallthrough;

@@ -1,0 +1,438 @@
+(* The interprocedural summary engine.
+
+   The load-bearing property is soundness: whatever the interpreter
+   observes a procedure (or anything it transitively calls) do — register
+   writes, loads, stores — must be covered by that procedure's computed
+   summary, with memory accesses falling inside the summarized footprints
+   translated through the activation's entry register frame. The property
+   is fuzzed over whole generated programs and over hand-built self- and
+   mutually-recursive call graphs, where the SCC fixpoint (and its
+   footprint widening) does the work.
+
+   Deterministic cases pin the fixpoint results themselves, the
+   cross-call advisory gain the summaries unlock (a condition-slice load
+   followed by a provably disjoint store, ineligible without summaries,
+   transformable and provable with them), and the proc-qualified
+   diagnostic ordering over colliding block labels. *)
+
+open Bv_isa
+open Bv_ir
+open Bv_analysis
+
+let r = Reg.make
+let block label body term = Block.make ~label ~body ~term
+
+let mov dst n = Instr.Mov { dst = r dst; src = Instr.Imm n }
+let sub1 dst = Instr.Alu { op = Instr.Sub; dst = r dst; src1 = r dst; src2 = Instr.Imm 1 }
+let add_imm dst src n =
+  Instr.Alu { op = Instr.Add; dst = r dst; src1 = r src; src2 = Instr.Imm n }
+let and1 dst src =
+  Instr.Alu { op = Instr.And; dst = r dst; src1 = r src; src2 = Instr.Imm 1 }
+let cmp_gt0 dst src =
+  Instr.Cmp { op = Instr.Gt; dst = r dst; src1 = r src; src2 = Instr.Imm 0 }
+let load dst offset =
+  Instr.Load { dst = r dst; base = r 0; offset; speculative = false }
+let store src offset = Instr.Store { src = r src; base = r 0; offset }
+
+(* ------------------------------------------------ soundness oracle -- *)
+
+(* Step the interpreter over the laid-out program while tracking the
+   activation stack: every executed effect is charged to every live
+   activation, each checked against its procedure's summary in its own
+   entry frame (the register file snapshotted at the call). *)
+let summary_covers_run ?(max_steps = 2_000_000) prog =
+  let env = Summary.compute prog in
+  let img = Layout.program (Program.copy prog) in
+  let st = Bv_exec.Interp.init img in
+  let main = prog.Program.main in
+  let stack = ref [ (main, Array.copy st.Bv_exec.Interp.regs) ] in
+  let covers snapshot addr = function
+    | Alias.Absolute (lo, hi) -> lo <= addr && addr <= hi
+    | Alias.Reg_relative (base, lo, hi) ->
+      let b = snapshot.(Reg.index base) in
+      b + lo <= addr && addr <= b + hi
+    | Alias.Unknown -> true
+  in
+  let in_footprint snapshot addr = function
+    | None -> true
+    | Some regions -> List.exists (covers snapshot addr) regions
+  in
+  let failure = ref None in
+  let check what f =
+    List.iter
+      (fun (name, snapshot) ->
+        match Summary.find env name with
+        | None -> failure := Some (name ^ ": no summary")
+        | Some s ->
+          if !failure = None && not (f s snapshot) then
+            failure := Some (Printf.sprintf "%s: %s escapes summary" name what))
+      !stack
+  in
+  let steps = ref 0 in
+  while
+    (not st.Bv_exec.Interp.halted) && !steps < max_steps && !failure = None
+  do
+    incr steps;
+    let i = img.Layout.code.(st.Bv_exec.Interp.pc) in
+    (match Instr.defs i with
+    | [] -> ()
+    | defs ->
+      check "register write" (fun s _ ->
+          List.for_all (fun d -> Summary.Regset.mem d s.Summary.mod_regs) defs));
+    (match i with
+    | Instr.Load { base; offset; _ } ->
+      let addr = st.Bv_exec.Interp.regs.(Reg.index base) + offset in
+      check "load" (fun s snap -> in_footprint snap addr s.Summary.loads)
+    | Instr.Store { base; offset; _ } ->
+      let addr = st.Bv_exec.Interp.regs.(Reg.index base) + offset in
+      check "store" (fun s snap -> in_footprint snap addr s.Summary.stores)
+    | _ -> ());
+    (match i with
+    | Instr.Call target ->
+      stack := (target, Array.copy st.Bv_exec.Interp.regs) :: !stack
+    | Instr.Ret -> (
+      match !stack with _ :: tl -> stack := tl | [] -> ())
+    | _ -> ());
+    Bv_exec.Interp.step img st
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None when not st.Bv_exec.Interp.halted -> Error "did not halt"
+  | None -> Ok ()
+
+(* ---------------------------------------- recursive program shapes -- *)
+
+(* f counts r6 down to zero, storing each step; depth comes from main. *)
+let self_recursive ~depth ~slot =
+  let f =
+    Proc.make ~name:"f"
+      [ block "fe" [ cmp_gt0 5 6 ]
+          (Term.Branch { on = true; src = r 5; taken = "fr"; not_taken = "fd"; id = 1 });
+        block "fr" [ sub1 6; store 6 (8 * slot) ]
+          (Term.Call { target = "f"; return_to = "fx" });
+        block "fx" [] Term.Ret;
+        block "fd" [] Term.Ret
+      ]
+  in
+  let m =
+    Proc.make ~name:"m"
+      [ block "entry" [ mov 6 depth ] (Term.Call { target = "f"; return_to = "mh" });
+        block "mh" [] Term.Halt
+      ]
+  in
+  Program.make ~mem_words:64 ~main:"m" [ m; f ]
+
+(* f and g bounce the countdown between each other, storing to their own
+   slots — a two-member SCC the fixpoint must close over. *)
+let mutually_recursive ~depth ~slot_f ~slot_g =
+  let hammock name other ~entry ~rec_ ~ret_ ~done_ ~slot ~site =
+    Proc.make ~name
+      [ block entry [ cmp_gt0 5 6 ]
+          (Term.Branch { on = true; src = r 5; taken = rec_; not_taken = done_; id = site });
+        block rec_ [ sub1 6; store 6 (8 * slot) ]
+          (Term.Call { target = other; return_to = ret_ });
+        block ret_ [] Term.Ret;
+        block done_ [] Term.Ret
+      ]
+  in
+  let f =
+    hammock "f" "g" ~entry:"fe" ~rec_:"fr" ~ret_:"fx" ~done_:"fd" ~slot:slot_f
+      ~site:1
+  in
+  let g =
+    hammock "g" "f" ~entry:"ge" ~rec_:"gr" ~ret_:"gx" ~done_:"gd" ~slot:slot_g
+      ~site:2
+  in
+  let m =
+    Proc.make ~name:"m"
+      [ block "entry" [ mov 6 depth ] (Term.Call { target = "f"; return_to = "mh" });
+        block "mh" [] Term.Halt
+      ]
+  in
+  Program.make ~mem_words:64 ~main:"m" [ m; f; g ]
+
+(* f stores through a base register it strides every activation — the
+   rebased footprint grows each fixpoint round until widening gives up. *)
+let striding_recursive ~depth =
+  let f =
+    Proc.make ~name:"f"
+      [ block "fe" [ cmp_gt0 5 6 ]
+          (Term.Branch { on = true; src = r 5; taken = "fr"; not_taken = "fd"; id = 1 });
+        block "fr"
+          [ sub1 6;
+            Instr.Store { src = r 6; base = r 7; offset = 0 };
+            add_imm 7 7 8
+          ]
+          (Term.Call { target = "f"; return_to = "fx" });
+        block "fx" [] Term.Ret;
+        block "fd" [] Term.Ret
+      ]
+  in
+  let m =
+    Proc.make ~name:"m"
+      [ block "entry" [ mov 6 depth; mov 7 0 ]
+          (Term.Call { target = "f"; return_to = "mh" });
+        block "mh" [] Term.Halt
+      ]
+  in
+  Program.make ~mem_words:64 ~main:"m" [ m; f ]
+
+(* -------------------------------------------------- fuzz properties -- *)
+
+let seeds = QCheck2.Gen.int_range 0 100_000
+
+let check_sound ?max_steps prog =
+  match summary_covers_run ?max_steps prog with
+  | Ok () -> true
+  | Error msg -> QCheck2.Test.fail_report msg
+
+let prop_fuzz_sound =
+  QCheck2.Test.make
+    ~name:"summaries cover interpreted effects (generated programs)"
+    ~count:110 seeds
+    (fun seed -> check_sound (Bv_workloads.Fuzzgen.generate ~seed))
+
+let prop_self_recursive_sound =
+  QCheck2.Test.make
+    ~name:"summaries cover interpreted effects (self-recursion)" ~count:40
+    seeds
+    (fun seed ->
+      check_sound (self_recursive ~depth:(seed mod 9) ~slot:(seed mod 64)))
+
+let prop_mutual_recursive_sound =
+  QCheck2.Test.make
+    ~name:"summaries cover interpreted effects (mutual recursion)" ~count:40
+    seeds
+    (fun seed ->
+      check_sound
+        (mutually_recursive ~depth:(seed mod 11) ~slot_f:(seed mod 64)
+           ~slot_g:((seed / 64) mod 64)))
+
+let prop_striding_sound =
+  QCheck2.Test.make
+    ~name:"summaries cover interpreted effects (widened footprint)"
+    ~count:20 seeds
+    (fun seed -> check_sound (striding_recursive ~depth:(1 + (seed mod 7))))
+
+(* -------------------------------------------- SCC fixpoint results -- *)
+
+let test_scc_structure () =
+  let prog = mutually_recursive ~depth:3 ~slot_f:1 ~slot_g:2 in
+  let cg = Callgraph.build prog in
+  (match Callgraph.sccs cg with
+  | [ pair; [ "m" ] ] ->
+    Alcotest.(check (list string))
+      "recursive pair first, members in program order" [ "f"; "g" ] pair
+  | sccs -> Alcotest.failf "unexpected SCCs: %d components" (List.length sccs));
+  Alcotest.(check bool) "f recursive" true (Callgraph.in_recursive_scc cg "f");
+  Alcotest.(check bool) "g recursive" true (Callgraph.in_recursive_scc cg "g");
+  Alcotest.(check bool) "m not recursive" false
+    (Callgraph.in_recursive_scc cg "m")
+
+let test_mutual_fixpoint () =
+  let prog = mutually_recursive ~depth:3 ~slot_f:1 ~slot_g:2 in
+  let env = Summary.compute prog in
+  let get name =
+    match Summary.find env name with
+    | Some s -> s
+    | None -> Alcotest.failf "no summary for %s" name
+  in
+  let f = get "f" and g = get "g" and m = get "m" in
+  Alcotest.(check bool) "f marked recursive" true f.Summary.recursive;
+  Alcotest.(check bool) "m not recursive" false m.Summary.recursive;
+  (* the SCC closes: each member sees the other's effects *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "mod covers r5,r6" true
+        (Summary.Regset.mem (r 5) s.Summary.mod_regs
+        && Summary.Regset.mem (r 6) s.Summary.mod_regs);
+      match s.Summary.stores with
+      | Some regions ->
+        List.iter
+          (fun offset ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s stores cover [%d]" s.Summary.name offset)
+              true
+              (* r0 is never assigned, so the analysis knows the slots
+                 only relative to its entry value (which is 0 at run
+                 time) *)
+              (List.exists
+                 (function
+                   | Alias.Absolute (lo, hi) -> lo <= offset && offset <= hi
+                   | Alias.Reg_relative (base, lo, hi) ->
+                     Reg.index base = 0 && lo <= offset && offset <= hi
+                   | Alias.Unknown -> false)
+                 regions))
+          [ 8; 16 ]
+      | None -> Alcotest.failf "%s: expected bounded stores" s.Summary.name)
+    [ f; g; m ];
+  Alcotest.(check string) "bounded writes" "writes-bounded"
+    (Summary.purity_name (Summary.purity f))
+
+let test_widening () =
+  let prog = striding_recursive ~depth:5 in
+  let env = Summary.compute prog in
+  match Summary.find env "f" with
+  | None -> Alcotest.fail "no summary for f"
+  | Some f ->
+    Alcotest.(check bool) "striding store widened to unbounded" true
+      (f.Summary.stores = None);
+    Alcotest.(check string) "purity degrades" "writes-unknown"
+      (Summary.purity_name (Summary.purity f))
+
+let test_purity_classes () =
+  let leaf name body =
+    Proc.make ~name [ block (name ^ "e") body Term.Ret ]
+  in
+  let m =
+    Proc.make ~name:"m"
+      [ block "e0" [] (Term.Call { target = "pure"; return_to = "e1" });
+        block "e1" [] (Term.Call { target = "reader"; return_to = "e2" });
+        block "e2" [] Term.Halt
+      ]
+  in
+  let prog =
+    Program.make ~mem_words:64 ~main:"m"
+      [ m; leaf "pure" [ mov 8 1 ]; leaf "reader" [ load 9 16 ] ]
+  in
+  let env = Summary.compute prog in
+  let purity name =
+    match Summary.find env name with
+    | Some s -> Summary.purity_name (Summary.purity s)
+    | None -> Alcotest.failf "no summary for %s" name
+  in
+  Alcotest.(check string) "pure leaf" "pure" (purity "pure");
+  Alcotest.(check string) "read-only leaf" "read-only" (purity "reader");
+  Alcotest.(check string) "caller inherits reads" "read-only" (purity "m");
+  (match Summary.find env "reader" with
+  | Some s ->
+    Alcotest.(check bool) "store-free" true (Summary.store_free s);
+    Alcotest.(check bool) "scratch-clean" true
+      (Summary.scratch_clean s ~pool:Vanguard.Transform.default_temp_pool)
+  | None -> Alcotest.fail "no summary for reader")
+
+(* ------------------------------------------------- cross-call gain -- *)
+
+(* The canonical site the interprocedural mode unlocks: a hammock whose
+   condition is loaded, with a later store to a provably disjoint word,
+   sitting behind a call. Intra-procedurally the slice cannot sink past
+   the store; summary-backed alias facts prove the accesses disjoint. *)
+let cross_call_program () =
+  let m =
+    Proc.make ~name:"m"
+      [ block "e0" [ mov 9 3 ] (Term.Call { target = "leaf"; return_to = "bb" });
+        block "bb" [ load 7 16; store 9 256; and1 5 7 ]
+          (Term.Branch { on = true; src = r 5; taken = "t"; not_taken = "n"; id = 1 });
+        block "t" [ add_imm 8 7 2 ] (Term.Jump "x");
+        block "n" [ add_imm 8 7 3 ] (Term.Jump "x");
+        block "x" [] Term.Halt
+      ]
+  in
+  let leaf = Proc.make ~name:"leaf" [ block "le" [ mov 10 1 ] Term.Ret ] in
+  Program.make ~mem_words:64 ~main:"m" [ m; leaf ]
+
+let test_cross_call_gain () =
+  let prog = cross_call_program () in
+  let site_cost summaries =
+    match
+      List.find_opt
+        (fun c -> c.Costmodel.site = 1)
+        (Costmodel.analyze ?summaries prog)
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "site 1 not costed"
+  in
+  Alcotest.(check (option string))
+    "rejected without summaries"
+    (Some "store after a slice load")
+    (site_cost None).Costmodel.ineligible;
+  let env = Summary.compute prog in
+  Alcotest.(check (option string))
+    "eligible with summaries" None (site_cost (Some env)).Costmodel.ineligible;
+  let main_proc = List.hd prog.Program.procs in
+  Alcotest.(check bool) "site is call-shadowed" true
+    (Callgraph.call_shadowed main_proc "bb");
+  let candidate =
+    { Vanguard.Select.proc = "m"; block = "bb"; site = 1; bias = 1.0;
+      predictability = 1.0; executed = 1
+    }
+  in
+  let off = Vanguard.Transform.apply ~candidates:[ candidate ] prog in
+  Alcotest.(check (list (pair int string)))
+    "transform skips the site without summaries"
+    [ (1, "store after a slice load") ]
+    off.Vanguard.Transform.skipped;
+  let digest p =
+    Bv_exec.Interp.arch_digest (Bv_exec.Interp.run (Layout.program p))
+  in
+  let want = digest (Program.copy prog) in
+  let on =
+    Vanguard.Transform.apply ~summaries:env ~prove:true
+      ~candidates:[ candidate ] prog
+  in
+  Alcotest.(check (list (pair int string)))
+    "no skips with summaries" [] on.Vanguard.Transform.skipped;
+  Alcotest.(check int) "site transformed" 1
+    (List.length on.Vanguard.Transform.reports);
+  Alcotest.(check bool) "architecturally equivalent" true
+    (digest on.Vanguard.Transform.program = want)
+
+(* -------------------------------------- diagnostic ordering by proc -- *)
+
+(* Two procedures with byte-identical block labels and site ids must
+   yield distinct, proc-qualified site keys, deterministically ordered
+   and both surviving dedup. (Such label collisions never pass Validate,
+   but per-proc analyses still report on them.) *)
+let test_diagnostic_ordering () =
+  let violating name =
+    Proc.make ~name
+      [ block "entry" [ mov 1 5 ]
+          (Term.Predict { taken = "rt"; not_taken = "rnt"; id = 1 });
+        block "rnt" [ cmp_gt0 5 1; store 6 0 ]
+          (Term.Resolve
+             { on = true; src = r 5; mispredict = "fix"; fallthrough = "join";
+               predicted_taken = false
+             ; id = 1 });
+        block "rt" [ cmp_gt0 5 1 ]
+          (Term.Resolve
+             { on = true; src = r 5; mispredict = "fix"; fallthrough = "join";
+               predicted_taken = true; id = 1
+             });
+        block "join" [] Term.Halt;
+        block "fix" [] (Term.Jump "join")
+      ]
+  in
+  let prog =
+    Program.make ~mem_words:64 ~main:"p1" [ violating "p2"; violating "p1" ]
+  in
+  let errors =
+    List.filter Diagnostic.is_error (Speculation.verify prog)
+    |> Diagnostic.sort |> Diagnostic.dedup
+  in
+  let keys = List.map Diagnostic.site_key errors in
+  Alcotest.(check (list string))
+    "one proc-qualified key per proc, proc-ordered"
+    [ "p1/rnt#-"; "p2/rnt#-" ] keys
+
+let () =
+  Alcotest.run "summary"
+    [ ( "soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fuzz_sound;
+            prop_self_recursive_sound;
+            prop_mutual_recursive_sound;
+            prop_striding_sound
+          ] );
+      ( "fixpoint",
+        [ Alcotest.test_case "scc structure" `Quick test_scc_structure;
+          Alcotest.test_case "mutual fixpoint" `Quick test_mutual_fixpoint;
+          Alcotest.test_case "footprint widening" `Quick test_widening;
+          Alcotest.test_case "purity classes" `Quick test_purity_classes
+        ] );
+      ( "interproc",
+        [ Alcotest.test_case "cross-call gain" `Quick test_cross_call_gain ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "proc-qualified ordering" `Quick
+            test_diagnostic_ordering
+        ] )
+    ]
